@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: table formatting and
+ * paper-reference printing.
+ */
+
+#ifndef CHERI_BENCH_BENCH_UTIL_H
+#define CHERI_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+namespace cheri::bench
+{
+
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n============================================================"
+                "====\n%s\n============================================="
+                "===============\n",
+                title.c_str());
+}
+
+inline void
+note(const std::string &text)
+{
+    std::printf("%s\n", text.c_str());
+}
+
+} // namespace cheri::bench
+
+#endif // CHERI_BENCH_BENCH_UTIL_H

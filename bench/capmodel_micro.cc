@@ -1,0 +1,142 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the capability model itself:
+ * the host-side cost of the operations every simulated instruction
+ * pays (derivation, checking, tagged-memory access, cache model).
+ * These are wall-clock numbers about the *reproduction library*, not
+ * simulated results from the paper.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cap/capability.h"
+#include "machine/cache.h"
+#include "mem/vm.h"
+
+using namespace cheri;
+
+namespace
+{
+
+void
+BM_CapSetBounds(benchmark::State &state)
+{
+    Capability root = Capability::root().setAddress(0x10000);
+    for (auto _ : state) {
+        auto r = root.setBounds(static_cast<u64>(state.range(0)));
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_CapSetBounds)->Arg(64)->Arg(1 << 20);
+
+void
+BM_CapCheckAccess(benchmark::State &state)
+{
+    Capability c =
+        Capability::root().setAddress(0x10000).setBounds(4096).value();
+    u64 addr = 0x10800;
+    for (auto _ : state) {
+        auto chk = c.checkAccess(addr, 8, PERM_LOAD);
+        benchmark::DoNotOptimize(chk);
+    }
+}
+BENCHMARK(BM_CapCheckAccess);
+
+void
+BM_CapIncAddress(benchmark::State &state)
+{
+    Capability c =
+        Capability::root().setAddress(0x10000).setBounds(4096).value();
+    for (auto _ : state) {
+        c = c.incAddress(8);
+        if (c.address() > 0x10F00)
+            c = c.setAddress(0x10000);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_CapIncAddress);
+
+void
+BM_CompressRoundTrip(benchmark::State &state)
+{
+    u64 len = static_cast<u64>(state.range(0));
+    for (auto _ : state) {
+        u64 r = compress::representableLength(len);
+        u64 m = compress::representableAlignmentMask(len);
+        benchmark::DoNotOptimize(r + m);
+    }
+}
+BENCHMARK(BM_CompressRoundTrip)->Arg(100)->Arg(1 << 22);
+
+void
+BM_TaggedMemoryWriteCap(benchmark::State &state)
+{
+    PhysMem phys;
+    SwapDevice swap;
+    AddressSpace as(phys, swap, 1);
+    u64 va = as.map(0, 1 << 20, PROT_READ | PROT_WRITE,
+                    MappingKind::Data);
+    Capability c = as.capForRange(va, 64, PROT_READ | PROT_WRITE);
+    u64 off = 0;
+    for (auto _ : state) {
+        as.writeCap(va + (off & 0xFFFF0), c);
+        off += 16;
+        benchmark::DoNotOptimize(off);
+    }
+}
+BENCHMARK(BM_TaggedMemoryWriteCap);
+
+void
+BM_AddressSpaceReadBytes(benchmark::State &state)
+{
+    PhysMem phys;
+    SwapDevice swap;
+    AddressSpace as(phys, swap, 1);
+    u64 va = as.map(0, 1 << 20, PROT_READ | PROT_WRITE,
+                    MappingKind::Data);
+    u64 buf[8];
+    u64 off = 0;
+    for (auto _ : state) {
+        auto f = as.readBytes(va + (off & 0xFFFC0), buf, sizeof(buf));
+        benchmark::DoNotOptimize(f);
+        off += 64;
+    }
+}
+BENCHMARK(BM_AddressSpaceReadBytes);
+
+void
+BM_CacheHierarchyAccess(benchmark::State &state)
+{
+    CacheHierarchy cache;
+    u64 addr = 0;
+    for (auto _ : state) {
+        HitLevel lvl = cache.access(addr & 0x7FFFF, 8,
+                                    Access::DataLoad);
+        benchmark::DoNotOptimize(lvl);
+        addr += 64;
+    }
+}
+BENCHMARK(BM_CacheHierarchyAccess);
+
+void
+BM_SwapOutIn(benchmark::State &state)
+{
+    PhysMem phys;
+    SwapDevice swap;
+    AddressSpace as(phys, swap, 1);
+    u64 va = as.map(0, pageSize, PROT_READ | PROT_WRITE,
+                    MappingKind::Data);
+    Capability c = as.capForRange(va, 64, PROT_READ | PROT_WRITE);
+    as.writeCap(va, c);
+    u64 dummy = 0;
+    for (auto _ : state) {
+        as.swapOutPage(va);
+        auto f = as.readBytes(va, &dummy, 8); // triggers swap-in
+        benchmark::DoNotOptimize(f);
+    }
+}
+BENCHMARK(BM_SwapOutIn);
+
+} // namespace
+
+BENCHMARK_MAIN();

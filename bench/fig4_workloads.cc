@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 4 reproduction: MiBench and SPEC CPU2006 workload overheads
+ * of pure-capability (CheriABI) execution relative to the mips64
+ * baseline — instructions, cycles, and L2 misses — plus the
+ * initdb-dynamic macro-benchmark.
+ *
+ * Like the paper, each point is a median over repeated runs with an
+ * interquartile range: run-to-run variation comes from ASLR (each run
+ * gets a different address-space slide, perturbing cache behaviour).
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "apps/minidb.h"
+#include "apps/workloads.h"
+#include "bench_util.h"
+
+using namespace cheri;
+using namespace cheri::apps;
+
+namespace
+{
+
+constexpr int numRuns = 5;
+
+struct Series
+{
+    WorkloadResult median;
+    double cycleIqrPct = 0; // IQR of cycles as % of the median
+};
+
+Series
+runSeries(const Workload &w, Abi abi)
+{
+    std::vector<WorkloadResult> runs;
+    for (int i = 0; i < numRuns; ++i)
+        runs.push_back(runWorkload(w, abi, {}, 1000 + i * 7));
+    std::sort(runs.begin(), runs.end(),
+              [](const WorkloadResult &a, const WorkloadResult &b) {
+                  return a.cycles < b.cycles;
+              });
+    Series s;
+    s.median = runs[numRuns / 2];
+    u64 q1 = runs[numRuns / 4].cycles;
+    u64 q3 = runs[(3 * numRuns) / 4].cycles;
+    s.cycleIqrPct = 100.0 * static_cast<double>(q3 - q1) /
+                    static_cast<double>(s.median.cycles);
+    return s;
+}
+
+void
+printRow(const std::string &name, const Series &m, const Series &c)
+{
+    std::printf("%-24s %+8.1f%% %+8.1f%% %+8.1f%%   %6.2f%%\n",
+                name.c_str(),
+                overheadPct(m.median.instructions,
+                            c.median.instructions),
+                overheadPct(m.median.cycles, c.median.cycles),
+                overheadPct(m.median.l2Misses, c.median.l2Misses),
+                std::max(m.cycleIqrPct, c.cycleIqrPct));
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 4: CheriABI overhead vs mips64 baseline "
+                  "(median of 5 ASLR seeds; last column = cycle IQR "
+                  "as error bar)");
+    std::printf("%-24s %9s %9s %9s %9s\n", "benchmark", "instr",
+                "cycles", "l2-miss", "IQR");
+    for (const Workload &w : figure4Workloads()) {
+        Series m = runSeries(w, Abi::Mips64);
+        Series c = runSeries(w, Abi::CheriAbi);
+        printRow(w.name, m, c);
+    }
+
+    // initdb-dynamic: the dynamically linked macro-benchmark.
+    InitdbResult im = runInitdb(Abi::Mips64);
+    InitdbResult ic = runInitdb(Abi::CheriAbi);
+    std::printf("%-24s %+8.1f%% %+8.1f%% %+8.1f%%\n", "initdb-dynamic",
+                overheadPct(im.instructions, ic.instructions),
+                overheadPct(im.cycles, ic.cycles),
+                overheadPct(im.l2Misses, ic.l2Misses));
+
+    bench::note(
+        "\nPaper (Figure 4) shape: most benchmarks within noise "
+        "(+-10%);\npointer-dense workloads (patricia, astar, "
+        "xalancbmk, qsort) pay\ncycles and L2 misses for 128-bit "
+        "pointers; security-sha is *faster*\nunder CheriABI (separate "
+        "capability register file); initdb-dynamic\n~= +6.8% cycles.");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 5 reproduction: capability-granularity CDF from a traced run
+ * of the openssl s_server analogue (startup, authentication, file
+ * exchange), grouped by derivation source.
+ */
+
+#include "apps/sslserver.h"
+#include "bench_util.h"
+#include "trace/analysis.h"
+
+using namespace cheri;
+using namespace cheri::apps;
+
+int
+main()
+{
+    CapTraceRecorder rec;
+    SslServerReport report = runSslServer(Abi::CheriAbi, &rec);
+
+    bench::banner("Figure 5: cumulative capability count by bounds size "
+                  "(mini_s_server)");
+    std::printf("run: handshake=%s, %lu bytes served, %lu capability "
+                "derivations traced\n\n",
+                report.handshakeOk ? "ok" : "FAILED",
+                static_cast<unsigned long>(report.bytesServed),
+                static_cast<unsigned long>(rec.count()));
+
+    GranularityCdf cdf(rec.all());
+    std::printf("%s\n", cdf.formatTable().c_str());
+
+    bench::banner("Headline statistics (paper section 5.5)");
+    std::printf("largest capability bound:      %lu bytes "
+                "(paper: no capability > 16 MiB)\n",
+                static_cast<unsigned long>(cdf.maxLengthAll()));
+    std::printf("fraction with bounds <= 1 KiB: %.1f%% "
+                "(paper: ~90%%)\n",
+                cdf.fractionBelow(1024) * 100.0);
+    std::printf("largest stack capability:      %lu bytes "
+                "(paper: <= 8 MiB)\n",
+                static_cast<unsigned long>(
+                    cdf.maxLength(DeriveSource::Stack)));
+    std::printf("largest malloc capability:     %lu bytes "
+                "(paper: <= 8 MiB)\n",
+                static_cast<unsigned long>(
+                    cdf.maxLength(DeriveSource::Malloc)));
+    std::printf("kern/syscall capability count: %lu / %lu of %lu "
+                "(paper: lines nearly on the X-axis)\n",
+                static_cast<unsigned long>(
+                    cdf.total(DeriveSource::Kern)),
+                static_cast<unsigned long>(
+                    cdf.total(DeriveSource::Syscall)),
+                static_cast<unsigned long>(cdf.totalAll()));
+    bench::note("\n(A legacy mips64 run would be a single vertical "
+                "line at the maximum\nuser address: every pointer "
+                "carries whole-address-space authority.)");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Table 1 reproduction: test-suite results under mips64 and CheriABI.
+ *
+ * Runs the FreeBSD-base, PostgreSQL-pg_regress, and libc++ analogue
+ * suites under both ABIs and prints the pass/fail/skip matrix next to
+ * the paper's reported values.
+ */
+
+#include "apps/minidb.h"
+#include "apps/testsuite.h"
+#include "bench_util.h"
+
+using namespace cheri;
+using namespace cheri::apps;
+
+namespace
+{
+
+void
+row(const char *name, int pass, int fail, int skip)
+{
+    std::printf("%-22s %6d %6d %6d %6d\n", name, pass, fail, skip,
+                pass + fail + skip);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 1: Test suite results (measured)");
+    std::printf("%-22s %6s %6s %6s %6s\n", "", "Pass", "Fail", "Skip",
+                "Total");
+
+    SuiteTotals fb_mips = runFreebsdSuite(Abi::Mips64);
+    SuiteTotals fb_cheri = runFreebsdSuite(Abi::CheriAbi);
+    row("FreeBSD MIPS", fb_mips.pass, fb_mips.fail, fb_mips.skip);
+    row("FreeBSD CheriABI", fb_cheri.pass, fb_cheri.fail, fb_cheri.skip);
+
+    RegressTotals pg_mips = runPgRegress(Abi::Mips64);
+    RegressTotals pg_cheri = runPgRegress(Abi::CheriAbi);
+    row("PostgreSQL MIPS", pg_mips.pass, pg_mips.fail, pg_mips.skip);
+    row("PostgreSQL CheriABI", pg_cheri.pass, pg_cheri.fail,
+        pg_cheri.skip);
+
+    SuiteTotals cxx_mips = runLibcxxSuite(Abi::Mips64);
+    SuiteTotals cxx_cheri = runLibcxxSuite(Abi::CheriAbi);
+    row("libc++ MIPS", cxx_mips.pass, cxx_mips.fail, cxx_mips.skip);
+    row("libc++ CheriABI", cxx_cheri.pass, cxx_cheri.fail,
+        cxx_cheri.skip);
+
+    bench::banner("Table 1 (paper, for reference)");
+    std::printf("%-22s %6s %6s %6s %6s\n", "", "Pass", "Fail", "Skip",
+                "Total");
+    row("FreeBSD MIPS", 3501, 90, 244);
+    row("FreeBSD CheriABI", 3301, 122, 246);
+    row("PostgreSQL MIPS", 167, 0, 0);
+    row("PostgreSQL CheriABI", 150, 16, 1);
+    row("libc++ MIPS", 5338, 29, 789);
+    row("libc++ CheriABI", 5333, 34, 789);
+
+    bench::note("\nCheriABI failure causes (pg_regress):");
+    std::vector<RegressCase> cases;
+    runPgRegress(Abi::CheriAbi, &cases);
+    int shown = 0;
+    for (const RegressCase &c : cases) {
+        if (c.outcome == RegressCase::Outcome::Pass)
+            continue;
+        std::printf("  %-28s %s %s\n", c.name.c_str(),
+                    c.outcome == RegressCase::Outcome::Fail ? "FAIL"
+                                                            : "SKIP",
+                    c.detail.c_str());
+        if (++shown >= 20)
+            break;
+    }
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Domain example: the mini TLS server under capability tracing.
+ *
+ * Runs the openssl-s_server analogue (dynamic linking against mini
+ * libssl/libcrypto, toy handshake, encrypted file exchange over a
+ * pty), recording every capability the system mints, then prints the
+ * abstract-capability reconstruction — the paper's Figure 5 workflow
+ * as a five-minute demo.
+ *
+ * Build & run:  ./build/examples/secure_server
+ */
+
+#include <cstdio>
+
+#include "apps/sslserver.h"
+#include "trace/analysis.h"
+
+using namespace cheri;
+using namespace cheri::apps;
+
+int
+main()
+{
+    std::printf("running mini_s_server (CheriABI) with capability "
+                "tracing...\n");
+    CapTraceRecorder rec;
+    SslServerReport report = runSslServer(Abi::CheriAbi, &rec);
+    std::printf("handshake: %s\n",
+                report.handshakeOk ? "completed" : "FAILED");
+    std::printf("served:    %lu encrypted bytes in %lu session(s)\n",
+                static_cast<unsigned long>(report.bytesServed),
+                static_cast<unsigned long>(report.sessionsServed));
+    std::printf("traced:    %lu capability derivations\n\n",
+                static_cast<unsigned long>(rec.count()));
+
+    GranularityCdf cdf(rec.all());
+    std::printf("%s\n", cdf.formatTable().c_str());
+    std::printf("No pointer in this server can reach more than %lu "
+                "bytes;\n%.0f%% of them reach less than a kilobyte.\n",
+                static_cast<unsigned long>(cdf.maxLengthAll()),
+                cdf.fractionBelow(1024) * 100.0);
+    std::printf("Under the legacy ABI every one of them could reach "
+                "the whole\naddress space — that asymmetry is what "
+                "contained Heartbleed-class bugs.\n");
+    return 0;
+}

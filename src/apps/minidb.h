@@ -1,0 +1,79 @@
+/**
+ * @file
+ * MiniPG: the PostgreSQL stand-in.
+ *
+ * The paper's macro-benchmark is PostgreSQL's `initdb` — "a large
+ * real-world workload written in C" that exercises IPC (sockets,
+ * shared memory, semaphores), heavy allocation, file creation, and is
+ * dynamically linked (section 5.2).  MiniPG reproduces that profile:
+ * catalog bootstrap with pointer-dense in-memory tables and hash
+ * indexes, sorted system tables, WAL segment initialization through
+ * the VFS, System V shared memory with semaphore words, TLS-resident
+ * backend state, and GOT-mediated global access in every inner loop
+ * (the knob behind the paper's CLC-immediate experiment).
+ *
+ * It also carries a pg_regress-style regression suite (167 tests,
+ * like PostgreSQL 9.6's) whose CheriABI failures arise from the same
+ * causes the paper reports: pointer-size/output-order assumptions,
+ * one under-aligned pointer, and a handful of result differences.
+ */
+
+#ifndef CHERI_APPS_MINIDB_H
+#define CHERI_APPS_MINIDB_H
+
+#include <string>
+#include <vector>
+
+#include "apps/workloads.h"
+
+namespace cheri::apps
+{
+
+/** Counters from one initdb run. */
+struct InitdbResult
+{
+    u64 instructions = 0;
+    u64 cycles = 0;
+    u64 l2Misses = 0;
+    u64 codeBytes = 0;
+    u64 filesCreated = 0;
+    u64 catalogRows = 0;
+};
+
+/**
+ * Run initdb in a fresh dynamically linked process.
+ * @param asan run under the AddressSanitizer cost model
+ */
+InitdbResult runInitdb(Abi abi, MachineFeatures features = {},
+                       bool asan = false);
+
+/** pg_regress outcome counts (Table 1 row). */
+struct RegressTotals
+{
+    int pass = 0;
+    int fail = 0;
+    int skip = 0;
+
+    int total() const { return pass + fail + skip; }
+};
+
+/** One regression test's identity and outcome. */
+struct RegressCase
+{
+    std::string name;
+    enum class Outcome
+    {
+        Pass,
+        Fail,
+        Skip,
+    } outcome;
+    std::string detail;
+};
+
+/** Run the 167-test regression suite under @p abi. */
+RegressTotals runPgRegress(Abi abi,
+                           std::vector<RegressCase> *cases = nullptr);
+
+} // namespace cheri::apps
+
+#endif // CHERI_APPS_MINIDB_H

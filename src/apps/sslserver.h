@@ -1,0 +1,45 @@
+/**
+ * @file
+ * mini_s_server: the openssl s_server analogue traced for Figure 5.
+ *
+ * The paper reconstructs a process's abstract capability from a trace
+ * of an `openssl s_server` run covering startup, a client connection,
+ * authentication, and the exchange of a small file — chosen because it
+ * "exercises the majority of the changes": thread-local storage,
+ * dynamic linking against multiple libraries, considerable memory
+ * allocation and pointer manipulation, and system calls.  This
+ * analogue does all of those things: it is dynamically linked against
+ * mini libssl/libcrypto, performs a toy handshake (nonce exchange,
+ * modular-exponentiation key agreement, keystream cipher), keeps
+ * per-session state in TLS-the-storage, allocates heavily, and serves
+ * a file over a pty pair using read/write/select/kevent.
+ */
+
+#ifndef CHERI_APPS_SSLSERVER_H
+#define CHERI_APPS_SSLSERVER_H
+
+#include "guest/context.h"
+#include "trace/analysis.h"
+
+namespace cheri::apps
+{
+
+/** Outcome of one served session. */
+struct SslServerReport
+{
+    bool handshakeOk = false;
+    u64 bytesServed = 0;
+    u64 sessionsServed = 0;
+    u64 allocations = 0;
+};
+
+/**
+ * Boot a kernel, link and exec mini_s_server under @p abi, run a
+ * client session against it, and return the report.  When @p trace is
+ * non-null every capability derivation is recorded (Figure 5 input).
+ */
+SslServerReport runSslServer(Abi abi, TraceSink *trace = nullptr);
+
+} // namespace cheri::apps
+
+#endif // CHERI_APPS_SSLSERVER_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Test-suite analogues for Table 1.
+ *
+ * The paper demonstrates CheriABI's completeness by running the
+ * FreeBSD base-system test suite (~3835 tests), the PostgreSQL
+ * pg_regress suite (167 tests, see minidb.h), and the libc++ test
+ * suite (~6156 tests) under both ABIs.  These analogue suites mirror
+ * the real suites' *structure*: thousands of parameterized checks over
+ * the libc/OS surface, a population of feature-gated skips, a set of
+ * known-broken tests that fail everywhere, a handful of programs
+ * excluded from the CheriABI build, and — the interesting part — tests
+ * whose legacy pointer idioms genuinely misbehave under CheriABI.
+ * Every check really executes against the kernel and runtime; the
+ * composition of the corpus is what is calibrated to the real suites.
+ */
+
+#ifndef CHERI_APPS_TESTSUITE_H
+#define CHERI_APPS_TESTSUITE_H
+
+#include <string>
+#include <vector>
+
+#include "guest/context.h"
+
+namespace cheri::apps
+{
+
+/** Totals in the Table 1 format. */
+struct SuiteTotals
+{
+    int pass = 0;
+    int fail = 0;
+    int skip = 0;
+
+    int total() const { return pass + fail + skip; }
+};
+
+/** Run the FreeBSD-base-suite analogue under @p abi. */
+SuiteTotals runFreebsdSuite(Abi abi);
+
+/** Run the libc++-suite analogue under @p abi. */
+SuiteTotals runLibcxxSuite(Abi abi);
+
+} // namespace cheri::apps
+
+#endif // CHERI_APPS_TESTSUITE_H

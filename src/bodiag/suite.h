@@ -1,0 +1,137 @@
+/**
+ * @file
+ * BOdiagsuite reproduction: the 291-program buffer-overflow diagnostic
+ * corpus of Kratkiewicz, as used by the paper's Table 3.
+ *
+ * Each case builds a buffer in some region (stack, heap, global, TLS),
+ * then accesses it at a boundary offset through some technique (direct
+ * index, loop, pointer arithmetic, libc routine, POSIX API).  Each case
+ * has four variants: an in-bounds control ("ok") and three overflow
+ * magnitudes — min (1 byte past), med (8 bytes), large (4096 bytes) —
+ * exactly the paper's experimental design.  The corpus deliberately
+ * includes the hard sub-populations the paper discusses:
+ *
+ *  - intra-object overflows (a field overrunning into its sibling),
+ *    which CheriABI's allocation-granularity bounds cannot catch at
+ *    small magnitudes;
+ *  - accesses that leap clear over an AddressSanitizer redzone into
+ *    live memory;
+ *  - copies performed by *uninstrumented* library code, invisible to
+ *    ASan's compiler-inserted checks;
+ *  - buffers placed flush against the end of a mapping, the only cases
+ *    a stock mips64 process catches at small magnitudes.
+ *
+ * Every case runs under three protection regimes: mips64 (MMU only),
+ * CheriABI (capabilities), and the ASan model.
+ */
+
+#ifndef CHERI_BODIAG_SUITE_H
+#define CHERI_BODIAG_SUITE_H
+
+#include <string>
+#include <vector>
+
+#include "cap/types.h"
+
+namespace cheri::bodiag
+{
+
+enum class Region
+{
+    Stack,
+    Heap,
+    Global,
+    Tls,
+};
+
+enum class AccessKind
+{
+    Read,
+    Write,
+};
+
+enum class Technique
+{
+    DirectIndex,
+    LoopIndex,
+    PtrArith,
+    LibcMemcpy,
+    LibcStrcpy,
+    PosixGetcwd,
+    /** Overflow from a struct field into its sibling. */
+    IntraObject,
+    /** Copy performed by uninstrumented "system" code (no ASan checks). */
+    Uninstrumented,
+    /** Far access engineered to land inside a neighbouring live
+     *  allocation. */
+    NeighborSkip,
+};
+
+enum class Magnitude
+{
+    Ok,    ///< in-bounds control
+    Min,   ///< 1 byte past the end
+    Med,   ///< 8 bytes past the end
+    Large, ///< 4096 bytes past the end
+};
+
+enum class Mode
+{
+    Mips64,
+    CheriAbi,
+    Asan,
+};
+
+struct BodiagCase
+{
+    u64 id = 0;
+    Region region = Region::Stack;
+    AccessKind access = AccessKind::Write;
+    Technique tech = Technique::DirectIndex;
+    u64 bufSize = 16;
+    /** Sibling-field bytes for IntraObject cases (0 otherwise). */
+    u64 siblingSize = 0;
+    /**
+     * Bytes between the end of the buffer and the end of its mapping
+     * (Global region): 0 models a buffer flush against the mapping
+     * edge — the only cases a stock mips64 process catches at min.
+     */
+    u64 tailGap = 64;
+    bool pageEdge = false;
+
+    std::string describe() const;
+};
+
+struct RunResult
+{
+    bool detected = false;
+    /** How it was detected ("capability fault", "asan report", ...). */
+    std::string how;
+    /** The ok-variant misbehaved (must never happen). */
+    bool falsePositive = false;
+};
+
+/** The full corpus (exactly 291 cases, like the original suite). */
+std::vector<BodiagCase> generateSuite();
+
+/** Execute one case variant under one protection regime. */
+RunResult runCase(const BodiagCase &c, Magnitude mag, Mode mode);
+
+/** Table 3 rows: detections per magnitude for one mode. */
+struct ModeSummary
+{
+    u64 min = 0;
+    u64 med = 0;
+    u64 large = 0;
+    u64 total = 0;
+    u64 okFailures = 0;
+};
+
+ModeSummary runAll(const std::vector<BodiagCase> &suite, Mode mode);
+
+const char *modeName(Mode mode);
+const char *magnitudeName(Magnitude mag);
+
+} // namespace cheri::bodiag
+
+#endif // CHERI_BODIAG_SUITE_H

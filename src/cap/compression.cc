@@ -1,0 +1,106 @@
+#include "cap/compression.h"
+
+#include <bit>
+
+namespace cheri::compress
+{
+
+namespace
+{
+
+/** Number of significant bits in @p v (0 for v == 0). */
+unsigned
+bitWidth(u64 v)
+{
+    return 64 - std::countl_zero(v);
+}
+
+} // namespace
+
+unsigned
+exponentFor(u64 length)
+{
+    // The mantissa can express lengths up to (1 << (mantissaWidth - 1)) - 1
+    // at exponent 0; longer regions shift the representation right.
+    const unsigned mantissa_bits = mantissaWidth - 1;
+    unsigned width = bitWidth(length);
+    if (width <= mantissa_bits)
+        return 0;
+    return width - mantissa_bits;
+}
+
+u64
+representableLength(u64 length, CapFormat fmt)
+{
+    if (fmt == CapFormat::Cap256)
+        return length;
+    unsigned e = exponentFor(length);
+    if (e == 0)
+        return length;
+    u64 granule = u64{1} << e;
+    u64 rounded = (length + granule - 1) & ~(granule - 1);
+    // Rounding may push the length across a mantissa boundary, requiring
+    // a larger exponent; recompute once (the fixpoint is reached in one
+    // step because rounding adds less than one granule).
+    unsigned e2 = exponentFor(rounded);
+    if (e2 != e) {
+        u64 granule2 = u64{1} << e2;
+        rounded = (rounded + granule2 - 1) & ~(granule2 - 1);
+    }
+    return rounded;
+}
+
+u64
+representableAlignmentMask(u64 length, CapFormat fmt)
+{
+    if (fmt == CapFormat::Cap256)
+        return ~u64{0};
+    unsigned e = exponentFor(representableLength(length, fmt));
+    if (e == 0)
+        return ~u64{0};
+    return ~((u64{1} << e) - 1);
+}
+
+bool
+boundsExactlyRepresentable(u64 base, u64 length, CapFormat fmt)
+{
+    if (fmt == CapFormat::Cap256)
+        return true;
+    u64 mask = representableAlignmentMask(length, fmt);
+    return (base & ~mask) == 0 && (length & ~mask) == 0;
+}
+
+u64
+representableSlack(u64 length, CapFormat fmt)
+{
+    if (fmt == CapFormat::Cap256)
+        return ~u64{0};
+    unsigned e = exponentFor(length);
+    // The representable window is 1 << (e + mantissaWidth) bytes; the
+    // object occupies at most half of it, leaving slack either side.
+    unsigned window_bits = e + mantissaWidth;
+    if (window_bits >= 64)
+        return ~u64{0};
+    return (u64{1} << window_bits) / 4;
+}
+
+bool
+addressRepresentable(u64 base, u128 top, u64 addr, CapFormat fmt)
+{
+    if (fmt == CapFormat::Cap256)
+        return true;
+    if (addr >= base && u128{addr} <= top)
+        return true;
+    u64 length = top - base > u128{~u64{0}} ? ~u64{0}
+                                            : static_cast<u64>(top - base);
+    u64 slack = representableSlack(length, fmt);
+    if (slack == ~u64{0})
+        return true;
+    // Below-base slack (saturating at address 0).
+    u64 lo = base > slack ? base - slack : 0;
+    // Above-top slack (saturating at the top of the address space).
+    u128 hi = top + slack;
+    return addr >= lo && u128{addr} < hi;
+}
+
+} // namespace cheri::compress

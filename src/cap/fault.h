@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Capability fault (exception) causes.
+ *
+ * Mirrors the CHERI-MIPS capability exception cause codes relevant to
+ * CheriABI.  Any guest memory access or capability manipulation that
+ * violates the architecture's provenance, integrity, monotonicity, or
+ * spatial rules raises one of these.
+ */
+
+#ifndef CHERI_CAP_FAULT_H
+#define CHERI_CAP_FAULT_H
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace cheri
+{
+
+/** Architectural capability exception causes. */
+enum class CapFault : std::uint8_t
+{
+    None = 0,
+    /** Capability tag is clear (provenance violation). */
+    TagViolation,
+    /** Capability is sealed and the operation requires unsealed. */
+    SealViolation,
+    /** Access outside [base, top). */
+    LengthViolation,
+    /** Requested permission bit not present. */
+    PermitLoadViolation,
+    PermitStoreViolation,
+    PermitExecuteViolation,
+    PermitLoadCapViolation,
+    PermitStoreCapViolation,
+    PermitStoreLocalCapViolation,
+    PermitSealViolation,
+    PermitUnsealViolation,
+    PermitAccessSysRegsViolation,
+    /** Attempted non-monotonic derivation (bounds/perms increase). */
+    MonotonicityViolation,
+    /** Otype mismatch on unseal / ccall. */
+    TypeViolation,
+    /** Requested bounds cannot be represented exactly (CSetBoundsExact). */
+    InexactBoundsViolation,
+    /** Address not aligned as required (capability load/store). */
+    AlignmentViolation,
+    /** MMU: no mapping / protection fault at the translated address. */
+    PageFault,
+    /** Software check: user lacked the required vmmap permission. */
+    VmmapPermViolation,
+};
+
+/** Human-readable fault name for diagnostics and test output. */
+std::string_view capFaultName(CapFault fault);
+
+/**
+ * Result of a checked operation: empty optional means success; otherwise
+ * the fault that would be raised.
+ */
+using CapCheck = std::optional<CapFault>;
+
+/**
+ * For kernel-internal accesses that are correct by construction:
+ * assert success in debug builds, consume the result in release.
+ */
+inline void
+mustSucceed(CapCheck chk)
+{
+    assert(!chk.has_value());
+    (void)chk;
+}
+
+} // namespace cheri
+
+#endif // CHERI_CAP_FAULT_H

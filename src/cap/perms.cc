@@ -1,0 +1,64 @@
+#include "cap/perms.h"
+
+#include "cap/fault.h"
+
+namespace cheri
+{
+
+std::string
+permsToString(std::uint32_t perms)
+{
+    std::string out;
+    auto flag = [&](std::uint32_t bit, char c) {
+        out.push_back(perms & bit ? c : '-');
+    };
+    flag(PERM_GLOBAL, 'G');
+    flag(PERM_LOAD, 'r');
+    flag(PERM_STORE, 'w');
+    flag(PERM_EXECUTE, 'x');
+    flag(PERM_LOAD_CAP, 'R');
+    flag(PERM_STORE_CAP, 'W');
+    flag(PERM_STORE_LOCAL_CAP, 'L');
+    flag(PERM_SEAL, 's');
+    flag(PERM_UNSEAL, 'u');
+    flag(PERM_ACCESS_SYS_REGS, 'S');
+    if (perms & PERM_SW_VMMAP)
+        out += "+vmmap";
+    return out;
+}
+
+std::string_view
+capFaultName(CapFault fault)
+{
+    switch (fault) {
+      case CapFault::None: return "none";
+      case CapFault::TagViolation: return "tag violation";
+      case CapFault::SealViolation: return "seal violation";
+      case CapFault::LengthViolation: return "length violation";
+      case CapFault::PermitLoadViolation: return "permit-load violation";
+      case CapFault::PermitStoreViolation: return "permit-store violation";
+      case CapFault::PermitExecuteViolation:
+        return "permit-execute violation";
+      case CapFault::PermitLoadCapViolation:
+        return "permit-load-cap violation";
+      case CapFault::PermitStoreCapViolation:
+        return "permit-store-cap violation";
+      case CapFault::PermitStoreLocalCapViolation:
+        return "permit-store-local-cap violation";
+      case CapFault::PermitSealViolation: return "permit-seal violation";
+      case CapFault::PermitUnsealViolation:
+        return "permit-unseal violation";
+      case CapFault::PermitAccessSysRegsViolation:
+        return "permit-access-sys-regs violation";
+      case CapFault::MonotonicityViolation: return "monotonicity violation";
+      case CapFault::TypeViolation: return "type violation";
+      case CapFault::InexactBoundsViolation:
+        return "inexact-bounds violation";
+      case CapFault::AlignmentViolation: return "alignment violation";
+      case CapFault::PageFault: return "page fault";
+      case CapFault::VmmapPermViolation: return "vmmap-permission violation";
+    }
+    return "unknown";
+}
+
+} // namespace cheri

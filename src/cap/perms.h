@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Capability permission bits and object types.
+ *
+ * Models the CHERI-MIPS permission set described in the CHERI ISA
+ * specification and used throughout the CheriABI paper: hardware
+ * permissions controlling load/store/execute and capability propagation,
+ * plus software-defined (user) permissions, of which CheriABI uses one —
+ * the "vmmap" permission gating address-space management system calls
+ * (mmap fixed mappings, munmap, shmdt).
+ */
+
+#ifndef CHERI_CAP_PERMS_H
+#define CHERI_CAP_PERMS_H
+
+#include <cstdint>
+#include <string>
+
+namespace cheri
+{
+
+/** Hardware and software permission bits carried by every capability. */
+enum Perm : std::uint32_t
+{
+    /** May be stored via capabilities lacking STORE_LOCAL_CAP. */
+    PERM_GLOBAL = 1u << 0,
+    /** May be installed into PCC and used for instruction fetch. */
+    PERM_EXECUTE = 1u << 1,
+    /** May be used to load data. */
+    PERM_LOAD = 1u << 2,
+    /** May be used to store data. */
+    PERM_STORE = 1u << 3,
+    /** Loads through this capability may carry tags. */
+    PERM_LOAD_CAP = 1u << 4,
+    /** Stores through this capability may carry tags. */
+    PERM_STORE_CAP = 1u << 5,
+    /** Non-global (local) capabilities may be stored through this. */
+    PERM_STORE_LOCAL_CAP = 1u << 6,
+    /** May seal other capabilities (otype space authority). */
+    PERM_SEAL = 1u << 7,
+    /** May be used with the CCall domain-crossing mechanism. */
+    PERM_CCALL = 1u << 8,
+    /** May unseal capabilities sealed with otypes in range. */
+    PERM_UNSEAL = 1u << 9,
+    /** Grants access to privileged system registers. */
+    PERM_ACCESS_SYS_REGS = 1u << 10,
+
+    /**
+     * Software-defined permission used by CheriABI: holder may manage
+     * virtual-memory mappings covered by this capability (fixed-address
+     * mmap, munmap, shmdt).  Stripped from malloc results so heap
+     * pointers cannot be used to remap memory out from under the
+     * allocator (paper section 4, "Dynamic allocations").
+     */
+    PERM_SW_VMMAP = 1u << 16,
+    /** Additional software-defined permissions. */
+    PERM_SW0 = 1u << 17,
+    PERM_SW1 = 1u << 18,
+    PERM_SW2 = 1u << 19,
+};
+
+/** All permissions, as held by the primordial (root) capabilities. */
+constexpr std::uint32_t permsAll = 0x000F07FFu;
+
+/** All hardware (non-software-defined) permissions. */
+constexpr std::uint32_t permsHardware = 0x000007FFu;
+
+/** Permissions for ordinary read-write data (e.g., heap allocations). */
+constexpr std::uint32_t permsData =
+    PERM_GLOBAL | PERM_LOAD | PERM_STORE | PERM_LOAD_CAP | PERM_STORE_CAP |
+    PERM_STORE_LOCAL_CAP;
+
+/** Permissions for read-only data. */
+constexpr std::uint32_t permsRoData = PERM_GLOBAL | PERM_LOAD | PERM_LOAD_CAP;
+
+/** Permissions for executable code (PCC values). */
+constexpr std::uint32_t permsCode =
+    PERM_GLOBAL | PERM_EXECUTE | PERM_LOAD | PERM_LOAD_CAP;
+
+/**
+ * Object-type values.  A capability with otype != otypeUnsealed is sealed:
+ * immutable and non-dereferenceable until unsealed by a capability bearing
+ * PERM_UNSEAL whose bounds cover the otype.
+ */
+using OType = std::uint32_t;
+
+/** The otype of an unsealed capability. */
+constexpr OType otypeUnsealed = 0xFFFFFFFFu;
+
+/** Largest architecturally valid otype. */
+constexpr OType otypeMax = (1u << 18) - 1;
+
+/** Render a permission mask like "GrRwWlEx+vmmap" for diagnostics. */
+std::string permsToString(std::uint32_t perms);
+
+} // namespace cheri
+
+#endif // CHERI_CAP_PERMS_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Lightweight expected-style result type for faulting capability
+ * operations (C++20 predates std::expected).
+ */
+
+#ifndef CHERI_CAP_RESULT_H
+#define CHERI_CAP_RESULT_H
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "cap/fault.h"
+
+namespace cheri
+{
+
+/**
+ * Holds either a success value or the CapFault the operation would raise.
+ */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : storage(std::move(value)) {}
+    Result(CapFault fault) : storage(fault) { assert(fault != CapFault::None); }
+
+    /** True when the operation succeeded. */
+    bool ok() const { return std::holds_alternative<T>(storage); }
+    explicit operator bool() const { return ok(); }
+
+    /** The success value; asserts ok(). */
+    const T &
+    value() const
+    {
+        assert(ok());
+        return std::get<T>(storage);
+    }
+
+    T &
+    value()
+    {
+        assert(ok());
+        return std::get<T>(storage);
+    }
+
+    /** The fault; asserts !ok(). */
+    CapFault
+    fault() const
+    {
+        assert(!ok());
+        return std::get<CapFault>(storage);
+    }
+
+    /** Success value, or @p alt when the operation faulted. */
+    T
+    valueOr(T alt) const
+    {
+        return ok() ? std::get<T>(storage) : std::move(alt);
+    }
+
+  private:
+    std::variant<T, CapFault> storage;
+};
+
+} // namespace cheri
+
+#endif // CHERI_CAP_RESULT_H

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fundamental integer types for the CHERI model.
+ *
+ * Capability tops are 65-bit quantities (a capability may span the whole
+ * 64-bit address space, so top == 2^64 is valid); we carry them in a
+ * 128-bit integer.
+ */
+
+#ifndef CHERI_CAP_TYPES_H
+#define CHERI_CAP_TYPES_H
+
+#include <cstdint>
+
+namespace cheri
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+using s64 = std::int64_t;
+
+/** In-memory size of a capability, in bytes (excluding the tag bit). */
+constexpr u64 capSize = 16;
+
+/** Alignment required of capability loads and stores. */
+constexpr u64 capAlign = 16;
+
+} // namespace cheri
+
+#endif // CHERI_CAP_TYPES_H

@@ -1,0 +1,243 @@
+#include "guest/context.h"
+
+namespace cheri
+{
+
+const Capability &
+GuestContext::authorityFor(const GuestPtr &p) const
+{
+    // CheriABI: the pointer *is* the authority.  mips64: the pointer is
+    // an integer; the implicit authority is DDC.  Hybrid: annotated
+    // (tagged) pointers carry their own authority, unannotated ones
+    // fall back to DDC.
+    if (isCheri())
+        return p.cap;
+    if (abi() == Abi::Hybrid && p.cap.tag())
+        return p.cap;
+    return _proc.ddc();
+}
+
+void
+GuestContext::read(const GuestPtr &p, void *buf, u64 len)
+{
+    const Capability &via = authorityFor(p);
+    if (CapCheck chk = via.checkAccess(p.addr(), len, PERM_LOAD))
+        throw CapTrap(*chk, p.addr(), via, "guest load");
+    cost().load(p.addr(), len);
+    if (CapCheck fault = _proc.as().readBytes(p.addr(), buf, len))
+        throw CapTrap(*fault, p.addr(), via, "guest load");
+}
+
+void
+GuestContext::write(const GuestPtr &p, const void *buf, u64 len)
+{
+    const Capability &via = authorityFor(p);
+    if (CapCheck chk = via.checkAccess(p.addr(), len, PERM_STORE))
+        throw CapTrap(*chk, p.addr(), via, "guest store");
+    cost().store(p.addr(), len);
+    if (CapCheck fault = _proc.as().writeBytes(p.addr(), buf, len))
+        throw CapTrap(*fault, p.addr(), via, "guest store");
+}
+
+GuestPtr
+GuestContext::loadPtr(const GuestPtr &p, s64 off)
+{
+    GuestPtr at = p + off;
+    if (isCheri()) {
+        const Capability &via = at.cap;
+        if (CapCheck chk = via.checkAccess(at.addr(), capSize,
+                                           PERM_LOAD | PERM_LOAD_CAP)) {
+            throw CapTrap(*chk, at.addr(), via, "pointer load");
+        }
+        cost().load(at.addr(), capSize);
+        Result<Capability> r = _proc.as().readCap(at.addr());
+        if (!r.ok())
+            throw CapTrap(r.fault(), at.addr(), via, "pointer load");
+        return GuestPtr(r.value());
+    }
+    u64 addr = load<u64>(at);
+    return GuestPtr(Capability::fromAddress(addr));
+}
+
+void
+GuestContext::storePtr(const GuestPtr &p, s64 off, const GuestPtr &v)
+{
+    GuestPtr at = p + off;
+    if (isCheri()) {
+        const Capability &via = at.cap;
+        if (CapCheck chk = via.checkAccess(at.addr(), capSize,
+                                           PERM_STORE | PERM_STORE_CAP)) {
+            throw CapTrap(*chk, at.addr(), via, "pointer store");
+        }
+        cost().store(at.addr(), capSize);
+        if (CapCheck fault = _proc.as().writeCap(at.addr(), v.cap))
+            throw CapTrap(*fault, at.addr(), via, "pointer store");
+        return;
+    }
+    store<u64>(at, 0, v.addr());
+}
+
+GuestPtr
+GuestContext::mmap(u64 len, u32 prot, u32 flags, GuestPtr hint)
+{
+    UserPtr out;
+    SysResult r = kern.sysMmap(_proc, toUser(hint), len, prot, flags,
+                               &out);
+    if (r.failed())
+        return GuestPtr();
+    return GuestPtr(out.isCap ? out.cap
+                              : Capability::fromAddress(out.addr()));
+}
+
+int
+GuestContext::munmap(const GuestPtr &p, u64 len)
+{
+    return kern.sysMunmap(_proc, toUser(p), len).error;
+}
+
+int
+GuestContext::mprotect(const GuestPtr &p, u64 len, u32 prot)
+{
+    return kern.sysMprotect(_proc, toUser(p), len, prot).error;
+}
+
+GuestPtr
+GuestContext::stageString(const std::string &s)
+{
+    u64 need = s.size() + 1;
+    if (scratchSize < need || scratch.isNull()) {
+        u64 len = std::max<u64>(pageSize, need);
+        scratch = mmap(len);
+        scratchSize = len;
+    }
+    write(scratch, s.c_str(), need);
+    return scratch;
+}
+
+std::string
+GuestContext::readString(const GuestPtr &p, u64 max)
+{
+    std::string out;
+    for (u64 i = 0; i < max; ++i) {
+        char c = load<char>(p, static_cast<s64>(i));
+        if (c == '\0')
+            break;
+        out.push_back(c);
+    }
+    return out;
+}
+
+s64
+GuestContext::open(const std::string &path, u32 flags)
+{
+    GuestPtr p = stageString(path);
+    SysResult r = kern.sysOpen(_proc, toUser(p), flags);
+    return r.failed() ? -r.error : static_cast<s64>(r.value);
+}
+
+s64
+GuestContext::read(int fd, const GuestPtr &buf, u64 len)
+{
+    SysResult r = kern.sysRead(_proc, fd, toUser(buf), len);
+    return r.failed() ? -r.error : static_cast<s64>(r.value);
+}
+
+s64
+GuestContext::write(int fd, const GuestPtr &buf, u64 len)
+{
+    SysResult r = kern.sysWrite(_proc, fd, toUser(buf), len);
+    return r.failed() ? -r.error : static_cast<s64>(r.value);
+}
+
+int
+GuestContext::close(int fd)
+{
+    return kern.sysClose(_proc, fd).error;
+}
+
+s64
+GuestContext::getcwd(const GuestPtr &buf, u64 len)
+{
+    SysResult r = kern.sysGetcwd(_proc, toUser(buf), len);
+    return r.failed() ? -r.error : static_cast<s64>(r.value);
+}
+
+s64
+GuestContext::select(int nfds, const GuestPtr &rd, const GuestPtr &wr,
+                     const GuestPtr &ex, const GuestPtr &timeout)
+{
+    SysResult r = kern.sysSelect(_proc, nfds, toUser(rd), toUser(wr),
+                                 toUser(ex), toUser(timeout));
+    return r.failed() ? -r.error : static_cast<s64>(r.value);
+}
+
+StackFrame::StackFrame(GuestContext &ctx, u64 frame_bytes,
+                       u64 n_bounded_locals, u64 n_args, bool variadic)
+    : ctx(ctx), savedStack(ctx.proc().regs().stack())
+{
+    frame_bytes = (frame_bytes + 15) & ~u64{15};
+    u64 sp = savedStack.address() - frame_bytes;
+    ctx.proc().regs().stack() = savedStack.setAddress(sp);
+    frameBase = sp;
+    bumpAddr = sp;
+    ctx.cost().call(sp, n_bounded_locals, n_args, variadic);
+}
+
+StackFrame::~StackFrame()
+{
+    ctx.proc().regs().stack() = savedStack;
+    ctx.cost().alu(2); // epilogue
+}
+
+GuestPtr
+StackFrame::alloc(u64 size, u64 align)
+{
+    // CheriABI pads and aligns so the derived capability is exactly
+    // representable and never overlaps a neighbour's granule.
+    if (ctx.isCheri()) {
+        u64 mask = compress::representableAlignmentMask(size);
+        u64 cap_align = ~mask + 1;
+        if (cap_align == 0)
+            cap_align = 1;
+        align = std::max(align, cap_align);
+        size = compress::representableLength(size);
+    }
+    u64 addr = (bumpAddr + align - 1) & ~(align - 1);
+    bumpAddr = addr + size;
+    const Capability &stack_cap = ctx.proc().regs().stack();
+    if (!ctx.isCheri())
+        return GuestPtr(Capability::fromAddress(addr));
+    // The compiler-emitted CSetBounds for an address-taken local.
+    Capability c = stack_cap.setAddress(addr);
+    auto b = c.setBounds(size);
+    if (!b.ok())
+        throw CapTrap(b.fault(), addr, stack_cap, "stack alloc");
+    ctx.cost().capManip(2);
+    if (TraceSink *tr = ctx.kernel().trace())
+        tr->derive(DeriveSource::Stack, b.value());
+    return GuestPtr(b.value());
+}
+
+int
+runGuest(GuestContext &ctx, const std::function<int(GuestContext &)> &fn)
+{
+    Process &proc = ctx.proc();
+    try {
+        int rc = fn(ctx);
+        ctx.kernel().deliverSignals(proc);
+        if (proc.exited())
+            return proc.exitStatus();
+        ctx.kernel().exitProcess(proc, rc);
+        return rc;
+    } catch (const CapTrap &trap) {
+        DeathInfo info;
+        info.signal = SIG_PROT;
+        info.fault = trap.fault();
+        info.faultAddr = trap.addr();
+        info.detail = trap.what();
+        ctx.kernel().faultProcess(proc, info);
+        return proc.exited() ? proc.exitStatus() : 128 + SIG_PROT;
+    }
+}
+
+} // namespace cheri

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Guest pointers.
+ *
+ * A GuestPtr is the value a pointer variable holds in guest code.  Under
+ * CheriABI it is a tagged, bounded capability; under the legacy mips64
+ * ABI it is a bare virtual address (carried in an untagged capability
+ * for uniformity — the integer is the address field).  All dereferences
+ * go through GuestContext, which applies the ABI's checking discipline.
+ */
+
+#ifndef CHERI_GUEST_GUEST_PTR_H
+#define CHERI_GUEST_GUEST_PTR_H
+
+#include "cap/capability.h"
+
+namespace cheri
+{
+
+struct GuestPtr
+{
+    Capability cap;
+
+    GuestPtr() = default;
+    explicit GuestPtr(const Capability &c) : cap(c) {}
+
+    u64 addr() const { return cap.address(); }
+    bool isNull() const { return !cap.tag() && cap.address() == 0; }
+
+    /** Pointer arithmetic in bytes (never widens privilege). */
+    GuestPtr
+    operator+(s64 delta) const
+    {
+        return GuestPtr(cap.incAddress(delta));
+    }
+
+    GuestPtr
+    operator-(s64 delta) const
+    {
+        return GuestPtr(cap.incAddress(-delta));
+    }
+
+    GuestPtr &
+    operator+=(s64 delta)
+    {
+        cap = cap.incAddress(delta);
+        return *this;
+    }
+
+    bool operator==(const GuestPtr &o) const { return addr() == o.addr(); }
+    auto operator<=>(const GuestPtr &o) const { return addr() <=> o.addr(); }
+};
+
+} // namespace cheri
+
+#endif // CHERI_GUEST_GUEST_PTR_H

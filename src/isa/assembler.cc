@@ -1,0 +1,52 @@
+#include "isa/assembler.h"
+
+#include <stdexcept>
+
+namespace cheri::isa
+{
+
+Assembler &
+Assembler::label(const std::string &name)
+{
+    if (labels.count(name))
+        throw std::runtime_error("assembler: duplicate label " + name);
+    labels[name] = insns.size();
+    return *this;
+}
+
+std::vector<u64>
+Assembler::assemble() const
+{
+    std::vector<u64> image;
+    image.reserve(insns.size());
+    for (size_t i = 0; i < insns.size(); ++i) {
+        Insn insn = insns[i];
+        const std::string &target = branchLabels[i];
+        if (!target.empty()) {
+            auto it = labels.find(target);
+            if (it == labels.end()) {
+                throw std::runtime_error("assembler: undefined label " +
+                                         target);
+            }
+            // Branch immediates are instruction offsets relative to
+            // the *next* instruction.
+            insn.imm = static_cast<s64>(it->second) -
+                       static_cast<s64>(i) - 1;
+        }
+        image.push_back(insn.encode());
+    }
+    return image;
+}
+
+u64
+Assembler::writeTo(AddressSpace &as, u64 va) const
+{
+    std::vector<u64> image = assemble();
+    u64 bytes = image.size() * insnSize;
+    CapCheck fault = as.writeBytes(va, image.data(), bytes);
+    if (fault.has_value())
+        throw std::runtime_error("assembler: image does not fit at va");
+    return bytes;
+}
+
+} // namespace cheri::isa

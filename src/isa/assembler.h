@@ -1,0 +1,229 @@
+/**
+ * @file
+ * A tiny assembler for the MiniCHERI ISA: builder methods, labels with
+ * back-patching, and image emission into guest memory.
+ */
+
+#ifndef CHERI_ISA_ASSEMBLER_H
+#define CHERI_ISA_ASSEMBLER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/insn.h"
+#include "mem/vm.h"
+
+namespace cheri::isa
+{
+
+class Assembler
+{
+  public:
+    /** @name Instruction builders (appended in order) */
+    /// @{
+    Assembler &halt() { return emit({Op::Halt}); }
+    Assembler &nop() { return emit({Op::Nop}); }
+    Assembler &li(u8 rd, s64 imm) { return emit({Op::Li, rd, 0, 0, imm}); }
+    Assembler &move(u8 rd, u8 rs) { return emit({Op::Move, rd, rs}); }
+    Assembler &add(u8 rd, u8 rs, u8 rt)
+    {
+        return emit({Op::Add, rd, rs, rt});
+    }
+    Assembler &addi(u8 rd, u8 rs, s64 imm)
+    {
+        return emit({Op::Addi, rd, rs, 0, imm});
+    }
+    Assembler &sub(u8 rd, u8 rs, u8 rt)
+    {
+        return emit({Op::Sub, rd, rs, rt});
+    }
+    Assembler &mul(u8 rd, u8 rs, u8 rt)
+    {
+        return emit({Op::Mul, rd, rs, rt});
+    }
+    Assembler &and_(u8 rd, u8 rs, u8 rt)
+    {
+        return emit({Op::And, rd, rs, rt});
+    }
+    Assembler &or_(u8 rd, u8 rs, u8 rt)
+    {
+        return emit({Op::Or, rd, rs, rt});
+    }
+    Assembler &xor_(u8 rd, u8 rs, u8 rt)
+    {
+        return emit({Op::Xor, rd, rs, rt});
+    }
+    Assembler &sll(u8 rd, u8 rs, s64 imm)
+    {
+        return emit({Op::Sll, rd, rs, 0, imm});
+    }
+    Assembler &srl(u8 rd, u8 rs, s64 imm)
+    {
+        return emit({Op::Srl, rd, rs, 0, imm});
+    }
+    Assembler &slt(u8 rd, u8 rs, u8 rt)
+    {
+        return emit({Op::Slt, rd, rs, rt});
+    }
+
+    Assembler &beq(u8 rs, u8 rt, const std::string &label)
+    {
+        return emitBranch({Op::Beq, 0, rs, rt}, label);
+    }
+    Assembler &bne(u8 rs, u8 rt, const std::string &label)
+    {
+        return emitBranch({Op::Bne, 0, rs, rt}, label);
+    }
+    Assembler &j(const std::string &label)
+    {
+        return emitBranch({Op::J}, label);
+    }
+
+    Assembler &lb(u8 rd, u8 rs, s64 imm)
+    {
+        return emit({Op::Lb, rd, rs, 0, imm});
+    }
+    Assembler &ld(u8 rd, u8 rs, s64 imm)
+    {
+        return emit({Op::Ld, rd, rs, 0, imm});
+    }
+    Assembler &sb(u8 rd, u8 rs, s64 imm)
+    {
+        return emit({Op::Sb, rd, rs, 0, imm});
+    }
+    Assembler &sd(u8 rd, u8 rs, s64 imm)
+    {
+        return emit({Op::Sd, rd, rs, 0, imm});
+    }
+
+    Assembler &cgettag(u8 rd, u8 cb)
+    {
+        return emit({Op::CGetTag, rd, cb});
+    }
+    Assembler &cgetlen(u8 rd, u8 cb)
+    {
+        return emit({Op::CGetLen, rd, cb});
+    }
+    Assembler &cgetaddr(u8 rd, u8 cb)
+    {
+        return emit({Op::CGetAddr, rd, cb});
+    }
+    Assembler &cgetperm(u8 rd, u8 cb)
+    {
+        return emit({Op::CGetPerm, rd, cb});
+    }
+    Assembler &cmove(u8 cd, u8 cb) { return emit({Op::CMove, cd, cb}); }
+    Assembler &cgetddc(u8 cd) { return emit({Op::CGetDDC, cd}); }
+    Assembler &cgetpcc(u8 cd) { return emit({Op::CGetPCC, cd}); }
+    Assembler &cincoffset(u8 cd, u8 cb, u8 rt)
+    {
+        return emit({Op::CIncOffset, cd, cb, rt});
+    }
+    Assembler &cincoffsetimm(u8 cd, u8 cb, s64 imm)
+    {
+        return emit({Op::CIncOffsetImm, cd, cb, 0, imm});
+    }
+    Assembler &csetaddr(u8 cd, u8 cb, u8 rt)
+    {
+        return emit({Op::CSetAddr, cd, cb, rt});
+    }
+    Assembler &csetbounds(u8 cd, u8 cb, u8 rt)
+    {
+        return emit({Op::CSetBounds, cd, cb, rt});
+    }
+    Assembler &csetboundsimm(u8 cd, u8 cb, s64 imm)
+    {
+        return emit({Op::CSetBoundsImm, cd, cb, 0, imm});
+    }
+    Assembler &candperm(u8 cd, u8 cb, u8 rt)
+    {
+        return emit({Op::CAndPerm, cd, cb, rt});
+    }
+    Assembler &ccleartag(u8 cd, u8 cb)
+    {
+        return emit({Op::CClearTag, cd, cb});
+    }
+    Assembler &cseal(u8 cd, u8 cb, u8 ct)
+    {
+        return emit({Op::CSeal, cd, cb, ct});
+    }
+    Assembler &cunseal(u8 cd, u8 cb, u8 ct)
+    {
+        return emit({Op::CUnseal, cd, cb, ct});
+    }
+
+    Assembler &clb(u8 rd, u8 cb, s64 imm)
+    {
+        return emit({Op::Clb, rd, cb, 0, imm});
+    }
+    Assembler &cld(u8 rd, u8 cb, s64 imm)
+    {
+        return emit({Op::Cld, rd, cb, 0, imm});
+    }
+    Assembler &csb(u8 rd, u8 cb, s64 imm)
+    {
+        return emit({Op::Csb, rd, cb, 0, imm});
+    }
+    Assembler &csd(u8 rd, u8 cb, s64 imm)
+    {
+        return emit({Op::Csd, rd, cb, 0, imm});
+    }
+    Assembler &clc(u8 cd, u8 cb, s64 imm)
+    {
+        return emit({Op::Clc, cd, cb, 0, imm});
+    }
+    Assembler &csc(u8 cd, u8 cb, s64 imm)
+    {
+        return emit({Op::Csc, cd, cb, 0, imm});
+    }
+    Assembler &cjr(u8 cb) { return emit({Op::Cjr, 0, cb}); }
+    Assembler &syscall(s64 code)
+    {
+        return emit({Op::Syscall, 0, 0, 0, code});
+    }
+    /// @}
+
+    /** Bind @p name to the next instruction's position. */
+    Assembler &label(const std::string &name);
+
+    /** Number of instructions emitted so far. */
+    u64 size() const { return insns.size(); }
+
+    /**
+     * Resolve labels and return the encoded image.  Throws
+     * std::runtime_error on undefined labels.
+     */
+    std::vector<u64> assemble() const;
+
+    /**
+     * Assemble into guest memory at @p va (must be mapped writable by
+     * the kernel-side writer).  Returns the number of bytes written.
+     */
+    u64 writeTo(AddressSpace &as, u64 va) const;
+
+  private:
+    Assembler &
+    emit(Insn i)
+    {
+        insns.push_back(i);
+        branchLabels.emplace_back();
+        return *this;
+    }
+
+    Assembler &
+    emitBranch(Insn i, const std::string &target)
+    {
+        insns.push_back(i);
+        branchLabels.push_back(target);
+        return *this;
+    }
+
+    std::vector<Insn> insns;
+    std::vector<std::string> branchLabels; // parallel; "" = none
+    std::map<std::string, u64> labels;
+};
+
+} // namespace cheri::isa
+
+#endif // CHERI_ISA_ASSEMBLER_H

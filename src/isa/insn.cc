@@ -1,0 +1,81 @@
+#include "isa/insn.h"
+
+namespace cheri::isa
+{
+
+u64
+Insn::encode() const
+{
+    return (u64{static_cast<u8>(op)} << 56) | (u64{rd} << 48) |
+           (u64{rs} << 40) | (u64{rt} << 32) |
+           (static_cast<u64>(imm) & 0xFFFFFFFFu);
+}
+
+Insn
+Insn::decode(u64 word)
+{
+    Insn i;
+    i.op = static_cast<Op>((word >> 56) & 0xFF);
+    i.rd = static_cast<u8>((word >> 48) & 0xFF);
+    i.rs = static_cast<u8>((word >> 40) & 0xFF);
+    i.rt = static_cast<u8>((word >> 32) & 0xFF);
+    // Sign-extend the 32-bit immediate.
+    i.imm = static_cast<s64>(
+        static_cast<std::int32_t>(word & 0xFFFFFFFFu));
+    return i;
+}
+
+std::string_view
+opName(Op op)
+{
+    switch (op) {
+      case Op::Halt: return "halt";
+      case Op::Nop: return "nop";
+      case Op::Li: return "li";
+      case Op::Move: return "move";
+      case Op::Add: return "add";
+      case Op::Addi: return "addi";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::Sll: return "sll";
+      case Op::Srl: return "srl";
+      case Op::Slt: return "slt";
+      case Op::Beq: return "beq";
+      case Op::Bne: return "bne";
+      case Op::J: return "j";
+      case Op::Lb: return "lb";
+      case Op::Ld: return "ld";
+      case Op::Sb: return "sb";
+      case Op::Sd: return "sd";
+      case Op::CGetTag: return "cgettag";
+      case Op::CGetLen: return "cgetlen";
+      case Op::CGetAddr: return "cgetaddr";
+      case Op::CGetPerm: return "cgetperm";
+      case Op::CMove: return "cmove";
+      case Op::CGetDDC: return "cgetddc";
+      case Op::CGetPCC: return "cgetpcc";
+      case Op::CIncOffset: return "cincoffset";
+      case Op::CIncOffsetImm: return "cincoffsetimm";
+      case Op::CSetAddr: return "csetaddr";
+      case Op::CSetBounds: return "csetbounds";
+      case Op::CSetBoundsImm: return "csetboundsimm";
+      case Op::CAndPerm: return "candperm";
+      case Op::CClearTag: return "ccleartag";
+      case Op::CSeal: return "cseal";
+      case Op::CUnseal: return "cunseal";
+      case Op::Clb: return "clb";
+      case Op::Cld: return "cld";
+      case Op::Csb: return "csb";
+      case Op::Csd: return "csd";
+      case Op::Clc: return "clc";
+      case Op::Csc: return "csc";
+      case Op::Cjr: return "cjr";
+      case Op::Syscall: return "syscall";
+    }
+    return "?";
+}
+
+} // namespace cheri::isa

@@ -1,0 +1,339 @@
+#include "isa/interp.h"
+
+#include "machine/trap.h"
+
+namespace cheri::isa
+{
+
+namespace
+{
+
+/** Internal fault signal carrying the architectural cause. */
+struct IsaFault
+{
+    CapFault cause;
+};
+
+[[noreturn]] void
+fault(CapFault cause)
+{
+    throw IsaFault{cause};
+}
+
+/** Check-and-throw helper for Result-returning capability ops. */
+Capability
+require(Result<Capability> r)
+{
+    if (!r.ok())
+        fault(r.fault());
+    return r.value();
+}
+
+} // namespace
+
+Insn
+Interpreter::fetch()
+{
+    const Capability &pcc = proc.regs().pcc;
+    u64 pc = pcc.address();
+    if (proc.abi() == Abi::CheriAbi || pcc.tag()) {
+        // Instruction fetch is authorized by PCC.
+        if (CapCheck chk = pcc.checkAccess(pc, insnSize, PERM_EXECUTE))
+            fault(*chk);
+    }
+    u64 word = 0;
+    if (CapCheck mmu = proc.as().readBytes(pc, &word, insnSize))
+        fault(*mmu);
+    return Insn::decode(word);
+}
+
+InterpResult
+Interpreter::step()
+{
+    InterpResult res;
+    ThreadRegs &r = proc.regs();
+    CostModel &cost = proc.cost();
+    u64 pc = r.pcc.address();
+    try {
+        Insn i = fetch();
+        // Default next PC; branches overwrite.
+        u64 next = pc + insnSize;
+        auto branch_to = [&](s64 insn_off) {
+            next = pc + insnSize +
+                   static_cast<u64>(insn_off * static_cast<s64>(insnSize));
+        };
+        auto legacy_access = [&](u64 addr, u64 len, u32 perm) {
+            // Legacy loads/stores are checked against DDC: NULL under
+            // CheriABI, so they trap there by construction.
+            if (CapCheck chk = r.ddc.checkAccess(addr, len, perm))
+                fault(*chk);
+        };
+        auto cap_access = [&](const Capability &cb, u64 addr, u64 len,
+                              u32 perm) {
+            if (CapCheck chk = cb.checkAccess(addr, len, perm))
+                fault(*chk);
+        };
+        auto mmu = [&](CapCheck chk) {
+            if (chk)
+                fault(*chk);
+        };
+
+        switch (i.op) {
+          case Op::Halt:
+            res.status = InterpResult::Status::Halted;
+            res.steps = ++_retired;
+            cost.alu(1);
+            return res;
+          case Op::Nop: cost.alu(1); break;
+          case Op::Li: r.x[i.rd] = static_cast<u64>(i.imm); cost.alu(1); break;
+          case Op::Move: r.x[i.rd] = r.x[i.rs]; cost.alu(1); break;
+          case Op::Add: r.x[i.rd] = r.x[i.rs] + r.x[i.rt]; cost.alu(1); break;
+          case Op::Addi:
+            r.x[i.rd] = r.x[i.rs] + static_cast<u64>(i.imm);
+            cost.alu(1);
+            break;
+          case Op::Sub: r.x[i.rd] = r.x[i.rs] - r.x[i.rt]; cost.alu(1); break;
+          case Op::Mul: r.x[i.rd] = r.x[i.rs] * r.x[i.rt]; cost.alu(1); break;
+          case Op::And: r.x[i.rd] = r.x[i.rs] & r.x[i.rt]; cost.alu(1); break;
+          case Op::Or: r.x[i.rd] = r.x[i.rs] | r.x[i.rt]; cost.alu(1); break;
+          case Op::Xor: r.x[i.rd] = r.x[i.rs] ^ r.x[i.rt]; cost.alu(1); break;
+          case Op::Sll:
+            r.x[i.rd] = r.x[i.rs] << (i.imm & 63);
+            cost.alu(1);
+            break;
+          case Op::Srl:
+            r.x[i.rd] = r.x[i.rs] >> (i.imm & 63);
+            cost.alu(1);
+            break;
+          case Op::Slt:
+            r.x[i.rd] = r.x[i.rs] < r.x[i.rt];
+            cost.alu(1);
+            break;
+
+          case Op::Beq:
+            if (r.x[i.rs] == r.x[i.rt])
+                branch_to(i.imm);
+            cost.alu(1);
+            break;
+          case Op::Bne:
+            if (r.x[i.rs] != r.x[i.rt])
+                branch_to(i.imm);
+            cost.alu(1);
+            break;
+          case Op::J:
+            branch_to(i.imm);
+            cost.alu(1);
+            break;
+
+          case Op::Lb: {
+            u64 addr = r.x[i.rs] + static_cast<u64>(i.imm);
+            legacy_access(addr, 1, PERM_LOAD);
+            u8 v = 0;
+            mmu(proc.as().readBytes(addr, &v, 1));
+            r.x[i.rd] = v;
+            cost.load(addr, 1);
+            break;
+          }
+          case Op::Ld: {
+            u64 addr = r.x[i.rs] + static_cast<u64>(i.imm);
+            legacy_access(addr, 8, PERM_LOAD);
+            u64 v = 0;
+            mmu(proc.as().readBytes(addr, &v, 8));
+            r.x[i.rd] = v;
+            cost.load(addr, 8);
+            break;
+          }
+          case Op::Sb: {
+            u64 addr = r.x[i.rs] + static_cast<u64>(i.imm);
+            legacy_access(addr, 1, PERM_STORE);
+            u8 v = static_cast<u8>(r.x[i.rd]);
+            mmu(proc.as().writeBytes(addr, &v, 1));
+            cost.store(addr, 1);
+            break;
+          }
+          case Op::Sd: {
+            u64 addr = r.x[i.rs] + static_cast<u64>(i.imm);
+            legacy_access(addr, 8, PERM_STORE);
+            mmu(proc.as().writeBytes(addr, &r.x[i.rd], 8));
+            cost.store(addr, 8);
+            break;
+          }
+
+          case Op::CGetTag:
+            r.x[i.rd] = r.c[i.rs].tag();
+            cost.capManip(1);
+            break;
+          case Op::CGetLen:
+            r.x[i.rd] = r.c[i.rs].length();
+            cost.capManip(1);
+            break;
+          case Op::CGetAddr:
+            r.x[i.rd] = r.c[i.rs].address();
+            cost.capManip(1);
+            break;
+          case Op::CGetPerm:
+            r.x[i.rd] = r.c[i.rs].perms();
+            cost.capManip(1);
+            break;
+          case Op::CMove:
+            r.c[i.rd] = r.c[i.rs];
+            cost.capManip(1);
+            break;
+          case Op::CGetDDC:
+            r.c[i.rd] = r.ddc;
+            cost.capManip(1);
+            break;
+          case Op::CGetPCC:
+            r.c[i.rd] = r.pcc;
+            cost.capManip(1);
+            break;
+          case Op::CIncOffset:
+            r.c[i.rd] =
+                r.c[i.rs].incAddress(static_cast<s64>(r.x[i.rt]));
+            cost.capManip(1);
+            break;
+          case Op::CIncOffsetImm:
+            r.c[i.rd] = r.c[i.rs].incAddress(i.imm);
+            cost.capManip(1);
+            break;
+          case Op::CSetAddr:
+            r.c[i.rd] = r.c[i.rs].setAddress(r.x[i.rt]);
+            cost.capManip(1);
+            break;
+          case Op::CSetBounds:
+            r.c[i.rd] = require(r.c[i.rs].setBounds(r.x[i.rt]));
+            if (traceSink)
+                traceSink->derive(DeriveSource::Temp, r.c[i.rd]);
+            cost.capManip(1);
+            break;
+          case Op::CSetBoundsImm:
+            r.c[i.rd] = require(
+                r.c[i.rs].setBounds(static_cast<u64>(i.imm)));
+            if (traceSink)
+                traceSink->derive(DeriveSource::Temp, r.c[i.rd]);
+            cost.capManip(1);
+            break;
+          case Op::CAndPerm:
+            r.c[i.rd] = require(
+                r.c[i.rs].andPerms(static_cast<u32>(r.x[i.rt])));
+            cost.capManip(1);
+            break;
+          case Op::CClearTag:
+            r.c[i.rd] = r.c[i.rs].withoutTag();
+            cost.capManip(1);
+            break;
+          case Op::CSeal:
+            r.c[i.rd] = require(r.c[i.rs].seal(r.c[i.rt]));
+            cost.capManip(1);
+            break;
+          case Op::CUnseal:
+            r.c[i.rd] = require(r.c[i.rs].unseal(r.c[i.rt]));
+            cost.capManip(1);
+            break;
+
+          case Op::Clb: {
+            const Capability &cb = r.c[i.rs];
+            u64 addr = cb.address() + static_cast<u64>(i.imm);
+            cap_access(cb, addr, 1, PERM_LOAD);
+            u8 v = 0;
+            mmu(proc.as().readBytes(addr, &v, 1));
+            r.x[i.rd] = v;
+            cost.load(addr, 1);
+            break;
+          }
+          case Op::Cld: {
+            const Capability &cb = r.c[i.rs];
+            u64 addr = cb.address() + static_cast<u64>(i.imm);
+            cap_access(cb, addr, 8, PERM_LOAD);
+            u64 v = 0;
+            mmu(proc.as().readBytes(addr, &v, 8));
+            r.x[i.rd] = v;
+            cost.load(addr, 8);
+            break;
+          }
+          case Op::Csb: {
+            const Capability &cb = r.c[i.rs];
+            u64 addr = cb.address() + static_cast<u64>(i.imm);
+            cap_access(cb, addr, 1, PERM_STORE);
+            u8 v = static_cast<u8>(r.x[i.rd]);
+            mmu(proc.as().writeBytes(addr, &v, 1));
+            cost.store(addr, 1);
+            break;
+          }
+          case Op::Csd: {
+            const Capability &cb = r.c[i.rs];
+            u64 addr = cb.address() + static_cast<u64>(i.imm);
+            cap_access(cb, addr, 8, PERM_STORE);
+            mmu(proc.as().writeBytes(addr, &r.x[i.rd], 8));
+            cost.store(addr, 8);
+            break;
+          }
+          case Op::Clc: {
+            const Capability &cb = r.c[i.rs];
+            u64 addr = cb.address() + static_cast<u64>(i.imm);
+            cap_access(cb, addr, capSize, PERM_LOAD | PERM_LOAD_CAP);
+            Result<Capability> v = proc.as().readCap(addr);
+            if (!v.ok())
+                fault(v.fault());
+            r.c[i.rd] = v.value();
+            cost.load(addr, capSize);
+            break;
+          }
+          case Op::Csc: {
+            const Capability &cb = r.c[i.rs];
+            u64 addr = cb.address() + static_cast<u64>(i.imm);
+            cap_access(cb, addr, capSize, PERM_STORE | PERM_STORE_CAP);
+            if (CapCheck w = proc.as().writeCap(addr, r.c[i.rd]))
+                fault(*w);
+            cost.store(addr, capSize);
+            break;
+          }
+
+          case Op::Cjr: {
+            const Capability &cb = r.c[i.rs];
+            if (CapCheck chk =
+                    cb.checkAccess(cb.address(), insnSize, PERM_EXECUTE))
+                fault(*chk);
+            r.pcc = cb;
+            next = cb.address();
+            cost.alu(1);
+            break;
+          }
+
+          case Op::Syscall:
+            cost.syscall(0);
+            if (sysHook)
+                sysHook(*this, static_cast<u64>(i.imm));
+            break;
+        }
+        // Advance PC within (or under mips64, despite) PCC.
+        r.pcc = r.pcc.setAddress(next);
+        ++_retired;
+        res.status = InterpResult::Status::Running;
+        res.steps = _retired;
+        return res;
+    } catch (const IsaFault &f) {
+        res.status = InterpResult::Status::Fault;
+        res.fault = f.cause;
+        res.faultPc = pc;
+        res.steps = _retired;
+        return res;
+    }
+}
+
+InterpResult
+Interpreter::run(u64 max_steps)
+{
+    u64 start = _retired;
+    while (_retired - start < max_steps) {
+        InterpResult r = step();
+        if (r.status != InterpResult::Status::Running)
+            return r;
+    }
+    InterpResult r;
+    r.status = InterpResult::Status::StepLimit;
+    r.steps = _retired;
+    return r;
+}
+
+} // namespace cheri::isa

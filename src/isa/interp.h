@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The MiniCHERI interpreter: ISA-level execution against a process.
+ *
+ * Executes encoded MiniCHERI instructions fetched *through PCC* from
+ * the process's own memory, with full capability semantics:
+ *
+ *  - instruction fetch requires a tagged, unsealed, executable PCC
+ *    covering the instruction (control flow cannot leave the object
+ *    PCC is bounded to);
+ *  - legacy loads/stores are indirected through DDC — under CheriABI
+ *    DDC is NULL, so every legacy access traps, exactly the paper's
+ *    "prohibit legacy loads and stores by installing a NULL capability
+ *    in DDC";
+ *  - capability-relative accesses check the named capability register;
+ *  - derivation instructions are monotonic and raise the architectural
+ *    fault on violation;
+ *  - every instruction is charged to the process's cost model, and
+ *    capability derivations are reported to the trace sink — the same
+ *    ISA-level trace pipeline the paper's Figure 5 uses via QEMU.
+ *
+ * Faults do not unwind the host: run() returns a Fault result with the
+ * precise PC and cause, like a stopped debuggee.
+ */
+
+#ifndef CHERI_ISA_INTERP_H
+#define CHERI_ISA_INTERP_H
+
+#include <functional>
+
+#include "isa/insn.h"
+#include "os/process.h"
+#include "trace/trace.h"
+
+namespace cheri::isa
+{
+
+/** Why execution stopped. */
+struct InterpResult
+{
+    enum class Status
+    {
+        Running,
+        Halted,
+        Fault,
+        StepLimit,
+    };
+    Status status = Status::Halted;
+    u64 steps = 0;
+    CapFault fault = CapFault::None;
+    /** PC of the faulting instruction. */
+    u64 faultPc = 0;
+    Op faultOp = Op::Halt;
+};
+
+class Interpreter
+{
+  public:
+    /** Executes with @p proc's register file, memory, and cost model. */
+    explicit Interpreter(Process &proc, TraceSink *trace = nullptr)
+        : proc(proc), traceSink(trace)
+    {
+    }
+
+    /** Syscall hook: called for Op::Syscall with the immediate code. */
+    using SyscallHook = std::function<void(Interpreter &, u64 code)>;
+    void setSyscallHook(SyscallHook hook) { sysHook = std::move(hook); }
+
+    /** The live register file (the process's current thread). */
+    ThreadRegs &regs() { return proc.regs(); }
+    Process &process() { return proc; }
+
+    /** Set PCC to @p entry (must already be an executable capability
+     *  under CheriABI; an untagged address under mips64). */
+    void
+    setEntry(const Capability &entry)
+    {
+        proc.regs().pcc = entry;
+    }
+
+    /** Execute until halt, fault, or @p max_steps. */
+    InterpResult run(u64 max_steps = 1'000'000);
+
+    /** Execute one instruction. */
+    InterpResult step();
+
+    /** Instructions retired over this interpreter's lifetime. */
+    u64 retired() const { return _retired; }
+
+  private:
+    /** Fetch+decode at PCC; may fault. */
+    Insn fetch();
+
+    Process &proc;
+    TraceSink *traceSink;
+    SyscallHook sysHook;
+    u64 _retired = 0;
+};
+
+} // namespace cheri::isa
+
+#endif // CHERI_ISA_INTERP_H

@@ -1,0 +1,66 @@
+#include "libc/crt.h"
+
+#include "os/auxv.h"
+
+namespace cheri
+{
+
+CrtEnv
+crtInit(GuestContext &ctx)
+{
+    CrtEnv env;
+    Process &proc = ctx.proc();
+    GuestPtr auxv(proc.auxvCap);
+    const u64 ent = auxEntrySize(ctx.ptrSize());
+    u64 envc = 0;
+    for (u64 i = 0;; ++i) {
+        GuestPtr entry = auxv + static_cast<s64>(i * ent);
+        u64 tag = ctx.load<u64>(entry);
+        if (tag == AT_NULL)
+            break;
+        GuestPtr val_ptr = entry + static_cast<s64>(auxValueOffset);
+        switch (tag) {
+          case AT_ARGC:
+            env.argc = static_cast<int>(ctx.load<u64>(val_ptr));
+            break;
+          case AT_ENVC:
+            envc = ctx.load<u64>(val_ptr);
+            break;
+          case AT_ARGV:
+            env.argvArray = ctx.loadPtr(entry,
+                                        static_cast<s64>(auxValueOffset));
+            break;
+          case AT_ENVV:
+            env.envvArray = ctx.loadPtr(entry,
+                                        static_cast<s64>(auxValueOffset));
+            break;
+          case AT_TRAMP:
+            env.trampoline = ctx.loadPtr(entry,
+                                         static_cast<s64>(auxValueOffset));
+            break;
+          case AT_STACKBASE:
+            env.stackBase = ctx.load<u64>(val_ptr);
+            break;
+          default:
+            break;
+        }
+    }
+    const s64 stride = static_cast<s64>(ctx.ptrSize());
+    for (int i = 0; i < env.argc; ++i)
+        env.argv.push_back(ctx.loadPtr(env.argvArray, i * stride));
+    for (u64 i = 0; i < envc; ++i) {
+        env.envv.push_back(
+            ctx.loadPtr(env.envvArray, static_cast<s64>(i) * stride));
+    }
+    return env;
+}
+
+std::string
+crtArg(GuestContext &ctx, const CrtEnv &env, int i)
+{
+    if (i < 0 || static_cast<size_t>(i) >= env.argv.size())
+        return {};
+    return ctx.readString(env.argv[i]);
+}
+
+} // namespace cheri

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * C runtime startup: locating the process arguments from the aux vector.
+ *
+ * The CheriABI CRT does not assume a stack layout; it reads the argv
+ * and envv capabilities out of the ELF auxiliary arguments installed by
+ * execve and walks the (capability-element) arrays from there (paper
+ * section 4).
+ */
+
+#ifndef CHERI_LIBC_CRT_H
+#define CHERI_LIBC_CRT_H
+
+#include <string>
+#include <vector>
+
+#include "guest/context.h"
+
+namespace cheri
+{
+
+/** Everything main() gets from the runtime. */
+struct CrtEnv
+{
+    int argc = 0;
+    /** Pointers to each argv string (bounded caps under CheriABI). */
+    std::vector<GuestPtr> argv;
+    std::vector<GuestPtr> envv;
+    GuestPtr argvArray;
+    GuestPtr envvArray;
+    GuestPtr trampoline;
+    u64 stackBase = 0;
+};
+
+/**
+ * Walk the aux vector of @p ctx's process and decode the startup
+ * environment.  Every read goes through the startup capabilities, so a
+ * malformed or tampered vector faults rather than being misparsed.
+ */
+CrtEnv crtInit(GuestContext &ctx);
+
+/** Convenience: argv[i] as a host string. */
+std::string crtArg(GuestContext &ctx, const CrtEnv &env, int i);
+
+} // namespace cheri
+
+#endif // CHERI_LIBC_CRT_H

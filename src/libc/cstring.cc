@@ -1,0 +1,219 @@
+#include "libc/cstring.h"
+
+#include <vector>
+
+namespace cheri
+{
+
+namespace
+{
+
+bool
+granuleAligned(GuestContext &ctx, const GuestPtr &a, const GuestPtr &b)
+{
+    return ctx.isCheri() && a.addr() % capAlign == 0 &&
+           b.addr() % capAlign == 0;
+}
+
+/** Copy [src, src+len) to dst front-to-back, preserving tags. */
+void
+copyForward(GuestContext &ctx, const GuestPtr &dst, const GuestPtr &src,
+            u64 len)
+{
+    u64 off = 0;
+    if (granuleAligned(ctx, dst, src)) {
+        for (; off + capSize <= len; off += capSize) {
+            GuestPtr v = ctx.loadPtr(src, static_cast<s64>(off));
+            ctx.storePtr(dst, static_cast<s64>(off), v);
+        }
+    }
+    for (; off < len; ++off) {
+        ctx.store<u8>(dst, static_cast<s64>(off),
+                      ctx.load<u8>(src, static_cast<s64>(off)));
+    }
+}
+
+} // namespace
+
+void
+gMemcpy(GuestContext &ctx, const GuestPtr &dst, const GuestPtr &src,
+        u64 len)
+{
+    copyForward(ctx, dst, src, len);
+}
+
+void
+gMemmove(GuestContext &ctx, const GuestPtr &dst, const GuestPtr &src,
+         u64 len)
+{
+    if (dst.addr() <= src.addr() || dst.addr() >= src.addr() + len) {
+        copyForward(ctx, dst, src, len);
+        return;
+    }
+    // Overlapping, dst above src: copy backwards.
+    u64 off = len;
+    while (off > 0 && (!granuleAligned(ctx, dst, src) ||
+                       (src.addr() + off) % capSize != 0)) {
+        --off;
+        ctx.store<u8>(dst, static_cast<s64>(off),
+                      ctx.load<u8>(src, static_cast<s64>(off)));
+    }
+    if (granuleAligned(ctx, dst, src)) {
+        while (off >= capSize) {
+            off -= capSize;
+            GuestPtr v = ctx.loadPtr(src, static_cast<s64>(off));
+            ctx.storePtr(dst, static_cast<s64>(off), v);
+        }
+    }
+    while (off > 0) {
+        --off;
+        ctx.store<u8>(dst, static_cast<s64>(off),
+                      ctx.load<u8>(src, static_cast<s64>(off)));
+    }
+}
+
+void
+gMemcpyBytes(GuestContext &ctx, const GuestPtr &dst, const GuestPtr &src,
+             u64 len)
+{
+    for (u64 off = 0; off < len; ++off) {
+        ctx.store<u8>(dst, static_cast<s64>(off),
+                      ctx.load<u8>(src, static_cast<s64>(off)));
+    }
+}
+
+void
+gMemset(GuestContext &ctx, const GuestPtr &dst, u8 value, u64 len)
+{
+    std::vector<u8> block(std::min<u64>(len, 256), value);
+    u64 off = 0;
+    while (off < len) {
+        u64 n = std::min<u64>(block.size(), len - off);
+        ctx.write(dst + static_cast<s64>(off), block.data(), n);
+        off += n;
+    }
+}
+
+u64
+gStrlen(GuestContext &ctx, const GuestPtr &s)
+{
+    u64 n = 0;
+    while (ctx.load<char>(s, static_cast<s64>(n)) != '\0')
+        ++n;
+    return n;
+}
+
+void
+gStrcpy(GuestContext &ctx, const GuestPtr &dst, const GuestPtr &src)
+{
+    u64 i = 0;
+    char c;
+    do {
+        c = ctx.load<char>(src, static_cast<s64>(i));
+        ctx.store<char>(dst, static_cast<s64>(i), c);
+        ++i;
+    } while (c != '\0');
+}
+
+int
+gStrcmp(GuestContext &ctx, const GuestPtr &a, const GuestPtr &b)
+{
+    u64 i = 0;
+    for (;;) {
+        u8 ca = static_cast<u8>(ctx.load<char>(a, static_cast<s64>(i)));
+        u8 cb = static_cast<u8>(ctx.load<char>(b, static_cast<s64>(i)));
+        if (ca != cb)
+            return ca < cb ? -1 : 1;
+        if (ca == '\0')
+            return 0;
+        ++i;
+    }
+}
+
+int
+gMemcmp(GuestContext &ctx, const GuestPtr &a, const GuestPtr &b, u64 len)
+{
+    for (u64 i = 0; i < len; ++i) {
+        u8 ca = ctx.load<u8>(a, static_cast<s64>(i));
+        u8 cb = ctx.load<u8>(b, static_cast<s64>(i));
+        if (ca != cb)
+            return ca < cb ? -1 : 1;
+    }
+    return 0;
+}
+
+namespace
+{
+
+void
+swapElems(GuestContext &ctx, const GuestPtr &a, const GuestPtr &b,
+          u64 size)
+{
+    // Capability-preserving swap: whole granules through the capability
+    // registers when aligned (the paper's qsort extension); whole words
+    // when possible; bytes as a last resort.
+    u64 off = 0;
+    if (size % capSize == 0 && granuleAligned(ctx, a, b)) {
+        for (; off + capSize <= size; off += capSize) {
+            GuestPtr va = ctx.loadPtr(a, static_cast<s64>(off));
+            GuestPtr vb = ctx.loadPtr(b, static_cast<s64>(off));
+            ctx.storePtr(a, static_cast<s64>(off), vb);
+            ctx.storePtr(b, static_cast<s64>(off), va);
+        }
+        return;
+    }
+    for (; off + 8 <= size && (size - off) % 8 == 0; off += 8) {
+        u64 ta = ctx.load<u64>(a, static_cast<s64>(off));
+        u64 tb = ctx.load<u64>(b, static_cast<s64>(off));
+        ctx.store<u64>(a, static_cast<s64>(off), tb);
+        ctx.store<u64>(b, static_cast<s64>(off), ta);
+    }
+    for (; off < size; ++off) {
+        u8 ta = ctx.load<u8>(a, static_cast<s64>(off));
+        u8 tb = ctx.load<u8>(b, static_cast<s64>(off));
+        ctx.store<u8>(a, static_cast<s64>(off), tb);
+        ctx.store<u8>(b, static_cast<s64>(off), ta);
+    }
+}
+
+void
+qsortRange(GuestContext &ctx, const GuestPtr &base, s64 lo, s64 hi,
+           u64 size, const GuestCompare &cmp)
+{
+    while (lo < hi) {
+        // Median-of-ends pivot, Hoare-ish partition.
+        GuestPtr pivot = base + hi * static_cast<s64>(size);
+        s64 store = lo;
+        for (s64 i = lo; i < hi; ++i) {
+            ctx.work(4);
+            GuestPtr ei = base + i * static_cast<s64>(size);
+            if (cmp(ctx, ei, pivot) < 0) {
+                swapElems(ctx, ei, base + store * static_cast<s64>(size),
+                          size);
+                ++store;
+            }
+        }
+        swapElems(ctx, base + store * static_cast<s64>(size), pivot, size);
+        // Recurse on the smaller side, loop on the larger.
+        if (store - lo < hi - store) {
+            qsortRange(ctx, base, lo, store - 1, size, cmp);
+            lo = store + 1;
+        } else {
+            qsortRange(ctx, base, store + 1, hi, size, cmp);
+            hi = store - 1;
+        }
+    }
+}
+
+} // namespace
+
+void
+gQsort(GuestContext &ctx, const GuestPtr &base, u64 nmemb, u64 size,
+       const GuestCompare &cmp)
+{
+    if (nmemb < 2)
+        return;
+    qsortRange(ctx, base, 0, static_cast<s64>(nmemb) - 1, size, cmp);
+}
+
+} // namespace cheri

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Guest string/memory routines.
+ *
+ * The CheriABI C library must keep capability tags alive through the
+ * low-level idioms C programs lean on: memcpy/memmove of structures
+ * containing pointers, and sorting routines that swap array elements
+ * (the paper extended qsort and friends to preserve capabilities when
+ * swapping).  These routines copy granule-by-granule through capability
+ * registers when alignment permits, which preserves tags; the byte-wise
+ * fallback — like any data store — strips them.
+ */
+
+#ifndef CHERI_LIBC_CSTRING_H
+#define CHERI_LIBC_CSTRING_H
+
+#include <functional>
+
+#include "guest/context.h"
+
+namespace cheri
+{
+
+/** Tag-preserving memcpy (no overlap). */
+void gMemcpy(GuestContext &ctx, const GuestPtr &dst, const GuestPtr &src,
+             u64 len);
+
+/** Tag-preserving memmove (overlap-safe). */
+void gMemmove(GuestContext &ctx, const GuestPtr &dst, const GuestPtr &src,
+              u64 len);
+
+/** Byte-wise memcpy: the naive loop that *strips* tags — kept for the
+ *  compat corpus to demonstrate why the library routine matters. */
+void gMemcpyBytes(GuestContext &ctx, const GuestPtr &dst,
+                  const GuestPtr &src, u64 len);
+
+void gMemset(GuestContext &ctx, const GuestPtr &dst, u8 value, u64 len);
+
+u64 gStrlen(GuestContext &ctx, const GuestPtr &s);
+
+void gStrcpy(GuestContext &ctx, const GuestPtr &dst, const GuestPtr &src);
+
+int gStrcmp(GuestContext &ctx, const GuestPtr &a, const GuestPtr &b);
+
+int gMemcmp(GuestContext &ctx, const GuestPtr &a, const GuestPtr &b,
+            u64 len);
+
+/** Comparator: negative/zero/positive like C's qsort. */
+using GuestCompare =
+    std::function<int(GuestContext &, const GuestPtr &, const GuestPtr &)>;
+
+/**
+ * Capability-preserving qsort over @p nmemb elements of @p size bytes.
+ * Element swaps move whole capability granules when size and alignment
+ * allow, so arrays of pointers survive sorting with tags intact.
+ */
+void gQsort(GuestContext &ctx, const GuestPtr &base, u64 nmemb, u64 size,
+            const GuestCompare &cmp);
+
+} // namespace cheri
+
+#endif // CHERI_LIBC_CSTRING_H

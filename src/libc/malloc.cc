@@ -1,0 +1,179 @@
+#include "libc/malloc.h"
+
+#include <algorithm>
+
+namespace cheri
+{
+
+namespace
+{
+
+constexpr u64 minAlloc = 16;
+constexpr u64 runBytes = 256 * 1024;
+
+} // namespace
+
+GuestMalloc::GuestMalloc(GuestContext &ctx) : ctx(ctx) {}
+
+u64
+GuestMalloc::sizeClass(u64 padded)
+{
+    // jemalloc-style: powers of two with two intermediate steps.
+    u64 cls = minAlloc;
+    while (cls < padded) {
+        u64 quarter = cls / 2;
+        if (padded <= cls + quarter)
+            return cls + quarter;
+        cls *= 2;
+    }
+    return cls;
+}
+
+size_t
+GuestMalloc::runFor(u64 cls)
+{
+    for (size_t i = 0; i < runs.size(); ++i) {
+        if (runs[i].bump + cls <= runs[i].base + runs[i].size)
+            return i;
+    }
+    u64 len = std::max(runBytes, cls);
+    GuestPtr p = ctx.mmap(len, PROT_READ | PROT_WRITE);
+    if (p.isNull() && !ctx.isCheri() && p.addr() == 0)
+        throw CapTrap(CapFault::PageFault, 0, Capability(), "oom");
+    Run run;
+    // The allocator's internal authority: the mmap capability with the
+    // vmmap permission dropped and execution denied, so nothing derived
+    // from it can manage mappings.
+    if (ctx.isCheri()) {
+        auto stripped = p.cap.andPerms(permsData);
+        run.cap = stripped.ok() ? stripped.value() : p.cap;
+    } else {
+        run.cap = p.cap;
+    }
+    run.base = p.addr();
+    run.size = len;
+    run.bump = p.addr();
+    runs.push_back(run);
+    return runs.size() - 1;
+}
+
+GuestPtr
+GuestMalloc::malloc(u64 size)
+{
+    if (size == 0)
+        size = 1;
+    ctx.cost().alu(30); // bin selection, metadata bookkeeping
+    u64 padded = std::max(size, minAlloc);
+    // Pad so the returned capability's bounds are exactly representable
+    // (footnote 2 of the paper: compression constrains allocators).
+    if (ctx.isCheri())
+        padded = compress::representableLength(padded);
+    padded = (padded + 15) & ~u64{15};
+    u64 cls = sizeClass(padded);
+
+    u64 addr = 0;
+    size_t run_idx = 0;
+    auto bin = freeBins.find(cls);
+    if (bin != freeBins.end() && !bin->second.empty()) {
+        addr = bin->second.back();
+        bin->second.pop_back();
+        for (size_t i = 0; i < runs.size(); ++i) {
+            if (addr >= runs[i].base && addr < runs[i].base + runs[i].size)
+                run_idx = i;
+        }
+    } else {
+        run_idx = runFor(cls);
+        Run &run = runs[run_idx];
+        u64 mask = ctx.isCheri()
+                       ? ~compress::representableAlignmentMask(padded) + 1
+                       : 16;
+        if (mask < 16)
+            mask = 16;
+        addr = (run.bump + mask - 1) & ~(mask - 1);
+        run.bump = addr + cls;
+    }
+
+    allocs[addr] = Alloc{size, cls, run_idx};
+    _liveBytes += size;
+    ++_totalAllocs;
+
+    if (!ctx.isCheri())
+        return GuestPtr(Capability::fromAddress(addr));
+    // Install bounds matching the request before returning (CSetBounds
+    // + CAndPerm in the jemalloc return path).
+    Capability c = runs[run_idx].cap.setAddress(addr);
+    auto b = c.setBounds(padded);
+    if (!b.ok())
+        return GuestPtr();
+    ctx.cost().capManip(3);
+    if (TraceSink *tr = ctx.kernel().trace())
+        tr->derive(DeriveSource::Malloc, b.value());
+    return GuestPtr(b.value());
+}
+
+GuestPtr
+GuestMalloc::calloc(u64 nmemb, u64 size)
+{
+    u64 total = nmemb * size;
+    GuestPtr p = malloc(total);
+    if (p.isNull())
+        return p;
+    std::vector<u8> zeros(total, 0);
+    ctx.write(p, zeros.data(), total);
+    return p;
+}
+
+bool
+GuestMalloc::free(const GuestPtr &p)
+{
+    if (p.isNull())
+        return true;
+    ctx.cost().alu(20);
+    // Rederivation: the *metadata*, not the caller's capability, is the
+    // authority for returning storage to the run.
+    auto it = allocs.find(p.addr());
+    if (it == allocs.end())
+        return false;
+    _liveBytes -= it->second.size;
+    freeBins[it->second.padded].push_back(it->first);
+    allocs.erase(it);
+    return true;
+}
+
+GuestPtr
+GuestMalloc::realloc(const GuestPtr &p, u64 size)
+{
+    if (p.isNull())
+        return malloc(size);
+    auto it = allocs.find(p.addr());
+    if (it == allocs.end())
+        return GuestPtr();
+    u64 old_size = it->second.size;
+    GuestPtr np = malloc(size);
+    if (np.isNull())
+        return np;
+    // Tag-preserving move: capabilities stored in the old block stay
+    // valid in the new one.
+    u64 n = std::min(old_size, size);
+    u64 off = 0;
+    if (ctx.isCheri() && p.addr() % capAlign == 0 &&
+        np.addr() % capAlign == 0) {
+        for (; off + capSize <= n; off += capSize) {
+            GuestPtr v = ctx.loadPtr(p, static_cast<s64>(off));
+            ctx.storePtr(np, static_cast<s64>(off), v);
+        }
+    }
+    for (; off < n; ++off)
+        ctx.store<u8>(np, static_cast<s64>(off), ctx.load<u8>(p, off));
+    free(p);
+    return np;
+}
+
+u64
+GuestMalloc::allocSize(const GuestPtr &p) const
+{
+    auto it = allocs.find(p.addr());
+    return it == allocs.end() ? 0 : it->second.size;
+}
+
+} // namespace cheri

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The guest heap allocator (jemalloc-lite).
+ *
+ * Mirrors the CheriABI changes to FreeBSD's jemalloc (paper section 4,
+ * "Dynamic allocations"):
+ *
+ *  - allocations are served from mmap'd runs, and the capability
+ *    returned to the caller is *bounded to the requested size* (padded
+ *    to the representable length when compression demands it);
+ *  - returned capabilities are non-executable and have the vmmap
+ *    permission stripped, so heap pointers cannot remap memory under
+ *    the allocator's feet;
+ *  - free and realloc *rederive* the internal run capability from the
+ *    caller's (narrow) pointer via the allocator's own metadata — the
+ *    caller's capability is never trusted as authority over the run.
+ */
+
+#ifndef CHERI_LIBC_MALLOC_H
+#define CHERI_LIBC_MALLOC_H
+
+#include <map>
+#include <vector>
+
+#include "guest/context.h"
+
+namespace cheri
+{
+
+class GuestMalloc
+{
+  public:
+    explicit GuestMalloc(GuestContext &ctx);
+
+    /** Allocate @p size bytes; null GuestPtr on exhaustion. */
+    GuestPtr malloc(u64 size);
+
+    /** Allocate zeroed memory. */
+    GuestPtr calloc(u64 nmemb, u64 size);
+
+    /**
+     * Release an allocation.  Returns false (and does nothing) if
+     * @p p does not name a live allocation start — the realloc-misuse
+     * class the paper's future work calls out.
+     */
+    bool free(const GuestPtr &p);
+
+    /** Resize; contents are moved with capability tags preserved. */
+    GuestPtr realloc(const GuestPtr &p, u64 size);
+
+    /** Usable size of a live allocation (0 if unknown). */
+    u64 allocSize(const GuestPtr &p) const;
+
+    /** @name Statistics */
+    /// @{
+    u64 liveAllocations() const { return allocs.size(); }
+    u64 liveBytes() const { return _liveBytes; }
+    u64 totalAllocations() const { return _totalAllocs; }
+    /// @}
+
+  private:
+    struct Run
+    {
+        Capability cap; // authority over the whole run (vmmap stripped)
+        u64 base = 0;
+        u64 size = 0;
+        u64 bump = 0;
+    };
+
+    struct Alloc
+    {
+        u64 size = 0;      // requested
+        u64 padded = 0;    // class size actually consumed
+        size_t runIndex = 0;
+    };
+
+    /** Smallest size class >= @p padded. */
+    static u64 sizeClass(u64 padded);
+
+    /** Run with space for one object of @p cls, creating if needed. */
+    size_t runFor(u64 cls);
+
+    GuestContext &ctx;
+    std::vector<Run> runs;
+    std::map<u64, Alloc> allocs;             // by start address
+    std::map<u64, std::vector<u64>> freeBins; // class -> free addrs
+    u64 _liveBytes = 0;
+    u64 _totalAllocs = 0;
+};
+
+} // namespace cheri
+
+#endif // CHERI_LIBC_MALLOC_H

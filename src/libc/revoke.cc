@@ -1,0 +1,58 @@
+#include "libc/revoke.h"
+
+namespace cheri
+{
+
+RevokingMalloc::RevokingMalloc(GuestContext &ctx, u64 quarantine_budget)
+    : ctx(ctx), heap(ctx), budget(quarantine_budget)
+{
+}
+
+GuestPtr
+RevokingMalloc::malloc(u64 size)
+{
+    return heap.malloc(size);
+}
+
+bool
+RevokingMalloc::free(const GuestPtr &p)
+{
+    if (p.isNull())
+        return true;
+    u64 size = heap.allocSize(p);
+    if (size == 0)
+        return false; // not a live allocation start
+    // Quarantine: the storage stays owned (and poisonous) until the
+    // next sweep proves no capability to it survives.
+    u64 span = ctx.isCheri() ? p.cap.length() : size;
+    quarantine.push_back({p.addr(), span});
+    quarantineBytes += span;
+    if (quarantineBytes > budget)
+        forceSweep();
+    return true;
+}
+
+u64
+RevokingMalloc::forceSweep()
+{
+    if (quarantine.empty())
+        return 0;
+    ++_sweeps;
+    // One pass over the address space for the whole quarantine set —
+    // the property that makes quarantine amortization work.
+    std::vector<std::pair<u64, u64>> ranges;
+    ranges.reserve(quarantine.size());
+    for (const Range &r : quarantine)
+        ranges.emplace_back(r.base, r.base + r.size);
+    SysResult res = ctx.kernel().sysRevokeSet(ctx.proc(), ranges);
+    u64 revoked = res.failed() ? 0 : res.value;
+    _tagsRevoked += revoked;
+    // Only now is the storage safe to reuse.
+    for (const Range &r : quarantine)
+        heap.free(GuestPtr(Capability::fromAddress(r.base)));
+    quarantine.clear();
+    quarantineBytes = 0;
+    return revoked;
+}
+
+} // namespace cheri

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Temporal-safety prototype: quarantine + capability revocation.
+ *
+ * The paper's future work (section 6) observes that CHERI provides the
+ * minimum infrastructure for temporally safe reuse — atomic pointer
+ * updates and precise identification of pointers — and that work on a
+ * CHERI-aware temporally-safe allocator was ongoing (what later became
+ * CHERIvoke/Cornucopia).  This prototype implements that design:
+ *
+ *  - free() does not reuse memory; it moves the allocation into a
+ *    quarantine;
+ *  - when quarantined bytes exceed a budget, a *revocation sweep*
+ *    scans every tagged granule in the address space — resident pages,
+ *    swapped-out pages (via the swap tag metadata), and the thread's
+ *    capability registers — and clears the tag of every capability
+ *    whose base points into quarantined memory;
+ *  - only after the sweep is quarantined memory handed back for reuse,
+ *    so no stale capability to it can exist.
+ *
+ * The sweep interface lives on the kernel (Kernel::sysRevoke), exactly
+ * the "new interface" the paper says is required because user pointers
+ * may be held in kernel structures for extended durations — the sweep
+ * covers the kevent udata store for the same reason.
+ */
+
+#ifndef CHERI_LIBC_REVOKE_H
+#define CHERI_LIBC_REVOKE_H
+
+#include <vector>
+
+#include "libc/malloc.h"
+
+namespace cheri
+{
+
+class RevokingMalloc
+{
+  public:
+    /**
+     * @param quarantine_budget bytes of quarantined memory tolerated
+     *        before a sweep is forced
+     */
+    RevokingMalloc(GuestContext &ctx, u64 quarantine_budget = 64 * 1024);
+
+    /** Allocate (same bounded-capability policy as GuestMalloc). */
+    GuestPtr malloc(u64 size);
+
+    /**
+     * Quarantine the allocation.  The storage is not reusable — and
+     * the caller's capability not dead — until the next sweep.
+     */
+    bool free(const GuestPtr &p);
+
+    /** Run a revocation sweep now; returns tags cleared. */
+    u64 forceSweep();
+
+    /** @name Statistics */
+    /// @{
+    u64 sweeps() const { return _sweeps; }
+    u64 tagsRevoked() const { return _tagsRevoked; }
+    u64 quarantinedBytes() const { return quarantineBytes; }
+    u64 liveAllocations() const { return heap.liveAllocations(); }
+    /// @}
+
+  private:
+    struct Range
+    {
+        u64 base;
+        u64 size;
+    };
+
+    GuestContext &ctx;
+    GuestMalloc heap;
+    u64 budget;
+    std::vector<Range> quarantine;
+    u64 quarantineBytes = 0;
+    u64 _sweeps = 0;
+    u64 _tagsRevoked = 0;
+};
+
+} // namespace cheri
+
+#endif // CHERI_LIBC_REVOKE_H

@@ -1,0 +1,65 @@
+#include "libc/sealing.h"
+
+namespace cheri
+{
+
+SealingRuntime::SealingRuntime(GuestContext &ctx, u64 otype_count)
+    : ctx(ctx)
+{
+    Capability auth;
+    SysResult r =
+        ctx.kernel().sysOtypeAlloc(ctx.proc(), otype_count, &auth);
+    if (r.failed())
+        return;
+    authority = auth;
+    otypeBase = r.value;
+    nextOtype = otypeBase;
+    otypeLimit = otypeBase + otype_count;
+}
+
+SealedObject
+SealingRuntime::makeSandbox(const Capability &code, const Capability &data)
+{
+    SealedObject out;
+    if (!valid() || nextOtype >= otypeLimit)
+        return out;
+    Capability sealer = authority.setAddress(nextOtype);
+    Result<Capability> sc = code.seal(sealer);
+    Result<Capability> sd = data.seal(sealer);
+    if (!sc.ok() || !sd.ok())
+        return out;
+    ctx.cost().capManip(2);
+    out.code = sc.value();
+    out.data = sd.value();
+    out.otype = static_cast<OType>(nextOtype);
+    ++nextOtype;
+    return out;
+}
+
+Result<u64>
+SealingRuntime::invoke(const SealedObject &obj, const SandboxMethod &method,
+                       u64 arg)
+{
+    // CCall semantics: both halves sealed, same otype, our authority
+    // covers it; unseal atomically and enter the domain.
+    if (!obj.code.tag() || !obj.data.tag())
+        return CapFault::TagViolation;
+    if (!obj.code.sealed() || !obj.data.sealed())
+        return CapFault::SealViolation;
+    if (obj.code.otype() != obj.data.otype())
+        return CapFault::TypeViolation;
+    Capability unsealer = authority.setAddress(obj.code.otype());
+    Result<Capability> code = obj.code.unseal(unsealer);
+    if (!code.ok())
+        return code.fault();
+    Result<Capability> data = obj.data.unseal(unsealer);
+    if (!data.ok())
+        return data.fault();
+    // Domain crossing: trap-free but not free — register clearing and
+    // the jump through the sealed entry point.
+    ctx.cost().capManip(8);
+    ctx.cost().alu(12);
+    return method(ctx, GuestPtr(data.value()), arg);
+}
+
+} // namespace cheri

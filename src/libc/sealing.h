@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Object capabilities: sealed code/data pairs and CCall-style domain
+ * crossing.
+ *
+ * CheriABI's background (paper section 2) is the CHERI
+ * compartmentalization work: a protection domain is represented by a
+ * *sealed* pair of code and data capabilities sharing an object type.
+ * Sealed capabilities are immutable and non-dereferenceable — they can
+ * be passed around freely — and only the CCall mechanism, holding the
+ * matching unsealing authority, can atomically unseal the pair and
+ * enter the domain.  The kernel allocates otype ranges to processes,
+ * exactly as CheriBSD's libcheri did.
+ *
+ * This runtime implements the userspace half over the kernel's otype
+ * allocator: sandbox creation (seal a data segment + entry capability
+ * with a fresh otype) and invocation (unseal, run the method with the
+ * sandbox's data capability as its sole authority, return).
+ */
+
+#ifndef CHERI_LIBC_SEALING_H
+#define CHERI_LIBC_SEALING_H
+
+#include <functional>
+
+#include "guest/context.h"
+
+namespace cheri
+{
+
+/** A sealed code/data pair representing one protection domain. */
+struct SealedObject
+{
+    Capability code;
+    Capability data;
+    OType otype = otypeUnsealed;
+};
+
+/** A sandbox method: receives only the sandbox's own data capability. */
+using SandboxMethod =
+    std::function<u64(GuestContext &, const GuestPtr &sandbox_data,
+                      u64 arg)>;
+
+class SealingRuntime
+{
+  public:
+    /**
+     * Acquire a sealing authority from the kernel covering
+     * @p otype_count object types.
+     */
+    SealingRuntime(GuestContext &ctx, u64 otype_count = 16);
+
+    /** True when the kernel granted the otype range. */
+    bool valid() const { return authority.tag(); }
+
+    /**
+     * Create a protection domain: seal @p code and @p data with a
+     * fresh otype.  Returns an invalid object when otypes are
+     * exhausted or inputs are untagged.
+     */
+    SealedObject makeSandbox(const Capability &code,
+                             const Capability &data);
+
+    /**
+     * CCall: check the pair's otypes match, unseal both with our
+     * authority, and run @p method with the unsealed data capability.
+     * Returns the method result, or a fault:
+     *  - TypeViolation if code/data otypes mismatch,
+     *  - SealViolation if either half is not sealed,
+     *  - PermitUnsealViolation if our authority does not cover the
+     *    otype.
+     */
+    Result<u64> invoke(const SealedObject &obj,
+                       const SandboxMethod &method, u64 arg);
+
+    /** Object types handed out so far. */
+    u64 otypesUsed() const { return nextOtype - otypeBase; }
+
+  private:
+    GuestContext &ctx;
+    Capability authority; // PERM_SEAL|PERM_UNSEAL over [base, base+n)
+    u64 otypeBase = 0;
+    u64 nextOtype = 0;
+    u64 otypeLimit = 0;
+};
+
+} // namespace cheri
+
+#endif // CHERI_LIBC_SEALING_H

@@ -1,0 +1,47 @@
+#include "libc/tls.h"
+
+namespace cheri
+{
+
+GuestPtr
+GuestTls::moduleBlock(u64 module_id, u64 size)
+{
+    auto it = blocks.find(module_id);
+    if (it != blocks.end())
+        return it->second;
+    u64 padded = ctx.isCheri() ? compress::representableLength(size) : size;
+    GuestPtr raw = ctx.mmap(padded, PROT_READ | PROT_WRITE);
+    if (raw.isNull() && raw.addr() == 0)
+        return raw;
+    GuestPtr block = raw;
+    if (ctx.isCheri()) {
+        // Bound to the module's TLS segment (per-shared-object, not
+        // per-variable) and strip vmmap: TLS pointers must not manage
+        // mappings.
+        auto bounded = raw.cap.setBounds(padded);
+        if (bounded.ok()) {
+            auto stripped = bounded.value().andPerms(permsData);
+            if (stripped.ok())
+                block = GuestPtr(stripped.value());
+        }
+        ctx.cost().capManip(2);
+        if (TraceSink *tr = ctx.kernel().trace())
+            tr->derive(DeriveSource::Tls, block.cap);
+    }
+    blocks[module_id] = block;
+    sizes[module_id] = size;
+    return block;
+}
+
+GuestPtr
+GuestTls::var(u64 module_id, u64 offset)
+{
+    auto it = blocks.find(module_id);
+    if (it == blocks.end())
+        return GuestPtr();
+    // One add, no re-bounding: per-shared-object granularity.
+    ctx.cost().alu(1);
+    return it->second + static_cast<s64>(offset);
+}
+
+} // namespace cheri

@@ -1,0 +1,85 @@
+#include "machine/cache.h"
+
+#include <cassert>
+
+namespace cheri
+{
+
+Cache::Cache(u64 size_bytes, u32 ways, u64 line_bytes)
+    : lineBytes(line_bytes), numSets(size_bytes / (ways * line_bytes)),
+      ways(ways), sets(numSets * ways)
+{
+    assert(numSets > 0);
+}
+
+bool
+Cache::access(u64 addr)
+{
+    ++tick;
+    u64 line = addr / lineBytes;
+    u64 set = line % numSets;
+    u64 tag = line / numSets;
+    Way *base = &sets[set * ways];
+    for (u32 w = 0; w < ways; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lru = tick;
+            ++_hits;
+            return true;
+        }
+    }
+    // Miss: fill into the LRU way.
+    Way *victim = base;
+    for (u32 w = 1; w < ways; ++w) {
+        if (!base[w].valid || base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = tick;
+    ++_misses;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (Way &w : sets)
+        w.valid = false;
+}
+
+CacheHierarchy::CacheHierarchy()
+    : l1i(32 * 1024, 4), l1d(32 * 1024, 4), l2(256 * 1024, 8)
+{
+}
+
+HitLevel
+CacheHierarchy::access(u64 addr, u64 size, Access kind)
+{
+    HitLevel worst = HitLevel::L1;
+    const u64 line = 64;
+    u64 first = addr / line;
+    u64 last = (addr + (size ? size - 1 : 0)) / line;
+    for (u64 l = first; l <= last; ++l) {
+        u64 a = l * line;
+        Cache &l1 = kind == Access::InstrFetch ? l1i : l1d;
+        if (l1.access(a))
+            continue;
+        if (l2.access(a)) {
+            if (worst == HitLevel::L1)
+                worst = HitLevel::L2;
+            continue;
+        }
+        worst = HitLevel::Memory;
+    }
+    return worst;
+}
+
+void
+CacheHierarchy::flush()
+{
+    l1i.flush();
+    l1d.flush();
+    l2.flush();
+}
+
+} // namespace cheri

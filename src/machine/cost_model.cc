@@ -1,0 +1,168 @@
+#include "machine/cost_model.h"
+
+namespace cheri
+{
+
+CostModel::CostModel(Abi abi, MachineFeatures features,
+                     compress::CapFormat fmt)
+    : _abi(abi), _features(features), _format(fmt)
+{
+}
+
+void
+CostModel::fetchAndCount(u64 n)
+{
+    _instructions += n;
+    _cycles += n;
+    _codeBytes += n * 4;
+    // Stream the fetch through the L1I, one access per 64-byte line.
+    for (u64 i = 0; i < n; ++i) {
+        u64 fetch_pc = pc;
+        pc += 4;
+        if (pc >= 0x120000000 + codeFootprint)
+            pc = 0x120000000;
+        if ((fetch_pc & 63) == 0) {
+            HitLevel lvl =
+                cacheHier.access(fetch_pc, 4, Access::InstrFetch);
+            if (lvl == HitLevel::L2)
+                _cycles += penalties.l2Hit;
+            else if (lvl == HitLevel::Memory)
+                _cycles += penalties.memory;
+        }
+    }
+}
+
+void
+CostModel::dataAccess(u64 va, u64 size, Access kind)
+{
+    HitLevel lvl = cacheHier.access(va, size, kind);
+    if (lvl == HitLevel::L2)
+        _cycles += penalties.l2Hit;
+    else if (lvl == HitLevel::Memory)
+        _cycles += penalties.memory;
+}
+
+void
+CostModel::asanCheck(u64 va)
+{
+    // Shadow = (addr >> 3) + offset: compute, load the shadow byte,
+    // compare against the access size, branch to the slow path — and
+    // the shadow load pollutes the data caches.  The binary (not its
+    // libraries) is instrumented, as in the paper's 3.29x measurement.
+    fetchAndCount(18);
+    dataAccess((va >> 3) + 0x7fff8000, 1, Access::DataLoad);
+}
+
+void
+CostModel::load(u64 va, u64 size)
+{
+    if (_features.asanInstrumentation)
+        asanCheck(va);
+    fetchAndCount(1);
+    dataAccess(va, size, Access::DataLoad);
+}
+
+void
+CostModel::store(u64 va, u64 size)
+{
+    if (_features.asanInstrumentation)
+        asanCheck(va);
+    fetchAndCount(1);
+    dataAccess(va, size, Access::DataStore);
+}
+
+void
+CostModel::gotLoad(u64 got_va)
+{
+    if (_abi == Abi::CheriAbi && !_features.largeClcImmediate) {
+        // lui/daddiu to materialize the GOT offset, then CLC.
+        fetchAndCount(2);
+    }
+    fetchAndCount(1);
+    dataAccess(got_va, pointerSize(), Access::DataLoad);
+}
+
+void
+CostModel::call(u64 sp_va, u64 n_bounded_locals, u64 n_args, bool variadic)
+{
+    // Frame setup/teardown: adjust sp, spill return address + frame ptr.
+    fetchAndCount(4);
+    dataAccess(sp_va, 2 * pointerSize(), Access::DataStore);
+    if (_abi == Abi::CheriAbi) {
+        // One CSetBounds (plus the incoffset feeding it) per
+        // address-taken local.
+        fetchAndCount(2 * n_bounded_locals);
+        if (variadic) {
+            // Variadics always spill to the stack, reached via a
+            // bounded capability (paper section 5.3, CC class).
+            fetchAndCount(2 + n_args);
+            dataAccess(sp_va + 32, n_args * pointerSize(),
+                       Access::DataStore);
+        }
+    }
+}
+
+void
+CostModel::spills(u64 sp_va, u64 mips_spills, u64 cheri_spills)
+{
+    u64 n = _abi == Abi::CheriAbi ? cheri_spills : mips_spills;
+    fetchAndCount(2 * n); // spill + reload
+    if (n)
+        dataAccess(sp_va, n * 8, Access::DataStore);
+}
+
+void
+CostModel::syscall(u64 n_ptr_args)
+{
+    // Trap entry/exit and dispatch.
+    fetchAndCount(120);
+    if (_abi == Abi::CheriAbi) {
+        // Kernel validates each user capability argument (tag/seal
+        // checks) before use.
+        fetchAndCount(3 * n_ptr_args);
+    } else {
+        // Legacy path: the kernel must *construct* a capability from
+        // each integer pointer argument before any access to user
+        // memory (CSetAddr + CSetBounds + CAndPerm + range checks).
+        fetchAndCount(12 * n_ptr_args);
+    }
+}
+
+void
+CostModel::copyLoop(u64 src_va, u64 dst_va, u64 len)
+{
+    u64 words = (len + 7) / 8;
+    fetchAndCount(2 * words + 8);
+    // Touch each cache line of both streams once.
+    for (u64 off = 0; off < len; off += 64) {
+        dataAccess(src_va + off, 8, Access::DataLoad);
+        dataAccess(dst_va + off, 8, Access::DataStore);
+    }
+}
+
+void
+CostModel::contextSwitch()
+{
+    // Save and restore the full register file.  CheriABI threads carry
+    // 32 capability registers (16 bytes each) plus PCC/DDC state;
+    // mips64 threads carry 32 integer registers.
+    u64 reg_bytes = 32 * pointerSize();
+    // CheriABI also saves/restores PCC, DDC, and the capability cause
+    // register, and must use the capability-aware save path.
+    fetchAndCount(2 * 32 + 20 + (_abi == Abi::CheriAbi ? 16 : 0));
+    dataAccess(0x7f0000000, reg_bytes, Access::DataStore);
+    dataAccess(0x7f0000000, reg_bytes, Access::DataLoad);
+}
+
+void
+CostModel::reset()
+{
+    _instructions = 0;
+    _cycles = 0;
+    _codeBytes = 0;
+    pc = 0x120000000;
+    cacheHier.flush();
+    cacheHier = CacheHierarchy();
+}
+
+} // namespace cheri

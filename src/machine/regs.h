@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Thread register state.
+ *
+ * A CheriABI thread's architectural state is a file of capability
+ * registers plus the special PCC (program-counter capability) and DDC
+ * (default data capability).  Under CheriABI, DDC is NULL — there is no
+ * ambient authority; every access names a capability (principle of
+ * intentional use).  Under the legacy mips64 ABI, DDC spans the whole
+ * user address space and integer loads/stores are implicitly checked
+ * against it.
+ *
+ * The kernel saves and restores this state across context switches and
+ * copies it into signal frames; both paths preserve tags, keeping the
+ * abstract capability intact (paper Figure 2).
+ */
+
+#ifndef CHERI_MACHINE_REGS_H
+#define CHERI_MACHINE_REGS_H
+
+#include <array>
+
+#include "cap/capability.h"
+
+namespace cheri
+{
+
+/** Number of general-purpose capability registers. */
+constexpr unsigned numCapRegs = 32;
+
+/** Conventional register assignments used by the ABI. */
+enum CapReg : unsigned
+{
+    /** Return value. */
+    regRetVal = 3,
+    /** First argument register. */
+    regArg0 = 4,
+    /** Stack capability. */
+    regStack = 11,
+    /** Return (link) capability. */
+    regLink = 17,
+    /** Argument-vector capability installed by execve. */
+    regArgv = 20,
+};
+
+struct ThreadRegs
+{
+    /** Program-counter capability: bounds instruction fetch. */
+    Capability pcc;
+    /** Default data capability: NULL under CheriABI. */
+    Capability ddc;
+    /** General-purpose capability registers. */
+    std::array<Capability, numCapRegs> c;
+    /** Integer registers (legacy ABI argument passing). */
+    std::array<u64, numCapRegs> x{};
+
+    Capability &stack() { return c[regStack]; }
+    const Capability &stack() const { return c[regStack]; }
+};
+
+} // namespace cheri
+
+#endif // CHERI_MACHINE_REGS_H

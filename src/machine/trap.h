@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Capability trap delivery.
+ *
+ * When guest code violates capability semantics, the hardware raises an
+ * exception which the kernel turns into a SIG_PROT-style signal.  Guest
+ * workloads in this reproduction are C++ code, so the trap travels as a
+ * C++ exception up to the process runner, which records the fault as the
+ * process's cause of death (or dispatches a registered signal handler).
+ */
+
+#ifndef CHERI_MACHINE_TRAP_H
+#define CHERI_MACHINE_TRAP_H
+
+#include <stdexcept>
+#include <string>
+
+#include "cap/capability.h"
+#include "cap/fault.h"
+
+namespace cheri
+{
+
+/** A capability (or MMU) fault raised by a guest access. */
+class CapTrap : public std::runtime_error
+{
+  public:
+    CapTrap(CapFault fault, u64 addr, const Capability &via,
+            std::string what_detail = "")
+        : std::runtime_error(std::string(capFaultName(fault)) + " @0x" +
+                             toHex(addr) +
+                             (what_detail.empty() ? "" : ": ") +
+                             what_detail + " via " + via.toString()),
+          _fault(fault), _addr(addr), _via(via)
+    {
+    }
+
+    CapFault fault() const { return _fault; }
+    u64 addr() const { return _addr; }
+    const Capability &via() const { return _via; }
+
+  private:
+    static std::string
+    toHex(u64 v)
+    {
+        static const char digits[] = "0123456789abcdef";
+        std::string out;
+        do {
+            out.insert(out.begin(), digits[v & 15]);
+            v >>= 4;
+        } while (v);
+        return out;
+    }
+
+    CapFault _fault;
+    u64 _addr;
+    Capability _via;
+};
+
+} // namespace cheri
+
+#endif // CHERI_MACHINE_TRAP_H

@@ -1,0 +1,83 @@
+#include "mem/phys_mem.h"
+
+#include <cassert>
+
+namespace cheri
+{
+
+void
+Frame::copyFrom(const Frame &other)
+{
+    data = other.data;
+    tags = other.tags;
+    caps = other.caps;
+}
+
+void
+Frame::read(u64 off, void *buf, u64 len) const
+{
+    assert(off + len <= pageSize);
+    std::memcpy(buf, data.data() + off, len);
+}
+
+void
+Frame::write(u64 off, const void *buf, u64 len)
+{
+    assert(off + len <= pageSize);
+    std::memcpy(data.data() + off, buf, len);
+    // A data store invalidates every capability granule it overlaps.
+    u64 first = off / capSize;
+    u64 last = (off + len - 1) / capSize;
+    for (u64 g = first; g <= last; ++g)
+        tags.reset(g);
+}
+
+void
+Frame::clear()
+{
+    data.fill(0);
+    tags.reset();
+}
+
+Capability
+Frame::readCap(u64 off) const
+{
+    assert(off % capSize == 0 && off + capSize <= pageSize);
+    u64 g = off / capSize;
+    if (tags.test(g))
+        return caps[g];
+    std::array<u8, capSize> raw;
+    std::memcpy(raw.data(), data.data() + off, capSize);
+    return Capability::fromBytes(raw);
+}
+
+void
+Frame::writeCap(u64 off, const Capability &cap)
+{
+    assert(off % capSize == 0 && off + capSize <= pageSize);
+    u64 g = off / capSize;
+    auto raw = cap.toBytes();
+    std::memcpy(data.data() + off, raw.data(), capSize);
+    tags.set(g, cap.tag());
+    caps[g] = cap;
+}
+
+FrameRef
+PhysMem::allocFrame()
+{
+    ++allocated;
+    auto counter = live;
+    ++*counter;
+    return FrameRef(new Frame(), [counter](Frame *f) {
+        --*counter;
+        delete f;
+    });
+}
+
+u64
+PhysMem::liveFrames() const
+{
+    return *live;
+}
+
+} // namespace cheri

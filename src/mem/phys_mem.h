@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tagged physical memory.
+ *
+ * CHERI adds one out-of-band tag bit per capability-sized, capability-
+ * aligned granule of physical memory, distinguishing valid capabilities
+ * from plain data.  Data writes to a granule clear its tag; only the
+ * dedicated capability store can set it.  This file models physical
+ * frames carrying those tags, plus the frame allocator.
+ *
+ * Modeling note: real hardware recovers a capability's bounds from its
+ * 128-bit compressed pattern.  Our 16-byte pattern keeps only the cursor
+ * architecturally visible; the full decoded capability for each *tagged*
+ * granule is kept in a per-frame side structure.  This is observationally
+ * equivalent: untagged patterns never decode to dereferenceable
+ * capabilities, any byte store invalidates the granule's tag, and tagged
+ * loads return exactly the capability that was stored.
+ */
+
+#ifndef CHERI_MEM_PHYS_MEM_H
+#define CHERI_MEM_PHYS_MEM_H
+
+#include <array>
+#include <bitset>
+#include <cstring>
+#include <memory>
+
+#include "cap/capability.h"
+#include "cap/types.h"
+
+namespace cheri
+{
+
+/** Page size used throughout the system. */
+constexpr u64 pageSize = 4096;
+constexpr u64 pageMask = pageSize - 1;
+
+/** Capability granules per page. */
+constexpr u64 granulesPerPage = pageSize / capSize;
+
+/** Round @p v down / up to a page boundary. */
+constexpr u64 pageTrunc(u64 v) { return v & ~pageMask; }
+constexpr u64 pageRound(u64 v) { return (v + pageMask) & ~pageMask; }
+
+/**
+ * One physical page: 4 KiB of data, one tag bit per 16-byte granule, and
+ * the decoded capability for each tagged granule.
+ */
+class Frame
+{
+  public:
+    Frame() { data.fill(0); }
+
+    /** Copy @p other including tags (used for COW and fork). */
+    void copyFrom(const Frame &other);
+
+    /** Read bytes; never affects tags. */
+    void read(u64 off, void *buf, u64 len) const;
+
+    /** Write bytes, clearing the tag of every granule touched. */
+    void write(u64 off, const void *buf, u64 len);
+
+    /** Zero the page and clear all tags. */
+    void clear();
+
+    /**
+     * Load the capability at granule-aligned @p off.  Tagged granules
+     * return the stored capability; untagged ones decode the raw bytes
+     * into an untagged (data-only) capability.
+     */
+    Capability readCap(u64 off) const;
+
+    /** Store a capability at granule-aligned @p off, setting the tag iff
+     *  the capability is tagged. */
+    void writeCap(u64 off, const Capability &cap);
+
+    /** Tag bit of the granule containing @p off. */
+    bool tagAt(u64 off) const { return tags.test(off / capSize); }
+
+    /** Clear the tag of the granule containing @p off. */
+    void clearTagAt(u64 off) { tags.reset(off / capSize); }
+
+    /** Number of tagged granules in the page. */
+    u64 taggedCount() const { return tags.count(); }
+
+    /** Raw data access for swap and checkpointing. */
+    const std::array<u8, pageSize> &bytes() const { return data; }
+
+    /** Visit every tagged granule as (offset, capability). */
+    template <typename Fn>
+    void
+    forEachTagged(Fn &&fn) const
+    {
+        for (u64 g = 0; g < granulesPerPage; ++g) {
+            if (tags.test(g))
+                fn(g * capSize, caps[g]);
+        }
+    }
+
+  private:
+    std::array<u8, pageSize> data;
+    std::bitset<granulesPerPage> tags;
+    std::array<Capability, granulesPerPage> caps;
+};
+
+using FrameRef = std::shared_ptr<Frame>;
+
+/**
+ * Frame allocator with simple accounting.  Frames are reference counted:
+ * copy-on-write and shared mappings alias the same Frame until a write
+ * forces a copy.
+ */
+class PhysMem
+{
+  public:
+    /** Allocate a zeroed frame. */
+    FrameRef allocFrame();
+
+    /** Frames currently live (allocated and not yet destroyed). */
+    u64 liveFrames() const;
+
+    /** Total allocations over the lifetime of the system. */
+    u64 totalAllocated() const { return allocated; }
+
+  private:
+    u64 allocated = 0;
+    std::shared_ptr<u64> live = std::make_shared<u64>(0);
+};
+
+} // namespace cheri
+
+#endif // CHERI_MEM_PHYS_MEM_H

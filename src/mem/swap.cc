@@ -1,0 +1,57 @@
+#include "mem/swap.h"
+
+#include <cassert>
+
+namespace cheri
+{
+
+u64
+SwapDevice::swapOut(const Frame &frame)
+{
+    Slot slot;
+    slot.bytes = frame.bytes();
+    if (_policy == SwapPolicy::PreserveTags) {
+        frame.forEachTagged([&](u64 off, const Capability &cap) {
+            slot.tagMeta.emplace_back(off, cap.withoutTag());
+            ++tagsPreserved;
+        });
+    }
+    u64 id = nextSlot++;
+    slots.emplace(id, std::move(slot));
+    ++swapOuts;
+    return id;
+}
+
+void
+SwapDevice::swapIn(u64 slot_id, Frame &frame, const Capability &root)
+{
+    auto it = slots.find(slot_id);
+    assert(it != slots.end() && "swap-in of unoccupied slot");
+    const Slot &slot = it->second;
+    frame.write(0, slot.bytes.data(), pageSize);
+    for (const auto &[off, pattern] : slot.tagMeta) {
+        Result<Capability> r = Capability::build(root, pattern);
+        if (r.ok())
+            frame.writeCap(off, r.value());
+        // else: the pattern exceeded the root's authority; leave the
+        // granule untagged rather than escalate.
+    }
+    slots.erase(it);
+}
+
+u64
+SwapDevice::revokeMatchingInSlot(
+    u64 slot_id, const std::function<bool(const Capability &)> &pred)
+{
+    auto it = slots.find(slot_id);
+    if (it == slots.end())
+        return 0;
+    auto &meta = it->second.tagMeta;
+    u64 before = meta.size();
+    std::erase_if(meta, [&](const std::pair<u64, Capability> &e) {
+        return pred(e.second);
+    });
+    return before - meta.size();
+}
+
+} // namespace cheri

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Swap device with tag-preserving metadata.
+ *
+ * External storage does not carry tag bits, so naively paging a frame
+ * out and back in would destroy every capability on it — silently
+ * breaking pointers in swapped processes.  CheriBSD's swap pager instead
+ * scans evicted pages, records which granules were tagged (together with
+ * the capability pattern), and on swap-in *rederives* fresh architectural
+ * capabilities from an appropriate root.  The architectural provenance
+ * chain is broken, but the abstract capability is preserved (paper
+ * section 3, "Swapping").
+ *
+ * SwapPolicy::Naive models the broken alternative and is used by tests
+ * and the ablation bench to show why the metadata is necessary.
+ */
+
+#ifndef CHERI_MEM_SWAP_H
+#define CHERI_MEM_SWAP_H
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cap/capability.h"
+#include "mem/phys_mem.h"
+
+namespace cheri
+{
+
+/** How the swap subsystem treats capability tags. */
+enum class SwapPolicy
+{
+    /** Record tag metadata at swap-out; rederive at swap-in (CheriBSD). */
+    PreserveTags,
+    /** Store raw bytes only; all tags are lost (the failure mode). */
+    Naive,
+};
+
+/**
+ * A paging store: raw page images plus, under PreserveTags, the tagged
+ * granules of each page saved as untagged capability patterns.
+ */
+class SwapDevice
+{
+  public:
+    explicit SwapDevice(SwapPolicy policy = SwapPolicy::PreserveTags)
+        : _policy(policy)
+    {
+    }
+
+    SwapPolicy policy() const { return _policy; }
+
+    /**
+     * Write @p frame out, returning the slot id.  Tags never reach the
+     * device's data area; under PreserveTags they are captured in the
+     * slot's metadata instead.
+     */
+    u64 swapOut(const Frame &frame);
+
+    /**
+     * Read slot @p slot back into @p frame.  Raw bytes are restored
+     * as-is (untagged).  Under PreserveTags, each recorded granule is
+     * rederived from @p root via CBuildCap; granules whose pattern the
+     * root cannot legitimately cover stay untagged (rederivation must
+     * never escalate).  The slot is released.
+     */
+    void swapIn(u64 slot, Frame &frame, const Capability &root);
+
+    /**
+     * Revocation support: drop recorded tag metadata in @p slot for
+     * patterns whose base lies in [lo, hi), so the capability is not
+     * rederived at swap-in.  Returns entries dropped.
+     */
+    u64 revokeMatchingInSlot(
+        u64 slot, const std::function<bool(const Capability &)> &pred);
+
+    /** Slots currently occupied. */
+    u64 usedSlots() const { return slots.size(); }
+
+    /** Total swap-out operations performed. */
+    u64 totalSwapOuts() const { return swapOuts; }
+
+    /** Tagged granules recorded across all swap-outs so far. */
+    u64 totalTagsPreserved() const { return tagsPreserved; }
+
+  private:
+    struct Slot
+    {
+        std::array<u8, pageSize> bytes;
+        /** (granule offset, untagged capability pattern) pairs. */
+        std::vector<std::pair<u64, Capability>> tagMeta;
+    };
+
+    SwapPolicy _policy;
+    std::unordered_map<u64, Slot> slots;
+    u64 nextSlot = 0;
+    u64 swapOuts = 0;
+    u64 tagsPreserved = 0;
+};
+
+} // namespace cheri
+
+#endif // CHERI_MEM_SWAP_H

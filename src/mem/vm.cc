@@ -1,0 +1,499 @@
+#include "mem/vm.h"
+
+#include <cassert>
+
+namespace cheri
+{
+
+AddressSpace::AddressSpace(PhysMem &phys, SwapDevice &swap, u64 principal,
+                           compress::CapFormat fmt, u64 aslr_seed)
+    : phys(phys), swap(swap), _principal(principal), fmt(fmt)
+{
+    if (aslr_seed != 0) {
+        // A page-granular slide applied to non-fixed placements.
+        aslrSlide =
+            ((aslr_seed * 0x9E3779B97F4A7C15ull) >> 40) % 4096 * pageSize;
+    }
+    // Mint the principal's root: the kernel-narrowed userspace
+    // capability from which all of this process's pointers descend.
+    Capability r = Capability::root(fmt).setAddress(userBase);
+    Result<Capability> bounded = r.setBounds(userTop - userBase);
+    assert(bounded.ok());
+    Result<Capability> no_sysregs =
+        bounded.value().andPerms(permsAll & ~PERM_ACCESS_SYS_REGS);
+    assert(no_sysregs.ok());
+    root = no_sysregs.value();
+}
+
+u64
+AddressSpace::findFree(u64 hint, u64 len) const
+{
+    u64 start = hint ? pageTrunc(hint) + aslrSlide
+                     : u64{0x40000000} + aslrSlide;
+    if (start < userBase)
+        start = userBase;
+    while (start + len <= userTop) {
+        // Find the first mapping ending after `start`.
+        auto it = mappings.upper_bound(start);
+        if (it != mappings.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second.end() > start) {
+                start = pageRound(prev->second.end());
+                continue;
+            }
+        }
+        if (it == mappings.end() || start + len <= it->second.start)
+            return start;
+        start = pageRound(it->second.end());
+    }
+    return 0;
+}
+
+u64
+AddressSpace::map(u64 addr, u64 len, u32 prot, MappingKind kind, bool fixed,
+                  bool shared, const std::string &name, bool force_replace)
+{
+    if (len == 0)
+        return 0;
+    len = pageRound(len);
+    u64 start;
+    if (fixed) {
+        start = pageTrunc(addr);
+        if (start < userBase || start + len > userTop)
+            return 0;
+        if (rangeOccupied(start, len)) {
+            if (!force_replace)
+                return 0;
+            unmap(start, len);
+        }
+    } else {
+        // ASLR: a per-mapping jitter gap so *relative* placements (and
+        // therefore cache conflict patterns) differ run to run.
+        u64 jitter = 0;
+        if (aslrSlide != 0) {
+            u64 h = (aslrSlide + mappings.size() + 1) *
+                    0x9E3779B97F4A7C15ull;
+            jitter = ((h >> 33) % 16) * pageSize;
+        }
+        start = findFree(addr, len + jitter);
+        if (start == 0)
+            return 0;
+        start += jitter;
+    }
+    Mapping m;
+    m.start = start;
+    m.len = len;
+    m.prot = prot;
+    m.kind = kind;
+    m.shared = shared;
+    m.name = name;
+    mappings.emplace(start, m);
+    // Pages are demand-zero: PTEs are created lazily by walk().
+    for (u64 va = start; va < start + len; va += pageSize) {
+        Pte pte;
+        pte.prot = prot;
+        pte.shared = shared;
+        pages[va] = std::move(pte);
+    }
+    return start;
+}
+
+bool
+AddressSpace::unmap(u64 start, u64 len)
+{
+    start = pageTrunc(start);
+    len = pageRound(len);
+    u64 end = start + len;
+    bool any = false;
+    // Split or drop overlapping mapping records.
+    for (auto it = mappings.begin(); it != mappings.end();) {
+        Mapping m = it->second;
+        if (m.end() <= start || m.start >= end) {
+            ++it;
+            continue;
+        }
+        any = true;
+        it = mappings.erase(it);
+        if (m.start < start) {
+            Mapping left = m;
+            left.len = start - m.start;
+            mappings.emplace(left.start, left);
+        }
+        if (m.end() > end) {
+            Mapping right = m;
+            right.start = end;
+            right.len = m.end() - end;
+            mappings.emplace(right.start, right);
+        }
+    }
+    for (u64 va = start; va < end; va += pageSize)
+        pages.erase(va);
+    return any;
+}
+
+bool
+AddressSpace::protect(u64 start, u64 len, u32 prot)
+{
+    start = pageTrunc(start);
+    len = pageRound(len);
+    for (u64 va = start; va < start + len; va += pageSize) {
+        auto it = pages.find(va);
+        if (it == pages.end())
+            return false;
+        it->second.prot = prot;
+    }
+    for (auto &[mstart, m] : mappings) {
+        if (m.start >= start && m.end() <= start + len)
+            m.prot = prot;
+    }
+    return true;
+}
+
+const Mapping *
+AddressSpace::findMapping(u64 va) const
+{
+    auto it = mappings.upper_bound(va);
+    if (it == mappings.begin())
+        return nullptr;
+    --it;
+    if (va >= it->second.start && va < it->second.end())
+        return &it->second;
+    return nullptr;
+}
+
+bool
+AddressSpace::rangeOccupied(u64 start, u64 len) const
+{
+    u64 end = start + len;
+    for (const auto &[mstart, m] : mappings) {
+        if (m.start < end && m.end() > start)
+            return true;
+    }
+    return false;
+}
+
+void
+AddressSpace::forEachMapping(
+    const std::function<void(const Mapping &)> &fn) const
+{
+    for (const auto &[start, m] : mappings)
+        fn(m);
+}
+
+u64
+AddressSpace::representablePadding(u64 len) const
+{
+    return compress::representableLength(pageRound(len), fmt);
+}
+
+Capability
+AddressSpace::capForRange(u64 start, u64 len, u32 prot,
+                          bool with_vmmap) const
+{
+    u32 perms = PERM_GLOBAL;
+    if (prot & PROT_READ)
+        perms |= PERM_LOAD | PERM_LOAD_CAP;
+    if (prot & PROT_WRITE)
+        perms |= PERM_STORE | PERM_STORE_CAP | PERM_STORE_LOCAL_CAP;
+    if (prot & PROT_EXEC)
+        perms |= PERM_EXECUTE;
+    if (with_vmmap)
+        perms |= PERM_SW_VMMAP;
+    Result<Capability> r =
+        root.setAddress(start).setBounds(pageRound(len));
+    assert(r.ok() && "kernel minted capability outside user root");
+    Result<Capability> p = r.value().andPerms(perms);
+    assert(p.ok());
+    return p.value();
+}
+
+AddressSpace::Pte *
+AddressSpace::walk(u64 va, bool for_write)
+{
+    if (va < userBase || va >= userTop)
+        return nullptr;
+    auto it = pages.find(pageTrunc(va));
+    if (it == pages.end())
+        return nullptr;
+    Pte &pte = it->second;
+    u32 need = for_write ? PROT_WRITE : PROT_READ;
+    if (!(pte.prot & need))
+        return nullptr;
+    if (pte.swapped) {
+        // Swap-in: restore bytes and rederive capabilities from this
+        // principal's root.
+        pte.frame = phys.allocFrame();
+        swap.swapIn(pte.swapSlot, *pte.frame, root);
+        pte.swapped = false;
+    }
+    if (!pte.frame) {
+        pte.frame = phys.allocFrame();
+        // File-backed mappings fill from the file; anonymous ones are
+        // demand-zero.
+        const Mapping *m = findMapping(va);
+        if (m && m->backing) {
+            std::array<u8, pageSize> buf{};
+            u64 file_off =
+                m->backingOffset + (pageTrunc(va) - m->start);
+            (*m->backing)(file_off, buf.data(), pageSize);
+            pte.frame->write(0, buf.data(), pageSize);
+        }
+    }
+    if (for_write && pte.cow) {
+        if (pte.frame.use_count() > 1) {
+            FrameRef copy = phys.allocFrame();
+            copy->copyFrom(*pte.frame); // tags preserved across COW
+            pte.frame = std::move(copy);
+        }
+        pte.cow = false;
+    }
+    return &pte;
+}
+
+CapCheck
+AddressSpace::readBytes(u64 va, void *buf, u64 len)
+{
+    u8 *out = static_cast<u8 *>(buf);
+    while (len > 0) {
+        Pte *pte = walk(va, false);
+        if (!pte)
+            return CapFault::PageFault;
+        u64 off = va & pageMask;
+        u64 chunk = std::min(len, pageSize - off);
+        pte->frame->read(off, out, chunk);
+        va += chunk;
+        out += chunk;
+        len -= chunk;
+    }
+    return std::nullopt;
+}
+
+CapCheck
+AddressSpace::writeBytes(u64 va, const void *buf, u64 len)
+{
+    const u8 *in = static_cast<const u8 *>(buf);
+    while (len > 0) {
+        Pte *pte = walk(va, true);
+        if (!pte)
+            return CapFault::PageFault;
+        u64 off = va & pageMask;
+        u64 chunk = std::min(len, pageSize - off);
+        pte->frame->write(off, in, chunk);
+        va += chunk;
+        in += chunk;
+        len -= chunk;
+    }
+    return std::nullopt;
+}
+
+Result<Capability>
+AddressSpace::readCap(u64 va)
+{
+    if (va % capAlign != 0)
+        return CapFault::AlignmentViolation;
+    Pte *pte = walk(va, false);
+    if (!pte)
+        return CapFault::PageFault;
+    return pte->frame->readCap(va & pageMask);
+}
+
+CapCheck
+AddressSpace::writeCap(u64 va, const Capability &cap)
+{
+    if (va % capAlign != 0)
+        return CapFault::AlignmentViolation;
+    Pte *pte = walk(va, true);
+    if (!pte)
+        return CapFault::PageFault;
+    pte->frame->writeCap(va & pageMask, cap);
+    return std::nullopt;
+}
+
+void
+AddressSpace::clearTagAt(u64 va)
+{
+    Pte *pte = walk(va, true);
+    if (pte)
+        pte->frame->clearTagAt(va & pageMask);
+}
+
+std::unique_ptr<AddressSpace>
+AddressSpace::forkCopy(u64 new_principal) const
+{
+    auto child =
+        std::make_unique<AddressSpace>(phys, swap, new_principal, fmt);
+    child->mappings = mappings;
+    for (const auto &[va, pte] : pages) {
+        Pte cp = pte;
+        if (!pte.shared && pte.frame) {
+            // Private resident pages become COW in the child; the parent
+            // side is marked by the caller via markCowForFork (we mutate
+            // through const_cast here because fork logically modifies
+            // both spaces).
+            cp.cow = true;
+            const_cast<Pte &>(pte).cow = true;
+        }
+        child->pages[va] = cp;
+    }
+    return child;
+}
+
+bool
+AddressSpace::setBacking(u64 start, u64 len, BackingReader reader,
+                         BackingWriter writer, u64 file_offset)
+{
+    auto it = mappings.find(pageTrunc(start));
+    if (it == mappings.end() || it->second.len < len)
+        return false;
+    it->second.backing =
+        std::make_shared<BackingReader>(std::move(reader));
+    if (writer) {
+        it->second.backingWriter =
+            std::make_shared<BackingWriter>(std::move(writer));
+    }
+    it->second.backingOffset = file_offset;
+    return true;
+}
+
+u64
+AddressSpace::syncResident(u64 start, u64 len)
+{
+    const Mapping *m = findMapping(start);
+    if (!m || !m->backingWriter)
+        return 0;
+    u64 synced = 0;
+    for (u64 va = pageTrunc(start); va < start + len; va += pageSize) {
+        auto it = pages.find(va);
+        if (it == pages.end() || !it->second.frame)
+            continue;
+        u64 file_off = m->backingOffset + (va - m->start);
+        (*m->backingWriter)(file_off,
+                            it->second.frame->bytes().data(), pageSize);
+        ++synced;
+    }
+    return synced;
+}
+
+bool
+AddressSpace::installFrame(u64 va, FrameRef frame)
+{
+    auto it = pages.find(pageTrunc(va));
+    if (it == pages.end())
+        return false;
+    it->second.frame = std::move(frame);
+    it->second.shared = true;
+    it->second.cow = false;
+    it->second.swapped = false;
+    return true;
+}
+
+bool
+AddressSpace::swapOutPage(u64 va)
+{
+    auto it = pages.find(pageTrunc(va));
+    if (it == pages.end() || !it->second.frame || it->second.shared)
+        return false;
+    Pte &pte = it->second;
+    if (pte.frame.use_count() > 1)
+        return false; // still aliased by a COW sibling; keep resident
+    pte.swapSlot = swap.swapOut(*pte.frame);
+    pte.frame.reset();
+    pte.swapped = true;
+    return true;
+}
+
+u64
+AddressSpace::swapOutResident(u64 max_pages)
+{
+    u64 evicted = 0;
+    for (auto &[va, pte] : pages) {
+        if (evicted >= max_pages)
+            break;
+        if (pte.frame && !pte.shared && pte.frame.use_count() == 1) {
+            pte.swapSlot = swap.swapOut(*pte.frame);
+            pte.frame.reset();
+            pte.swapped = true;
+            ++evicted;
+        }
+    }
+    return evicted;
+}
+
+u64
+AddressSpace::revokeCapsMatching(
+    const std::function<bool(const Capability &)> &pred)
+{
+    u64 revoked = 0;
+    for (auto &[va, pte] : pages) {
+        if (pte.swapped) {
+            revoked += swap.revokeMatchingInSlot(pte.swapSlot, pred);
+            continue;
+        }
+        if (!pte.frame)
+            continue;
+        // Collect first: clearing mutates the tag bitmap under us.
+        std::vector<u64> offs;
+        pte.frame->forEachTagged([&](u64 off, const Capability &cap) {
+            if (pred(cap))
+                offs.push_back(off);
+        });
+        for (u64 off : offs)
+            pte.frame->clearTagAt(off);
+        revoked += offs.size();
+    }
+    return revoked;
+}
+
+u64
+AddressSpace::revokeCapsInRange(u64 lo, u64 hi)
+{
+    return revokeCapsMatching([lo, hi](const Capability &cap) {
+        return cap.base() >= lo && cap.base() < hi;
+    });
+}
+
+u64
+AddressSpace::residentPages() const
+{
+    u64 n = 0;
+    for (const auto &[va, pte] : pages)
+        n += pte.frame != nullptr;
+    return n;
+}
+
+void
+AddressSpace::forEachTaggedCap(
+    const std::function<void(u64, const Capability &)> &fn) const
+{
+    for (const auto &[va, pte] : pages) {
+        if (!pte.frame)
+            continue;
+        pte.frame->forEachTagged(
+            [&](u64 off, const Capability &cap) { fn(va + off, cap); });
+    }
+}
+
+u64
+AddressSpace::verifyCapContainment() const
+{
+    u64 violations = 0;
+    forEachTaggedCap([&](u64, const Capability &cap) {
+        bool ok = cap.base() >= root.base() && cap.top() <= root.top() &&
+                  (cap.perms() & ~root.perms()) == 0;
+        violations += !ok;
+    });
+    return violations;
+}
+
+u64
+AddressSpace::taggedGranules() const
+{
+    u64 n = 0;
+    for (const auto &[va, pte] : pages) {
+        if (pte.frame)
+            n += pte.frame->taggedCount();
+    }
+    return n;
+}
+
+} // namespace cheri

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Per-process virtual address spaces.
+ *
+ * An AddressSpace is the kernel-side realization of one abstract
+ * principal (paper section 3): a page table mapping virtual pages onto
+ * tagged physical frames, with demand-zero fill, copy-on-write,
+ * deliberately shared mappings, and paging to a tag-aware swap device.
+ * The invariant the OS maintains is exactly the one the paper states:
+ * an architectural capability held by this principal can never reach
+ * physical memory belonging to another principal, across any sequence
+ * of mapping changes, COW copies, or swap traffic.
+ *
+ * Each address space carries its *rederivation root* — the userspace
+ * capability the kernel minted at creation — which is the sole authority
+ * used to restore capabilities whose architectural chain was broken
+ * (swap-in, debugger injection).
+ */
+
+#ifndef CHERI_MEM_VM_H
+#define CHERI_MEM_VM_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cap/capability.h"
+#include "mem/phys_mem.h"
+#include "mem/swap.h"
+
+namespace cheri
+{
+
+/** Page protection bits (mmap-style). */
+enum Prot : u32
+{
+    PROT_NONE = 0,
+    PROT_READ = 1,
+    PROT_WRITE = 2,
+    PROT_EXEC = 4,
+};
+
+/** What a mapping is for; drives naming and capability permissions. */
+enum class MappingKind
+{
+    Text,
+    RoData,
+    Data,
+    Heap,
+    Stack,
+    Args,
+    SharedMem,
+    File,
+    Guard,
+    Trampoline,
+};
+
+/** Reader filling pages of a file-backed mapping: (file offset, dst,
+ *  len). */
+using BackingReader = std::function<void(u64, u8 *, u64)>;
+
+/** Writer flushing pages of a shared file mapping back to the file. */
+using BackingWriter = std::function<void(u64, const u8 *, u64)>;
+
+/** One contiguous virtual-memory reservation. */
+struct Mapping
+{
+    u64 start = 0;
+    u64 len = 0;
+    u32 prot = PROT_NONE;
+    MappingKind kind = MappingKind::Data;
+    bool shared = false;
+    std::string name;
+    /** Non-null for file-backed mappings: pages fill from the file on
+     *  first touch instead of demand-zero. */
+    std::shared_ptr<BackingReader> backing;
+    /** Non-null for MAP_SHARED file mappings: msync flush path. */
+    std::shared_ptr<BackingWriter> backingWriter;
+    /** File offset corresponding to `start`. */
+    u64 backingOffset = 0;
+
+    u64 end() const { return start + len; }
+};
+
+class AddressSpace
+{
+  public:
+    /**
+     * @param phys frame allocator shared with the whole system
+     * @param swap paging store shared with the whole system
+     * @param principal fresh abstract principal id for this space
+     * @param fmt capability format processes in this space use
+     */
+    /**
+     * @param aslr_seed nonzero seeds address-space layout
+     *        randomization: mmap and stack placements are offset by a
+     *        seed-derived number of pages (the paper compares the
+     *        RTLD's startup relocation cost to ASLR-motivated PIE)
+     */
+    AddressSpace(PhysMem &phys, SwapDevice &swap, u64 principal,
+                 compress::CapFormat fmt = compress::CapFormat::Cap128,
+                 u64 aslr_seed = 0);
+
+    u64 principal() const { return _principal; }
+    compress::CapFormat format() const { return fmt; }
+
+    /** Lowest / one-past-highest mappable user virtual address. */
+    static constexpr u64 userBase = 0x10000;
+    static constexpr u64 userTop = u64{1} << 40;
+
+    /**
+     * The root of this principal's abstract capability: covers
+     * [userBase, userTop) with full data permissions.  The kernel derives
+     * all startup and mmap-returned capabilities from it, and it is the
+     * authority for swap-in and debugger rederivation.
+     */
+    const Capability &rederivationRoot() const { return root; }
+
+    /** @name Mapping management */
+    /// @{
+    /**
+     * Reserve @p len bytes (page-rounded).  With @p fixed, maps exactly
+     * at @p addr (failing if occupied unless @p force_replace); otherwise
+     * @p addr is a hint and a free range is chosen.  Returns the start
+     * address, or 0 on failure.
+     */
+    u64 map(u64 addr, u64 len, u32 prot, MappingKind kind, bool fixed = false,
+            bool shared = false, const std::string &name = "",
+            bool force_replace = false);
+
+    /** Remove mappings overlapping [start, start+len). */
+    bool unmap(u64 start, u64 len);
+
+    /** Change protection of pages in [start, start+len). */
+    bool protect(u64 start, u64 len, u32 prot);
+
+    /** Mapping containing @p va, or nullptr. */
+    const Mapping *findMapping(u64 va) const;
+
+    /** True when [start, start+len) overlaps any mapping. */
+    bool rangeOccupied(u64 start, u64 len) const;
+
+    void forEachMapping(
+        const std::function<void(const Mapping &)> &fn) const;
+    /// @}
+
+    /**
+     * Mint the capability CheriABI's mmap returns for a fresh mapping:
+     * bounded to the (representability-padded) range, permissions derived
+     * from the page protections, plus PERM_SW_VMMAP so the caller may
+     * later manage the mapping.
+     */
+    Capability capForRange(u64 start, u64 len, u32 prot,
+                           bool with_vmmap = true) const;
+
+    /**
+     * Length to request from map() so a capability with exact bounds can
+     * be minted for a @p len byte object (compression padding).
+     */
+    u64 representablePadding(u64 len) const;
+
+    /** @name Checked memory access
+     * These perform the MMU side of an access: translation, protection
+     * check, demand-zero, COW, swap-in.  Capability-level checks (tag,
+     * bounds, perms) belong to the caller.  All return CapFault::PageFault
+     * on translation failure.
+     */
+    /// @{
+    CapCheck readBytes(u64 va, void *buf, u64 len);
+    CapCheck writeBytes(u64 va, const void *buf, u64 len);
+    /** Capability load: 16-byte aligned. */
+    Result<Capability> readCap(u64 va);
+    /** Capability store: 16-byte aligned. */
+    CapCheck writeCap(u64 va, const Capability &cap);
+    /** Clear the tag of the granule containing @p va, if mapped. */
+    void clearTagAt(u64 va);
+    /// @}
+
+    /**
+     * Make [start, start+len) file-backed: untouched pages fill from
+     * @p reader (at @p file_offset + page offset) instead of zeroes.
+     */
+    bool setBacking(u64 start, u64 len, BackingReader reader,
+                    BackingWriter writer, u64 file_offset);
+
+    /** Flush resident bytes of [start, start+len) through the
+     *  mapping's writer (msync); returns pages written back, or 0 if
+     *  the mapping has no writer (private mapping). */
+    u64 syncResident(u64 start, u64 len);
+
+    /** COW clone for fork: shared mappings alias, private ones COW. */
+    std::unique_ptr<AddressSpace> forkCopy(u64 new_principal) const;
+
+    /**
+     * Back the page at @p va (which must already be mapped) with an
+     * existing frame, shared with whoever else holds it — the mechanism
+     * behind System V shared memory (shmat).
+     */
+    bool installFrame(u64 va, FrameRef frame);
+
+    /** @name Paging */
+    /// @{
+    /** Evict the page containing @p va to swap; false if not resident. */
+    bool swapOutPage(u64 va);
+    /** Evict up to @p max_pages resident pages; returns count evicted. */
+    u64 swapOutResident(u64 max_pages);
+    /// @}
+
+    /**
+     * Revocation sweep support: clear the tag of every capability in
+     * this address space matching @p pred — resident pages and
+     * swapped-out pages (via swap tag metadata) alike, in ONE pass.
+     * Returns the number of tags cleared.
+     */
+    u64 revokeCapsMatching(
+        const std::function<bool(const Capability &)> &pred);
+
+    /** Convenience: revoke capabilities whose base is in [lo, hi). */
+    u64 revokeCapsInRange(u64 lo, u64 hi);
+
+    /** Resident (frame-backed) page count. */
+    u64 residentPages() const;
+
+    /** Total tagged granules across resident pages (trace support). */
+    u64 taggedGranules() const;
+
+    /** Visit every tagged capability resident in this space. */
+    void forEachTaggedCap(
+        const std::function<void(u64 va, const Capability &)> &fn) const;
+
+    /**
+     * Abstract-capability containment invariant (paper section 3:
+     * "each principal's abstract capability has a disjoint root"):
+     * every tagged capability in this space must be dominated by the
+     * rederivation root in bounds and permissions.  Returns the number
+     * of violations (0 in a correct system).
+     */
+    u64 verifyCapContainment() const;
+
+  private:
+    struct Pte
+    {
+        FrameRef frame;
+        u32 prot = PROT_NONE;
+        bool cow = false;
+        bool shared = false;
+        bool swapped = false;
+        u64 swapSlot = 0;
+    };
+
+    /**
+     * Resolve the page containing @p va for the given access, servicing
+     * demand-zero, COW, and swap-in faults.  Returns nullptr when
+     * unmapped or protection denies the access.
+     */
+    Pte *walk(u64 va, bool for_write);
+
+    u64 findFree(u64 hint, u64 len) const;
+
+    PhysMem &phys;
+    SwapDevice &swap;
+    u64 _principal;
+    u64 aslrSlide = 0;
+    compress::CapFormat fmt;
+    Capability root;
+    std::map<u64, Mapping> mappings; // keyed by start
+    std::map<u64, Pte> pages;        // keyed by page va
+};
+
+} // namespace cheri
+
+#endif // CHERI_MEM_VM_H

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * ELF auxiliary-vector tags shared between execve and the C runtime.
+ *
+ * CheriABI processes locate argv/envv through capabilities in the aux
+ * vector rather than through knowledge of the stack layout (paper
+ * section 4, "Starting CheriABI processes with execve").
+ */
+
+#ifndef CHERI_OS_AUXV_H
+#define CHERI_OS_AUXV_H
+
+#include "cap/types.h"
+
+namespace cheri
+{
+
+enum AuxTag : u64
+{
+    AT_NULL = 0,
+    AT_ARGC = 1,
+    AT_ARGV = 2,
+    AT_ENVC = 3,
+    AT_ENVV = 4,
+    AT_ENTRY = 5,
+    AT_TRAMP = 6,
+    AT_STACKBASE = 7,
+};
+
+/** Offset of the value field within an aux entry. */
+constexpr u64 auxValueOffset = 16;
+
+/** Size of one aux entry for the given pointer width. */
+constexpr u64
+auxEntrySize(u64 ptr_size)
+{
+    return auxValueOffset + ptr_size;
+}
+
+} // namespace cheri
+
+#endif // CHERI_OS_AUXV_H

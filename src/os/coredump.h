@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Core dumps with capability register values.
+ *
+ * The paper's debugging work (section 4) extends ptrace to read
+ * capability registers and "arranged for register values to be stored
+ * in core dumps".  MiniBSD writes a core file into the VFS when a
+ * process dies on a signal: the death cause, the full capability
+ * register file (values *and* tag/bounds/permission metadata — as
+ * data, never as live capabilities), and the memory map.
+ */
+
+#ifndef CHERI_OS_COREDUMP_H
+#define CHERI_OS_COREDUMP_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "machine/regs.h"
+#include "mem/vm.h"
+#include "os/vfs.h"
+
+namespace cheri
+{
+
+/** Parsed contents of a core file. */
+struct CoreDump
+{
+    u64 pid = 0;
+    std::string name;
+    int signal = 0;
+    CapFault fault = CapFault::None;
+    u64 faultAddr = 0;
+    ThreadRegs regs;
+    std::vector<Mapping> mappings;
+};
+
+class Process;
+
+/** Serialize @p proc's post-mortem state into @p node. */
+void writeCoreFile(const Process &proc, VNode &node);
+
+/** Parse a core file; nullopt if malformed. */
+std::optional<CoreDump> readCoreFile(const VNode &node);
+
+} // namespace cheri
+
+#endif // CHERI_OS_COREDUMP_H

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * kevent and ioctl: the "dark corners" of the syscall surface.
+ *
+ * kevent(2) stores user pointers (udata) in kernel data structures for
+ * later return; CheriABI requires those structures to hold full
+ * capabilities so the pointer comes back with its tag intact (paper
+ * section 4, "System calls").
+ *
+ * ioctl(2) is the classic capability-translation headache: some
+ * commands carry flat structs, some carry structs *containing pointers*
+ * the kernel must follow (modeled on FIODGNAME and the FreeBSD DHCP
+ * client's under-allocated ioctl buffer, one of the real bugs CheriABI
+ * caught), and some used to leak kernel pointers (now exposed as plain
+ * virtual addresses).
+ */
+
+#include "os/kernel.h"
+
+#include <cstring>
+
+namespace cheri
+{
+
+SysResult
+Kernel::sysKevent(Process &proc, const std::vector<KEvent> &changes,
+                  std::vector<KEvent> *events, u64 max_events)
+{
+    chargeSyscall(proc, 2);
+    auto &kq = kqueues[proc.pid()];
+    for (const KEvent &ch : changes) {
+        if (ch.filter != KFilter::User && !proc.fd(ch.ident))
+            return SysResult::fail(E_BADF);
+        bool replaced = false;
+        for (KEvent &existing : kq) {
+            if (existing.ident == ch.ident &&
+                existing.filter == ch.filter) {
+                // The kernel structure stores the capability itself.
+                existing.udata = ch.udata;
+                replaced = true;
+            }
+        }
+        if (!replaced)
+            kq.push_back(ch);
+        proc.cost().capManip(1);
+        // kevent stores the full capability in a kernel structure.
+        if (traceSink && ch.udata.tag())
+            traceSink->derive(DeriveSource::Kern, ch.udata);
+    }
+    if (!events)
+        return SysResult::ok(0);
+    u64 n = 0;
+    for (const KEvent &reg : kq) {
+        if (n >= max_events)
+            break;
+        bool fire = false;
+        if (reg.filter == KFilter::User) {
+            fire = true;
+        } else if (OpenFileRef of = proc.fd(reg.ident)) {
+            fire = reg.filter == KFilter::Read
+                       ? Vfs::readReady(of->node, of->offset)
+                       : Vfs::writeReady(of->node);
+        }
+        if (fire) {
+            // udata round-trips through kernel memory with provenance
+            // intact: a CheriABI process gets its tagged pointer back.
+            events->push_back(reg);
+            ++n;
+        }
+    }
+    return SysResult::ok(n);
+}
+
+SysResult
+Kernel::sysIoctl(Process &proc, int fd, u64 cmd, const UserPtr &arg)
+{
+    chargeSyscall(proc, 1);
+    OpenFileRef of = proc.fd(fd);
+    if (!of)
+        return SysResult::fail(E_BADF);
+    switch (cmd) {
+      case TIOCGETA_SIM: {
+        // Flat struct: plain copyout through the user capability.
+        if (of->node->kind != NodeKind::PtyMaster &&
+            of->node->kind != NodeKind::PtySlave) {
+            return SysResult::fail(E_NOTTY);
+        }
+        u8 termios_blob[32] = {};
+        termios_blob[0] = 1; // "echo"
+        int err = copyout(proc, termios_blob, arg, sizeof(termios_blob));
+        return err ? SysResult::fail(err) : SysResult::ok();
+      }
+      case FIODGNAME_SIM: {
+        // Struct containing an interior pointer.  Layout differs by
+        // ABI: { u64 len; <pad>; ptr buf } — the pointer is a 16-byte
+        // capability under CheriABI, an 8-byte address under mips64.
+        const bool cheri = proc.abi() == Abi::CheriAbi;
+        u64 len = 0;
+        int err = copyin(proc, arg, &len, 8);
+        if (err)
+            return SysResult::fail(err);
+        Capability buf_cap;
+        UserPtr buf_field = arg.offsetBy(cheri ? 16 : 8);
+        err = copyincap(proc, buf_field, &buf_cap);
+        if (err)
+            return SysResult::fail(err);
+        const std::string &name = of->node->name;
+        if (len < name.size() + 1)
+            return SysResult::fail(E_INVAL);
+        // The kernel writes through the *interior* pointer.  Under
+        // CheriABI an under-allocated buffer capability faults here —
+        // the DHCP-client bug class the paper reports catching.
+        UserPtr out{buf_cap, cheri};
+        err = copyout(proc, name.c_str(), out, name.size() + 1);
+        return err ? SysResult::fail(err) : SysResult::ok();
+      }
+      case KINFO_ADDR_SIM: {
+        // Management interfaces expose kernel object *addresses*, not
+        // kernel capabilities.
+        u64 kernel_va = 0xC000000000 +
+                        (reinterpret_cast<std::uintptr_t>(of->node.get()) &
+                         0xFFFFFFF);
+        int err = copyout(proc, &kernel_va, arg, 8);
+        return err ? SysResult::fail(err) : SysResult::ok();
+      }
+      default:
+        return SysResult::fail(E_NOTTY);
+    }
+}
+
+} // namespace cheri

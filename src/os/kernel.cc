@@ -1,0 +1,444 @@
+#include "os/kernel.h"
+
+#include "os/coredump.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace cheri
+{
+
+u32
+protToPerms(u32 prot)
+{
+    u32 perms = PERM_GLOBAL;
+    if (prot & PROT_READ)
+        perms |= PERM_LOAD | PERM_LOAD_CAP;
+    if (prot & PROT_WRITE)
+        perms |= PERM_STORE | PERM_STORE_CAP | PERM_STORE_LOCAL_CAP;
+    if (prot & PROT_EXEC)
+        perms |= PERM_EXECUTE;
+    return perms;
+}
+
+Kernel::Kernel(KernelConfig cfg)
+    : cfg(cfg), swap(cfg.swapPolicy)
+{
+    fs.mkdir("/tmp");
+    fs.mkdir("/etc");
+    fs.mkdir("/home");
+    auto motd = fs.createFile("/etc/motd");
+    const char msg[] = "MiniBSD (CheriABI reproduction kernel)\n";
+    motd->data.assign(msg, msg + sizeof(msg) - 1);
+}
+
+Kernel::~Kernel() = default;
+
+Process *
+Kernel::spawn(Abi abi, const std::string &name)
+{
+    u64 pid = nextPid++;
+    auto as = std::make_unique<AddressSpace>(
+        phys, swap, newPrincipal(), cfg.capFormat,
+        cfg.aslrSeed ? cfg.aslrSeed + pid : 0);
+    auto proc = std::make_unique<Process>(*this, pid, 0, abi, name,
+                                          std::move(as), cfg.features);
+    Process *p = proc.get();
+    procs.emplace(pid, std::move(proc));
+    return p;
+}
+
+Process *
+Kernel::fork(Process &parent)
+{
+    u64 pid = nextPid++;
+    auto as = parent.as().forkCopy(newPrincipal());
+    auto child = std::make_unique<Process>(*this, pid, parent.pid(),
+                                           parent.abi(), parent.name(),
+                                           std::move(as), cfg.features);
+    Process *c = child.get();
+    procs.emplace(pid, std::move(child));
+    // The child starts as an exact register-state copy: capabilities in
+    // registers survive fork architecturally (tags included).
+    c->regs() = parent.regs();
+    parent.cloneFdsInto(*c);
+    c->sigActions = parent.sigActions;
+    c->handlers = parent.handlers;
+    c->image = parent.image;
+    c->stackCap = parent.stackCap;
+    c->argvCap = parent.argvCap;
+    c->envvCap = parent.envvCap;
+    c->auxvCap = parent.auxvCap;
+    c->trampolineCap = parent.trampolineCap;
+    c->argc = parent.argc;
+    c->envc = parent.envc;
+    // Cost: trap + pmap duplication work proportional to the number of
+    // mappings, plus saving the (ABI-width) register file for the child.
+    chargeSyscall(parent, 0);
+    u64 n_mappings = 0;
+    parent.as().forEachMapping([&](const Mapping &) { ++n_mappings; });
+    parent.cost().alu(40 * n_mappings);
+    parent.cost().contextSwitch();
+    return c;
+}
+
+Process *
+Kernel::findProcess(u64 pid)
+{
+    auto it = procs.find(pid);
+    return it == procs.end() ? nullptr : it->second.get();
+}
+
+SysResult
+Kernel::wait4(Process &parent, u64 pid)
+{
+    for (auto it = procs.begin(); it != procs.end(); ++it) {
+        Process &p = *it->second;
+        if (p.ppid() != parent.pid() || !p.exited())
+            continue;
+        if (pid != 0 && p.pid() != pid)
+            continue;
+        u64 dead = p.pid();
+        procs.erase(it);
+        return SysResult::ok(dead);
+    }
+    return SysResult::fail(E_CHILD);
+}
+
+void
+Kernel::exitProcess(Process &proc, int status)
+{
+    proc.exit(status);
+    if (Process *parent = findProcess(proc.ppid()))
+        parent->raiseSignal(SIG_CHLD);
+}
+
+void
+Kernel::faultProcess(Process &proc, const DeathInfo &info)
+{
+    // A capability fault becomes SIG_PROT; a handler may catch it,
+    // otherwise the process dies with the fault recorded.
+    SigAction &act = proc.sigaction(info.signal ? info.signal : SIG_PROT);
+    DeathInfo di = info;
+    if (di.signal == 0)
+        di.signal = SIG_PROT;
+    if (act.kind == SigAction::Kind::Handler) {
+        proc.raiseSignal(di.signal);
+        deliverSignals(proc);
+        return;
+    }
+    proc.die(di);
+    // Post-mortem: dump the capability register file and memory map
+    // (paper section 4: register values are stored in core dumps).
+    std::string core_path = "/cores/" + proc.name() + "." +
+                            std::to_string(proc.pid()) + ".core";
+    if (VNodeRef node = fs.createFile(core_path))
+        writeCoreFile(proc, *node);
+    if (Process *parent = findProcess(proc.ppid()))
+        parent->raiseSignal(SIG_CHLD);
+}
+
+void
+Kernel::contextSwitchTo(Process &proc)
+{
+    ++switches;
+    proc.cost().contextSwitch();
+}
+
+void
+Kernel::chargeSyscall(Process &proc, u64 n_ptr_args)
+{
+    proc.cost().syscall(n_ptr_args);
+}
+
+int
+Kernel::checkUserPtr(Process &proc, const UserPtr &ptr, u64 len, u32 perms)
+{
+    if (proc.abi() == Abi::CheriAbi) {
+        // Figure 3: the kernel acts only through the user's capability.
+        // The non-capability path is an error for CheriABI processes.
+        if (!ptr.isCap)
+            return E_PROT;
+        CapCheck chk = ptr.cap.checkAccess(ptr.addr(), len, perms);
+        if (chk.has_value())
+            return E_PROT;
+        proc.cost().capManip(2); // tag/bounds validation
+        return E_OK;
+    }
+    if (proc.abi() == Abi::Hybrid && ptr.isCap) {
+        // A __capability-annotated argument from a hybrid process is
+        // honored exactly as under CheriABI.
+        CapCheck chk = ptr.cap.checkAccess(ptr.addr(), len, perms);
+        if (chk.has_value())
+            return E_PROT;
+        proc.cost().capManip(2);
+        return E_OK;
+    }
+    // Legacy path: the kernel constructs authority from the process's
+    // address-space capability (expensive, per the cost model).
+    CapCheck chk = proc.ddc().checkAccess(ptr.addr(), len, perms);
+    if (chk.has_value())
+        return E_FAULT;
+    return E_OK;
+}
+
+int
+Kernel::copyin(Process &proc, const UserPtr &src, void *dst, u64 len)
+{
+    if (len == 0)
+        return E_OK;
+    int err = checkUserPtr(proc, src, len, PERM_LOAD);
+    if (err)
+        return err;
+    proc.cost().copyLoop(src.addr(), 0xC000000000 + src.addr(), len);
+    CapCheck fault = proc.as().readBytes(src.addr(), dst, len);
+    return fault.has_value() ? E_FAULT : E_OK;
+}
+
+int
+Kernel::copyout(Process &proc, const void *src, const UserPtr &dst,
+                u64 len)
+{
+    if (len == 0)
+        return E_OK;
+    int err = checkUserPtr(proc, dst, len, PERM_STORE);
+    if (err)
+        return err;
+    proc.cost().copyLoop(0xC000000000 + dst.addr(), dst.addr(), len);
+    // writeBytes clears tags on every granule it touches: ordinary
+    // copyout can never leak a tagged kernel capability to userspace.
+    CapCheck fault = proc.as().writeBytes(dst.addr(), src, len);
+    return fault.has_value() ? E_FAULT : E_OK;
+}
+
+int
+Kernel::copyinstr(Process &proc, const UserPtr &src, std::string *out,
+                  u64 max)
+{
+    out->clear();
+    u64 addr = src.addr();
+    for (u64 i = 0; i < max; ++i) {
+        int err = checkUserPtr(proc, src.offsetBy(static_cast<s64>(i)), 1,
+                               PERM_LOAD);
+        if (err)
+            return err;
+        char c;
+        CapCheck fault = proc.as().readBytes(addr + i, &c, 1);
+        if (fault.has_value())
+            return E_FAULT;
+        proc.cost().load(addr + i, 1);
+        if (c == '\0')
+            return E_OK;
+        out->push_back(c);
+    }
+    return E_RANGE;
+}
+
+int
+Kernel::copyincap(Process &proc, const UserPtr &src, Capability *out)
+{
+    if (proc.abi() == Abi::CheriAbi) {
+        int err = checkUserPtr(proc, src, capSize,
+                               PERM_LOAD | PERM_LOAD_CAP);
+        if (err)
+            return err;
+        Result<Capability> r = proc.as().readCap(src.addr());
+        if (!r.ok())
+            return r.fault() == CapFault::AlignmentViolation ? E_INVAL
+                                                             : E_FAULT;
+        proc.cost().load(src.addr(), capSize);
+        *out = r.value();
+        // The kernel now holds a user capability in its own structures.
+        if (traceSink && out->tag())
+            traceSink->derive(DeriveSource::Kern, *out);
+        return E_OK;
+    }
+    // Legacy ABI: the "pointer" in memory is an 8-byte integer.
+    u64 addr = 0;
+    int err = copyin(proc, src, &addr, 8);
+    if (err)
+        return err;
+    *out = Capability::fromAddress(addr);
+    return E_OK;
+}
+
+int
+Kernel::copyoutcap(Process &proc, const Capability &cap,
+                   const UserPtr &dst)
+{
+    if (proc.abi() == Abi::CheriAbi) {
+        int err = checkUserPtr(proc, dst, capSize,
+                               PERM_STORE | PERM_STORE_CAP);
+        if (err)
+            return err;
+        CapCheck fault = proc.as().writeCap(dst.addr(), cap);
+        if (fault.has_value())
+            return E_FAULT;
+        proc.cost().store(dst.addr(), capSize);
+        return E_OK;
+    }
+    u64 addr = cap.address();
+    return copyout(proc, &addr, dst, 8);
+}
+
+SysResult
+Kernel::sysGetpid(Process &proc) const
+{
+    const_cast<Process &>(proc).cost().syscall(0);
+    return SysResult::ok(proc.pid());
+}
+
+SysResult
+Kernel::sysGetppid(Process &proc) const
+{
+    const_cast<Process &>(proc).cost().syscall(0);
+    return SysResult::ok(proc.ppid());
+}
+
+SysResult
+Kernel::sysSbrk(Process &proc, s64 delta)
+{
+    chargeSyscall(proc, 0);
+    if (proc.abi() == Abi::CheriAbi) {
+        // Excluded as a matter of principle (paper section 4): sbrk's
+        // contiguous-heap contract cannot mint sound capabilities.
+        return SysResult::fail(E_NOSYS);
+    }
+    // Legacy mips64 keeps a classic brk, backed by a fixed reservation.
+    if (proc.brkBase == 0) {
+        u64 reserve = 16 * 1024 * 1024;
+        u64 base = proc.as().map(0, reserve, PROT_READ | PROT_WRITE,
+                                 MappingKind::Heap, false, false, "brk");
+        if (base == 0)
+            return SysResult::fail(E_NOMEM);
+        proc.brkBase = base;
+        proc.brkCur = base;
+        proc.brkLimit = base + reserve;
+    }
+    u64 old_brk = proc.brkCur;
+    if (delta > 0 &&
+        proc.brkCur + static_cast<u64>(delta) > proc.brkLimit) {
+        return SysResult::fail(E_NOMEM);
+    }
+    if (delta < 0 &&
+        static_cast<u64>(-delta) > proc.brkCur - proc.brkBase) {
+        return SysResult::fail(E_INVAL);
+    }
+    proc.brkCur += static_cast<u64>(delta);
+    return SysResult::ok(old_brk);
+}
+
+SysResult
+Kernel::sysRevoke(Process &proc, u64 lo, u64 hi)
+{
+    if (lo >= hi)
+        return SysResult::fail(E_INVAL);
+    return sysRevokeSet(proc, {{lo, hi}});
+}
+
+SysResult
+Kernel::sysRevokeSet(Process &proc,
+                     const std::vector<std::pair<u64, u64>> &ranges)
+{
+    chargeSyscall(proc, 1);
+    if (ranges.empty())
+        return SysResult::ok(0);
+    for (const auto &[lo, hi] : ranges) {
+        if (lo >= hi)
+            return SysResult::fail(E_INVAL);
+    }
+    // Sorted ranges give O(log n) membership per granule — the
+    // in-kernel equivalent of CHERIvoke's shadow bitmap.
+    std::vector<std::pair<u64, u64>> sorted = ranges;
+    std::sort(sorted.begin(), sorted.end());
+    auto in_ranges = [&](const Capability &cap) {
+        u64 base = cap.base();
+        auto it = std::upper_bound(
+            sorted.begin(), sorted.end(), base,
+            [](u64 v, const std::pair<u64, u64> &r) { return v < r.first; });
+        if (it == sorted.begin())
+            return false;
+        --it;
+        return base >= it->first && base < it->second;
+    };
+    // The sweep loads and checks every capability granule of every
+    // page: charge one pass of the resident set.
+    u64 resident = proc.as().residentPages();
+    proc.cost().alu(resident * 4 * granulesPerPage);
+    for (u64 i = 0; i < resident; ++i)
+        proc.cost().copyLoop(0x10000 + i * pageSize,
+                             0xD000000000 + i * 64, 64);
+    u64 revoked = proc.as().revokeCapsMatching(in_ranges);
+    // Capability register file.
+    ThreadRegs &regs = proc.regs();
+    auto sweep_reg = [&](Capability &c) {
+        if (c.tag() && in_ranges(c)) {
+            c = c.withoutTag();
+            ++revoked;
+        }
+    };
+    sweep_reg(regs.pcc);
+    sweep_reg(regs.ddc);
+    for (Capability &c : regs.c)
+        sweep_reg(c);
+    // Kernel-held user pointers (kevent udata).
+    auto kq = kqueues.find(proc.pid());
+    if (kq != kqueues.end()) {
+        for (KEvent &ev : kq->second)
+            sweep_reg(ev.udata);
+    }
+    return SysResult::ok(revoked);
+}
+
+SysResult
+Kernel::sysOtypeAlloc(Process &proc, u64 count, Capability *out)
+{
+    chargeSyscall(proc, 0);
+    if (count == 0 || nextOtype + count > otypeMax)
+        return SysResult::fail(E_NOMEM);
+    u64 base = nextOtype;
+    nextOtype += count;
+    // The sealing authority is a capability over the otype range with
+    // only the sealing permissions: it cannot touch memory at all.
+    Capability root = Capability::root(cfg.capFormat);
+    Result<Capability> bounded = root.setAddress(base).setBounds(count);
+    if (!bounded.ok())
+        return SysResult::fail(E_NOMEM);
+    Result<Capability> perms =
+        bounded.value().andPerms(PERM_GLOBAL | PERM_SEAL | PERM_UNSEAL);
+    if (!perms.ok())
+        return SysResult::fail(E_NOMEM);
+    *out = perms.value();
+    proc.cost().capManip(3);
+    if (traceSink)
+        traceSink->derive(DeriveSource::Syscall, *out);
+    return SysResult::ok(base);
+}
+
+SysResult
+Kernel::sysSysctl(Process &proc, const std::string &name,
+                  const UserPtr &oldp, u64 oldlen)
+{
+    chargeSyscall(proc, 1);
+    if (name == "kern.ostype") {
+        const char os[] = "MiniBSD";
+        u64 n = std::min<u64>(oldlen, sizeof(os));
+        int err = copyout(proc, os, oldp, n);
+        return err ? SysResult::fail(err) : SysResult::ok(n);
+    }
+    if (name == "kern.text_addr") {
+        // Management interfaces expose *virtual addresses*, never
+        // kernel capabilities (paper section 4, "System calls").
+        u64 va = proc.image.objects.empty()
+                     ? 0
+                     : proc.image.objects.front().textBase;
+        if (oldlen < 8)
+            return SysResult::fail(E_RANGE);
+        int err = copyout(proc, &va, oldp, 8);
+        return err ? SysResult::fail(err) : SysResult::ok(8);
+    }
+    return SysResult::fail(E_NOENT);
+}
+
+} // namespace cheri

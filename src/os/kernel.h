@@ -1,0 +1,371 @@
+/**
+ * @file
+ * The MiniBSD kernel: a capability-aware UNIX kernel model.
+ *
+ * Implements the CheriABI process environment from the paper: process
+ * creation (execve installing capabilities into registers and memory,
+ * Figure 1), fork with COW, context switching that preserves capability
+ * state, tag-aware swapping, signal delivery with capability frames
+ * (Figure 2), and a system-call layer in which *every* access to user
+ * memory for a CheriABI process is mediated by a user-supplied
+ * capability (Figure 3) — non-capability copyin/copyout paths return
+ * errors for CheriABI processes, tags are stripped on ordinary copies
+ * unless a capability-aware interface is used, and address-space
+ * management calls demand the vmmap software permission.
+ */
+
+#ifndef CHERI_OS_KERNEL_H
+#define CHERI_OS_KERNEL_H
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "os/process.h"
+#include "os/user_ptr.h"
+#include "trace/trace.h"
+
+namespace cheri
+{
+
+/** mmap(2) flags. */
+enum MmapFlags : u32
+{
+    MAP_SHARED = 0x0001,
+    MAP_PRIVATE = 0x0002,
+    MAP_FIXED = 0x0010,
+    MAP_ANON = 0x1000,
+    MAP_GUARD = 0x2000,
+};
+
+/** kevent filter kinds (simplified). */
+enum class KFilter : s64
+{
+    Read = -1,
+    Write = -2,
+    User = -11,
+};
+
+/** One kevent registration / report. */
+struct KEvent
+{
+    int ident = -1; // fd
+    KFilter filter = KFilter::Read;
+    /**
+     * Opaque user data.  The kernel stores the full capability in its
+     * internal structures so a CheriABI process gets its pointer back
+     * with the tag intact (paper section 4, "System calls").
+     */
+    Capability udata;
+};
+
+/** ptrace(2) request codes (subset). */
+enum class PtReq
+{
+    Attach,
+    Detach,
+    ReadData,
+    WriteData,
+    ReadCap,
+    /** Inject a capability: rederived from the *target's* root. */
+    WriteCap,
+    GetRegs,
+    SetRegs,
+};
+
+/** ioctl command codes used by tests and workloads. */
+enum IoctlCmd : u64
+{
+    /** Get terminal attributes into a flat struct (no pointers). */
+    TIOCGETA_SIM = 0x402c7413,
+    /**
+     * Device-name query whose argument struct *contains a pointer*
+     * (modeled on FIODGNAME / the DHCP bcast-addr bug): the kernel must
+     * follow the interior pointer with the user's capability.
+     */
+    FIODGNAME_SIM = 0x80106678,
+    /** Returns a kernel pointer; kernel exposes only the address. */
+    KINFO_ADDR_SIM = 0x40087001,
+};
+
+/** Argument block for FIODGNAME_SIM. */
+struct FiodgnameArg
+{
+    u64 len = 0;
+    /** Interior pointer: capability under CheriABI (16 bytes in guest
+     *  memory), integer address under mips64. */
+    UserPtr buf;
+};
+
+/** Kernel-wide configuration. */
+struct KernelConfig
+{
+    compress::CapFormat capFormat = compress::CapFormat::Cap128;
+    SwapPolicy swapPolicy = SwapPolicy::PreserveTags;
+    MachineFeatures features = {};
+    /** Default stack size for new processes. */
+    u64 stackSize = 8 * 1024 * 1024;
+    /** Nonzero: randomize mapping placement (per-process slide). */
+    u64 aslrSeed = 0;
+};
+
+class Kernel
+{
+  public:
+    explicit Kernel(KernelConfig cfg = {});
+    ~Kernel();
+
+    /** @name Subsystems */
+    /// @{
+    PhysMem &physMem() { return phys; }
+    SwapDevice &swapDevice() { return swap; }
+    Vfs &vfs() { return fs; }
+    Rtld &rtld() { return linker; }
+    const KernelConfig &config() const { return cfg; }
+    void setTrace(TraceSink *sink) { traceSink = sink; }
+    TraceSink *trace() const { return traceSink; }
+    /// @}
+
+    /** @name Process lifecycle */
+    /// @{
+    /** Create an empty process (fresh principal, no image). */
+    Process *spawn(Abi abi, const std::string &name);
+
+    /**
+     * Replace @p proc's address space with a fresh one and load
+     * @p program into it: map segments via the RTLD, build the initial
+     * stack with argv/envv/auxv (as bounded capabilities under
+     * CheriABI), map the signal trampoline, and install the startup
+     * register file (Figure 1).
+     */
+    int execve(Process &proc, const SelfObject &program,
+               const std::vector<std::string> &argv,
+               const std::vector<std::string> &envv);
+
+    /** fork(2): COW address space, shared open files, copied regs. */
+    Process *fork(Process &parent);
+
+    /** Find a live process by pid. */
+    Process *findProcess(u64 pid);
+
+    /** Reap a zombie child; returns its pid or an errno. */
+    SysResult wait4(Process &parent, u64 pid);
+
+    /** Terminate with status (exit(2)). */
+    void exitProcess(Process &proc, int status);
+
+    /** Kill with a capability fault (SIG_PROT delivery or death). */
+    void faultProcess(Process &proc, const DeathInfo &info);
+
+    /** Account a context switch to @p proc (cost model + counters). */
+    void contextSwitchTo(Process &proc);
+
+    /** @name Threads (thr_new / thr_switch)
+     * Additional kernel-scheduled contexts in one process.  Each gets
+     * its own stack mapping with a bounded stack capability; the
+     * kernel saves and restores the full capability register file on
+     * switch, tags intact (the "capability-register context
+     * switching" of the paper's prior CheriBSD work, now per ABI).
+     */
+    /// @{
+    /** Create a thread; returns its tid, or an errno. */
+    SysResult sysThrNew(Process &proc, u64 stack_size = 1 << 20);
+    /** Switch the running context to @p tid (0 = the initial thread). */
+    SysResult sysThrSwitch(Process &proc, u64 tid);
+    /** Mark @p tid exited (must not be the running thread). */
+    SysResult sysThrExit(Process &proc, u64 tid);
+    /// @}
+
+    u64 contextSwitches() const { return switches; }
+    /// @}
+
+    /** @name User-memory access (Figure 3 semantics)
+     * All return an errno (E_OK on success).  For CheriABI processes a
+     * non-capability UserPtr is rejected with E_PROT, and capability
+     * checks use exactly the user-supplied capability.
+     */
+    /// @{
+    int copyin(Process &proc, const UserPtr &src, void *dst, u64 len);
+    int copyout(Process &proc, const void *src, const UserPtr &dst,
+                u64 len);
+    /** NUL-terminated string copyin, bounded by @p max. */
+    int copyinstr(Process &proc, const UserPtr &src, std::string *out,
+                  u64 max = 1024);
+    /** Capability-preserving variants for the few interfaces that
+     *  legitimately carry pointers (kevent, signal frames, ioctl). */
+    int copyincap(Process &proc, const UserPtr &src, Capability *out);
+    int copyoutcap(Process &proc, const Capability &cap,
+                   const UserPtr &dst);
+    /// @}
+
+    /** @name File system calls */
+    /// @{
+    SysResult sysOpen(Process &proc, const UserPtr &path, u32 flags);
+    SysResult sysClose(Process &proc, int fd);
+    SysResult sysRead(Process &proc, int fd, const UserPtr &buf, u64 len);
+    SysResult sysWrite(Process &proc, int fd, const UserPtr &buf,
+                       u64 len);
+    SysResult sysLseek(Process &proc, int fd, s64 off, int whence);
+    SysResult sysPipe(Process &proc, int fds_out[2]);
+    SysResult sysDup(Process &proc, int fd);
+    SysResult sysGetcwd(Process &proc, const UserPtr &buf, u64 len);
+    /**
+     * select(2) over three fd sets passed as u64 bitmasks plus a
+     * timeval-sized argument — four pointer arguments, the paper's
+     * best-case syscall for CheriABI.
+     */
+    SysResult sysSelect(Process &proc, int nfds, const UserPtr &readfds,
+                        const UserPtr &writefds, const UserPtr &exceptfds,
+                        const UserPtr &timeout);
+    /// @}
+
+    /** @name Virtual-memory system calls (paper section 4) */
+    /// @{
+    /**
+     * mmap(2).  On success *out_ptr holds the CheriABI result: a
+     * capability bounded to the (representability-padded) mapping with
+     * permissions derived from @p prot plus vmmap — or, for a hinted
+     * request with a tagged hint, a capability derived from the hint,
+     * preserving provenance.  mips64 processes get an untagged address.
+     */
+    SysResult sysMmap(Process &proc, const UserPtr &addr, u64 len,
+                      u32 prot, u32 flags, UserPtr *out_ptr);
+    SysResult sysMunmap(Process &proc, const UserPtr &addr, u64 len);
+    /**
+     * File-backed mmap: map @p len bytes of @p fd starting at
+     * @p offset.  Pages fill from the file on first touch;
+     * MAP_PRIVATE writes stay private; msync writes MAP_SHARED pages
+     * back.  Returns the CheriABI capability via @p out_ptr like
+     * sysMmap.
+     */
+    SysResult sysMmapFd(Process &proc, int fd, u64 offset, u64 len,
+                        u32 prot, u32 flags, UserPtr *out_ptr);
+    /** Write resident MAP_SHARED pages back to the backing file. */
+    SysResult sysMsync(Process &proc, const UserPtr &addr, u64 len);
+    SysResult sysMprotect(Process &proc, const UserPtr &addr, u64 len,
+                          u32 prot);
+    /** shmget/shmat/shmdt System V shared memory. */
+    SysResult sysShmget(Process &proc, u64 key, u64 size);
+    SysResult sysShmat(Process &proc, int shmid, const UserPtr &addr,
+                       UserPtr *out_ptr);
+    SysResult sysShmdt(Process &proc, const UserPtr &addr);
+    /** sbrk is excluded by principle (paper section 4). */
+    SysResult sysSbrk(Process &proc, s64 delta);
+    /// @}
+
+    /** @name Signals */
+    /// @{
+    SysResult sysSigaction(Process &proc, int sig, SigAction act);
+    SysResult sysKill(Process &proc, u64 pid, int sig);
+    SysResult sysSigprocmask(Process &proc, u64 block, u64 unblock);
+    /**
+     * Deliver pending unblocked signals: spill the capability register
+     * file to a stack signal frame, run the handler, restore on return
+     * (Figure 2).  Returns the number of handlers run.
+     */
+    u64 deliverSignals(Process &proc);
+    /// @}
+
+    /** @name Event and management interfaces */
+    /// @{
+    /** Register @p changes and harvest up to @p max_events triggered
+     *  events into @p events (kevent(2), simplified level-triggered). */
+    SysResult sysKevent(Process &proc, const std::vector<KEvent> &changes,
+                        std::vector<KEvent> *events, u64 max_events);
+    SysResult sysIoctl(Process &proc, int fd, u64 cmd,
+                       const UserPtr &arg);
+    /** sysctl-like: kern.pid_addr exposes a virtual address, never a
+     *  kernel capability (paper: interfaces altered to expose VAs). */
+    SysResult sysSysctl(Process &proc, const std::string &name,
+                        const UserPtr &oldp, u64 oldlen);
+    /// @}
+
+    /** @name Debugging (ptrace) */
+    /// @{
+    SysResult sysPtrace(Process &debugger, PtReq req, u64 pid, u64 addr,
+                        void *host_buf, u64 len);
+    /** Capability read/write variants. */
+    SysResult ptraceReadCap(Process &debugger, u64 pid, u64 addr,
+                            Capability *out);
+    SysResult ptraceWriteCap(Process &debugger, u64 pid, u64 addr,
+                             const Capability &cap);
+    SysResult ptraceGetRegs(Process &debugger, u64 pid, ThreadRegs *out);
+    /// @}
+
+    /** @name Misc */
+    /// @{
+    SysResult sysGetpid(Process &proc) const;
+    SysResult sysGetppid(Process &proc) const;
+    /**
+     * Revocation sweep (the "new interface" the paper's temporal-safety
+     * future work calls for): clear every capability whose base lies in
+     * [lo, hi) across the process's address space (resident and
+     * swapped pages), its capability register file, and the kernel
+     * structures holding its pointers (kevent udata).  Returns the
+     * number of tags cleared.
+     */
+    SysResult sysRevoke(Process &proc, u64 lo, u64 hi);
+    /**
+     * As sysRevoke, but sweeps once for a whole set of [lo, hi)
+     * ranges — the shape a quarantine-draining allocator needs (one
+     * pass regardless of how fragmented the quarantine is).
+     */
+    SysResult sysRevokeSet(Process &proc,
+                           const std::vector<std::pair<u64, u64>> &ranges);
+    /**
+     * Allocate a range of @p count object types to the process,
+     * returning (via @p out) a sealing authority: a capability with
+     * PERM_SEAL|PERM_UNSEAL whose bounds cover exactly that otype
+     * range (libcheri's sandbox-type allocator).
+     */
+    SysResult sysOtypeAlloc(Process &proc, u64 count, Capability *out);
+    /// @}
+
+    /** Fresh abstract principal id (never reused). */
+    u64 newPrincipal() { return nextPrincipal++; }
+
+  private:
+    struct ShmSegment
+    {
+        u64 size = 0;
+        std::vector<FrameRef> frames;
+    };
+
+    /** Validate a user pointer for an access of @p len bytes requiring
+     *  @p perms; returns errno. */
+    int checkUserPtr(Process &proc, const UserPtr &ptr, u64 len,
+                     u32 perms);
+
+    /** Charge @p n_ptr_args syscall overhead to the process. */
+    void chargeSyscall(Process &proc, u64 n_ptr_args);
+
+    void setupStack(Process &proc, const std::vector<std::string> &argv,
+                    const std::vector<std::string> &envv);
+    void pushSigFrame(Process &proc, SigFrame &frame);
+    void popSigFrame(Process &proc, const SigFrame &frame);
+
+    KernelConfig cfg;
+    PhysMem phys;
+    SwapDevice swap;
+    Vfs fs;
+    Rtld linker;
+    TraceSink *traceSink = nullptr;
+    std::map<u64, std::unique_ptr<Process>> procs;
+    std::map<int, ShmSegment> shmSegments;
+    std::map<u64, std::vector<KEvent>> kqueues; // by pid
+    std::vector<std::pair<u64, u64>> attached; // (debugger, target)
+    u64 nextPid = 1;
+    u64 nextPrincipal = 1;
+    u64 nextOtype = 1; // otype 0 reserved
+    int nextShmId = 1;
+    u64 switches = 0;
+};
+
+/** Map PROT_* bits to the capability permissions mmap grants. */
+u32 protToPerms(u32 prot);
+
+} // namespace cheri
+
+#endif // CHERI_OS_KERNEL_H

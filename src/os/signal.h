@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Signal numbers, actions, and capability-bearing signal frames.
+ *
+ * CheriABI signal delivery copies the thread's full capability register
+ * state onto the user stack (as tagged capabilities — Figure 2), runs
+ * the handler, and restores the possibly-modified state on sigreturn.
+ * The return trampoline is a tightly bounded capability to a read-only
+ * page mapped by execve (paper section 4, "Signal handling").
+ */
+
+#ifndef CHERI_OS_SIGNAL_H
+#define CHERI_OS_SIGNAL_H
+
+#include <functional>
+
+#include "machine/regs.h"
+
+namespace cheri
+{
+
+/** Signal numbers (FreeBSD values; SIG_PROT is the CHERI fault signal). */
+enum Signal : int
+{
+    SIG_HUP = 1,
+    SIG_INT = 2,
+    SIG_QUIT = 3,
+    SIG_ILL = 4,
+    SIG_ABRT = 6,
+    SIG_KILL = 9,
+    SIG_BUS = 10,
+    SIG_SEGV = 11,
+    SIG_PIPE = 13,
+    SIG_TERM = 15,
+    SIG_STOP = 17,
+    SIG_CHLD = 20,
+    SIG_USR1 = 30,
+    SIG_USR2 = 31,
+    /** Capability protection violation (CHERI). */
+    SIG_PROT = 34,
+};
+
+constexpr int numSignals = 35;
+
+class Process;
+
+/**
+ * The signal frame as materialized on the user stack: the saved
+ * capability register file plus bookkeeping.  Handlers receive a
+ * reference and may modify the saved state; sigreturn restores it.
+ */
+struct SigFrame
+{
+    ThreadRegs saved;
+    int signo = 0;
+    /** User virtual address where the frame was spilled. */
+    u64 frameVa = 0;
+    /** Fault address for SIG_PROT/SIG_SEGV-class signals. */
+    u64 faultAddr = 0;
+    CapFault faultCause = CapFault::None;
+};
+
+/** A registered handler: guest code, hosted as a C++ callable. */
+using SigHandler = std::function<void(Process &, SigFrame &)>;
+
+/** Disposition of one signal. */
+struct SigAction
+{
+    enum class Kind
+    {
+        Default,
+        Ignore,
+        Handler,
+    };
+    Kind kind = Kind::Default;
+    /** Index into the process handler table when kind == Handler. */
+    u64 handlerId = 0;
+};
+
+} // namespace cheri
+
+#endif // CHERI_OS_SIGNAL_H

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Signal delivery with capability-bearing signal frames (Figure 2).
+ *
+ * Delivery spills the thread's full capability register state to a
+ * frame on the user stack — as tagged capabilities, via the
+ * capability-preserving store path — runs the handler, and on return
+ * restores register state *from the in-memory frame*.  Tags survive the
+ * round trip; conversely, any byte-level tampering with a saved
+ * capability unseats its tag and the restored register is dead, exactly
+ * as the architecture demands.
+ */
+
+#include "os/kernel.h"
+
+#include <cassert>
+
+namespace cheri
+{
+
+namespace
+{
+
+/** Signals whose default action terminates the process. */
+bool
+defaultTerminates(int sig)
+{
+    switch (sig) {
+      case SIG_CHLD:
+      case SIG_STOP:
+        return false;
+      default:
+        return true;
+    }
+}
+
+/** Frame slots: signo, faultAddr, cause, then pcc, ddc, c[0..31]. */
+constexpr u64 numFrameCaps = 2 + numCapRegs;
+
+} // namespace
+
+SysResult
+Kernel::sysSigaction(Process &proc, int sig, SigAction act)
+{
+    chargeSyscall(proc, 1);
+    if (sig <= 0 || sig >= numSignals)
+        return SysResult::fail(E_INVAL);
+    if (sig == SIG_KILL || sig == SIG_STOP)
+        return SysResult::fail(E_INVAL);
+    proc.sigaction(sig) = act;
+    return SysResult::ok();
+}
+
+SysResult
+Kernel::sysKill(Process &proc, u64 pid, int sig)
+{
+    chargeSyscall(proc, 0);
+    Process *target = findProcess(pid);
+    if (!target)
+        return SysResult::fail(E_SRCH);
+    if (sig <= 0 || sig >= numSignals)
+        return SysResult::fail(E_INVAL);
+    if (sig == SIG_KILL) {
+        target->die({SIG_KILL, CapFault::None, 0, "killed"});
+        return SysResult::ok();
+    }
+    target->raiseSignal(sig);
+    return SysResult::ok();
+}
+
+SysResult
+Kernel::sysSigprocmask(Process &proc, u64 block, u64 unblock)
+{
+    chargeSyscall(proc, 0);
+    proc.sigMask |= block;
+    proc.sigMask &= ~unblock;
+    proc.sigMask &= ~(u64{1} << SIG_KILL);
+    return SysResult::ok();
+}
+
+void
+Kernel::pushSigFrame(Process &proc, SigFrame &frame)
+{
+    const bool cheri = proc.abi() == Abi::CheriAbi;
+    const u64 slot = cheri ? capSize : 8;
+    const u64 header = 48; // signo, faultAddr, cause, pad to 16
+    const u64 frame_len = header + numFrameCaps * slot +
+                          (cheri ? 0 : numCapRegs * 8);
+    u64 sp = proc.regs().stack().address();
+    u64 va = (sp - frame_len) & ~u64{15};
+    frame.frameVa = va;
+
+    u64 hdr[3] = {static_cast<u64>(frame.signo), frame.faultAddr,
+                  static_cast<u64>(frame.faultCause)};
+    mustSucceed(proc.as().writeBytes(va, hdr, sizeof(hdr)));
+
+    auto store_slot = [&](u64 idx, const Capability &cap) {
+        u64 at = va + header + idx * slot;
+        if (cheri) {
+            mustSucceed(proc.as().writeCap(at, cap));
+        } else {
+            u64 a = cap.address();
+            mustSucceed(proc.as().writeBytes(at, &a, 8));
+        }
+    };
+    const ThreadRegs &regs = proc.regs();
+    store_slot(0, regs.pcc);
+    store_slot(1, regs.ddc);
+    for (unsigned i = 0; i < numCapRegs; ++i)
+        store_slot(2 + i, regs.c[i]);
+    if (!cheri) {
+        u64 xbase = va + header + numFrameCaps * 8;
+        mustSucceed(proc.as().writeBytes(xbase, regs.x.data(),
+                                          numCapRegs * 8));
+    }
+    frame.saved = regs;
+    // Cost: trap entry plus spilling the (ABI-width) register file.
+    proc.cost().syscall(0);
+    proc.cost().copyLoop(0x7f0000000, va, frame_len);
+
+    // Handler runs with the stack below the frame and the return path
+    // through the tightly bounded trampoline capability.
+    proc.regs().stack() = proc.regs().stack().setAddress(va);
+    proc.regs().c[regLink] = proc.trampolineCap;
+}
+
+void
+Kernel::popSigFrame(Process &proc, const SigFrame &frame)
+{
+    const bool cheri = proc.abi() == Abi::CheriAbi;
+    const u64 slot = cheri ? capSize : 8;
+    const u64 header = 48;
+    u64 va = frame.frameVa;
+    ThreadRegs regs = proc.regs();
+
+    auto load_slot = [&](u64 idx) -> Capability {
+        u64 at = va + header + idx * slot;
+        if (cheri) {
+            Result<Capability> r = proc.as().readCap(at);
+            assert(r.ok());
+            return r.value();
+        }
+        u64 a = 0;
+        mustSucceed(proc.as().readBytes(at, &a, 8));
+        return Capability::fromAddress(a);
+    };
+    if (cheri) {
+        regs.pcc = load_slot(0);
+        regs.ddc = load_slot(1);
+    } else {
+        // The legacy frame holds only 64-bit register values; PCC and
+        // DDC are kernel-managed state the signal path preserves
+        // directly (legacy userspace never held capabilities).
+        regs.pcc = frame.saved.pcc;
+        regs.ddc = frame.saved.ddc;
+    }
+    for (unsigned i = 0; i < numCapRegs; ++i)
+        regs.c[i] = load_slot(2 + i);
+    if (!cheri) {
+        u64 xbase = va + header + numFrameCaps * 8;
+        mustSucceed(proc.as().readBytes(xbase, regs.x.data(),
+                                          numCapRegs * 8));
+    }
+    proc.regs() = regs;
+    proc.cost().copyLoop(va, 0x7f0000000, header + numFrameCaps * slot);
+}
+
+u64
+Kernel::deliverSignals(Process &proc)
+{
+    u64 delivered = 0;
+    u64 live = proc.pendingSignals() & ~proc.sigMask;
+    for (int sig = 1; sig < numSignals && !proc.exited(); ++sig) {
+        if (!(live & (u64{1} << sig)))
+            continue;
+        proc.clearPending(sig);
+        SigAction &act = proc.sigaction(sig);
+        switch (act.kind) {
+          case SigAction::Kind::Ignore:
+            continue;
+          case SigAction::Kind::Default:
+            if (defaultTerminates(sig))
+                proc.die({sig, CapFault::None, 0, "default action"});
+            continue;
+          case SigAction::Kind::Handler: {
+            const SigHandler *fn = proc.handlerById(act.handlerId);
+            if (!fn)
+                continue;
+            SigFrame frame;
+            frame.signo = sig;
+            pushSigFrame(proc, frame);
+            (*fn)(proc, frame);
+            popSigFrame(proc, frame);
+            ++delivered;
+            break;
+          }
+        }
+        live = proc.pendingSignals() & ~proc.sigMask;
+        sig = 0; // rescan from the start after running a handler
+    }
+    return delivered;
+}
+
+} // namespace cheri

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * File-descriptor system calls.
+ *
+ * Every buffer crossing the user/kernel boundary moves through
+ * copyin/copyout, i.e., through the caller's capability for CheriABI
+ * processes — the kernel never substitutes its own authority
+ * (paper Figure 3).
+ */
+
+#include "os/kernel.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cheri
+{
+
+SysResult
+Kernel::sysOpen(Process &proc, const UserPtr &path, u32 flags)
+{
+    chargeSyscall(proc, 1);
+    std::string p;
+    int err = copyinstr(proc, path, &p);
+    if (err)
+        return SysResult::fail(err);
+    VNodeRef node = fs.lookup(p);
+    if (!node) {
+        if (!(flags & O_CREAT))
+            return SysResult::fail(E_NOENT);
+        node = fs.createFile(p);
+        if (!node)
+            return SysResult::fail(E_ACCES);
+    }
+    if (node->kind == NodeKind::Directory &&
+        (flags & O_ACCMODE) != O_RDONLY) {
+        return SysResult::fail(E_ISDIR);
+    }
+    if ((flags & O_TRUNC) && node->kind == NodeKind::Regular)
+        node->data.clear();
+    auto of = std::make_shared<OpenFile>();
+    of->node = node;
+    of->flags = flags;
+    return SysResult::ok(static_cast<u64>(proc.allocFd(std::move(of))));
+}
+
+SysResult
+Kernel::sysClose(Process &proc, int fd)
+{
+    chargeSyscall(proc, 0);
+    int err = proc.closeFd(fd);
+    return err ? SysResult::fail(err) : SysResult::ok();
+}
+
+SysResult
+Kernel::sysRead(Process &proc, int fd, const UserPtr &buf, u64 len)
+{
+    chargeSyscall(proc, 1);
+    OpenFileRef of = proc.fd(fd);
+    if (!of)
+        return SysResult::fail(E_BADF);
+    std::vector<u8> tmp(len);
+    s64 n = Vfs::read(*of, tmp.data(), len);
+    if (n < 0)
+        return SysResult::fail(static_cast<int>(-n));
+    int err = copyout(proc, tmp.data(), buf, static_cast<u64>(n));
+    if (err)
+        return SysResult::fail(err);
+    return SysResult::ok(static_cast<u64>(n));
+}
+
+SysResult
+Kernel::sysWrite(Process &proc, int fd, const UserPtr &buf, u64 len)
+{
+    chargeSyscall(proc, 1);
+    OpenFileRef of = proc.fd(fd);
+    if (!of)
+        return SysResult::fail(E_BADF);
+    std::vector<u8> tmp(len);
+    int err = copyin(proc, buf, tmp.data(), len);
+    if (err)
+        return SysResult::fail(err);
+    s64 n = Vfs::write(*of, tmp.data(), len);
+    if (n < 0)
+        return SysResult::fail(static_cast<int>(-n));
+    return SysResult::ok(static_cast<u64>(n));
+}
+
+SysResult
+Kernel::sysLseek(Process &proc, int fd, s64 off, int whence)
+{
+    chargeSyscall(proc, 0);
+    OpenFileRef of = proc.fd(fd);
+    if (!of)
+        return SysResult::fail(E_BADF);
+    if (of->node->kind != NodeKind::Regular)
+        return SysResult::fail(E_INVAL);
+    s64 base = 0;
+    switch (whence) {
+      case 0: base = 0; break;                                    // SET
+      case 1: base = static_cast<s64>(of->offset); break;          // CUR
+      case 2: base = static_cast<s64>(of->node->data.size()); break; // END
+      default: return SysResult::fail(E_INVAL);
+    }
+    s64 pos = base + off;
+    if (pos < 0)
+        return SysResult::fail(E_INVAL);
+    of->offset = static_cast<u64>(pos);
+    return SysResult::ok(of->offset);
+}
+
+SysResult
+Kernel::sysPipe(Process &proc, int fds_out[2])
+{
+    chargeSyscall(proc, 1);
+    auto [rd, wr] = Vfs::makePipe();
+    auto rof = std::make_shared<OpenFile>();
+    rof->node = rd;
+    rof->flags = O_RDONLY;
+    auto wof = std::make_shared<OpenFile>();
+    wof->node = wr;
+    wof->flags = O_WRONLY;
+    fds_out[0] = proc.allocFd(std::move(rof));
+    fds_out[1] = proc.allocFd(std::move(wof));
+    return SysResult::ok();
+}
+
+SysResult
+Kernel::sysDup(Process &proc, int fd)
+{
+    chargeSyscall(proc, 0);
+    OpenFileRef of = proc.fd(fd);
+    if (!of)
+        return SysResult::fail(E_BADF);
+    return SysResult::ok(static_cast<u64>(proc.allocFd(of)));
+}
+
+SysResult
+Kernel::sysGetcwd(Process &proc, const UserPtr &buf, u64 len)
+{
+    chargeSyscall(proc, 1);
+    const char cwd[] = "/home";
+    if (len < sizeof(cwd))
+        return SysResult::fail(E_RANGE);
+    // The kernel fills the *entire caller-claimed buffer* (cwd plus
+    // zero padding), as several libc implementations do.  A caller that
+    // lies about its buffer size — the BOdiagsuite getcwd cases — gets
+    // an out-of-bounds write under mips64 and an EPROT here under
+    // CheriABI, because the copyout runs through the user capability.
+    std::vector<u8> out(len, 0);
+    std::memcpy(out.data(), cwd, sizeof(cwd));
+    int err = copyout(proc, out.data(), buf, len);
+    if (err)
+        return SysResult::fail(err);
+    return SysResult::ok(sizeof(cwd));
+}
+
+SysResult
+Kernel::sysSelect(Process &proc, int nfds, const UserPtr &readfds,
+                  const UserPtr &writefds, const UserPtr &exceptfds,
+                  const UserPtr &timeout)
+{
+    // Four pointer arguments: the syscall for which the legacy ABI's
+    // capability-construction cost bites hardest (paper section 5.2).
+    chargeSyscall(proc, 4);
+    if (nfds < 0 || nfds > 64)
+        return SysResult::fail(E_INVAL);
+    u64 rd = 0, wr = 0, ex = 0;
+    int err;
+    if (!readfds.isNull() && (err = copyin(proc, readfds, &rd, 8)))
+        return SysResult::fail(err);
+    if (!writefds.isNull() && (err = copyin(proc, writefds, &wr, 8)))
+        return SysResult::fail(err);
+    if (!exceptfds.isNull() && (err = copyin(proc, exceptfds, &ex, 8)))
+        return SysResult::fail(err);
+    if (!timeout.isNull()) {
+        u64 tv[2];
+        if ((err = copyin(proc, timeout, tv, sizeof(tv))))
+            return SysResult::fail(err);
+    }
+    u64 rd_out = 0, wr_out = 0;
+    u64 ready = 0;
+    for (int fd = 0; fd < nfds; ++fd) {
+        u64 bit = u64{1} << fd;
+        OpenFileRef of = proc.fd(fd);
+        if (!of) {
+            if ((rd | wr | ex) & bit)
+                return SysResult::fail(E_BADF);
+            continue;
+        }
+        if ((rd & bit) && Vfs::readReady(of->node, of->offset)) {
+            rd_out |= bit;
+            ++ready;
+        }
+        if ((wr & bit) && Vfs::writeReady(of->node)) {
+            wr_out |= bit;
+            ++ready;
+        }
+    }
+    if (!readfds.isNull() && (err = copyout(proc, &rd_out, readfds, 8)))
+        return SysResult::fail(err);
+    if (!writefds.isNull() && (err = copyout(proc, &wr_out, writefds, 8)))
+        return SysResult::fail(err);
+    if (!exceptfds.isNull()) {
+        u64 zero = 0;
+        if ((err = copyout(proc, &zero, exceptfds, 8)))
+            return SysResult::fail(err);
+    }
+    return SysResult::ok(ready);
+}
+
+} // namespace cheri

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Virtual-address management system calls.
+ *
+ * Implements the paper's CheriABI mmap semantics (section 4):
+ *
+ *  - mmap and shmat return capabilities bounded to the requested
+ *    allocation, permissions derived from the page protections plus the
+ *    user-defined vmmap permission;
+ *  - a tagged hint capability must carry vmmap for MAP_FIXED; the
+ *    returned capability is derived from the hint, preserving
+ *    provenance;
+ *  - untagged hints (or capabilities without vmmap) are accepted for
+ *    non-fixed requests; a fixed request without vmmap succeeds only if
+ *    it would not replace an existing mapping;
+ *  - munmap and shmdt demand the vmmap permission, so leaked data
+ *    pointers can never be used to pull mappings out from under their
+ *    owners.
+ */
+
+#include "os/kernel.h"
+
+#include <algorithm>
+
+namespace cheri
+{
+
+SysResult
+Kernel::sysMmap(Process &proc, const UserPtr &addr, u64 len, u32 prot,
+                u32 flags, UserPtr *out_ptr)
+{
+    chargeSyscall(proc, 1);
+    if (len == 0)
+        return SysResult::fail(E_INVAL);
+    const bool cheri = proc.abi() == Abi::CheriAbi;
+    const bool fixed = flags & MAP_FIXED;
+    const bool hint_tagged = cheri && addr.isCap && addr.cap.tag();
+    const bool hint_has_vmmap =
+        hint_tagged && addr.cap.hasPerms(PERM_SW_VMMAP);
+
+    u64 padded = proc.as().representablePadding(len);
+    u64 start;
+    if (fixed) {
+        u64 want = pageTrunc(addr.addr());
+        if (cheri) {
+            if (hint_tagged && !hint_has_vmmap)
+                return SysResult::fail(E_PROT);
+            if (!hint_tagged && proc.as().rangeOccupied(want, padded)) {
+                // Without a vmmap-bearing capability, a fixed mapping
+                // may not replace existing memory.
+                return SysResult::fail(E_PROT);
+            }
+        }
+        start = proc.as().map(want, padded, prot, MappingKind::Data, true,
+                              flags & MAP_SHARED, "mmap", true);
+    } else {
+        start = proc.as().map(addr.addr(), padded, prot,
+                              MappingKind::Data, false,
+                              flags & MAP_SHARED, "mmap");
+    }
+    if (start == 0)
+        return SysResult::fail(E_NOMEM);
+
+    if (!cheri) {
+        *out_ptr = UserPtr::fromAddr(start);
+        return SysResult::ok(start);
+    }
+    Capability result;
+    if (hint_has_vmmap && addr.cap.inBounds(start, padded)) {
+        // Derive from the caller's capability: provenance is preserved
+        // through the kernel (paper section 4).
+        auto b = addr.cap.setAddress(start).setBounds(padded);
+        if (b.ok()) {
+            auto p = b.value().andPerms(protToPerms(prot) | PERM_SW_VMMAP);
+            if (p.ok())
+                result = p.value();
+        }
+    }
+    if (!result.tag())
+        result = proc.as().capForRange(start, padded, prot, true);
+    proc.cost().capManip(3);
+    if (traceSink)
+        traceSink->derive(DeriveSource::Syscall, result);
+    *out_ptr = UserPtr::fromCap(result);
+    return SysResult::ok(start);
+}
+
+SysResult
+Kernel::sysMmapFd(Process &proc, int fd, u64 offset, u64 len, u32 prot,
+                  u32 flags, UserPtr *out_ptr)
+{
+    chargeSyscall(proc, 1);
+    OpenFileRef of = proc.fd(fd);
+    if (!of || of->node->kind != NodeKind::Regular)
+        return SysResult::fail(E_BADF);
+    if ((prot & PROT_WRITE) && (flags & MAP_SHARED) && !of->writable())
+        return SysResult::fail(E_ACCES);
+    UserPtr out;
+    SysResult r = sysMmap(proc, UserPtr::null(), len, prot,
+                          (flags & ~u32{MAP_ANON}) | MAP_PRIVATE, &out);
+    if (r.failed())
+        return r;
+    // Pages fill lazily from the file node; MAP_SHARED mappings also
+    // get a flush path for msync.
+    VNodeRef node = of->node;
+    BackingReader reader = [node](u64 file_off, u8 *dst, u64 n) {
+        for (u64 i = 0; i < n; ++i) {
+            dst[i] = file_off + i < node->data.size()
+                         ? node->data[file_off + i]
+                         : 0;
+        }
+    };
+    BackingWriter writer;
+    if (flags & MAP_SHARED) {
+        writer = [node](u64 file_off, const u8 *src, u64 n) {
+            if (node->data.size() < file_off + n)
+                node->data.resize(file_off + n);
+            std::copy(src, src + n, node->data.begin() +
+                                        static_cast<long>(file_off));
+        };
+    }
+    bool ok = proc.as().setBacking(
+        r.value, proc.as().representablePadding(len), std::move(reader),
+        std::move(writer), offset);
+    if (!ok)
+        return SysResult::fail(E_INVAL);
+    *out_ptr = out;
+    return SysResult::ok(r.value);
+}
+
+SysResult
+Kernel::sysMsync(Process &proc, const UserPtr &addr, u64 len)
+{
+    chargeSyscall(proc, 1);
+    if (proc.abi() == Abi::CheriAbi &&
+        (!addr.isCap || !addr.cap.tag())) {
+        return SysResult::fail(E_PROT);
+    }
+    const Mapping *m = proc.as().findMapping(addr.addr());
+    if (!m || !m->backing)
+        return SysResult::fail(E_INVAL);
+    if (!m->backingWriter)
+        return SysResult::fail(E_INVAL); // private mapping
+    u64 pages = proc.as().syncResident(addr.addr(), len);
+    proc.cost().copyLoop(addr.addr(), 0xC000000000, pages * pageSize);
+    return SysResult::ok(pages);
+}
+
+SysResult
+Kernel::sysMunmap(Process &proc, const UserPtr &addr, u64 len)
+{
+    chargeSyscall(proc, 1);
+    if (proc.abi() == Abi::CheriAbi) {
+        if (!addr.isCap || !addr.cap.tag() ||
+            !addr.cap.hasPerms(PERM_SW_VMMAP)) {
+            return SysResult::fail(E_PROT);
+        }
+        if (!addr.cap.inBounds(addr.addr(), len))
+            return SysResult::fail(E_PROT);
+    }
+    if (!proc.as().unmap(addr.addr(), len))
+        return SysResult::fail(E_INVAL);
+    return SysResult::ok();
+}
+
+SysResult
+Kernel::sysMprotect(Process &proc, const UserPtr &addr, u64 len, u32 prot)
+{
+    chargeSyscall(proc, 1);
+    if (proc.abi() == Abi::CheriAbi) {
+        if (!addr.isCap || !addr.cap.tag())
+            return SysResult::fail(E_PROT);
+        // mprotect may only *reduce* what the capability grants: pages
+        // cannot become more permissive than the authorizing pointer.
+        u32 cap_prot = 0;
+        if (addr.cap.hasPerms(PERM_LOAD))
+            cap_prot |= PROT_READ;
+        if (addr.cap.hasPerms(PERM_STORE))
+            cap_prot |= PROT_WRITE;
+        if (addr.cap.hasPerms(PERM_EXECUTE))
+            cap_prot |= PROT_EXEC;
+        if (prot & ~cap_prot)
+            return SysResult::fail(E_PROT);
+    }
+    if (!proc.as().protect(addr.addr(), len, prot))
+        return SysResult::fail(E_INVAL);
+    return SysResult::ok();
+}
+
+SysResult
+Kernel::sysShmget(Process &proc, u64 key, u64 size)
+{
+    chargeSyscall(proc, 0);
+    (void)key;
+    if (size == 0)
+        return SysResult::fail(E_INVAL);
+    ShmSegment seg;
+    seg.size = pageRound(size);
+    for (u64 off = 0; off < seg.size; off += pageSize)
+        seg.frames.push_back(phys.allocFrame());
+    int id = nextShmId++;
+    shmSegments.emplace(id, std::move(seg));
+    return SysResult::ok(static_cast<u64>(id));
+}
+
+SysResult
+Kernel::sysShmat(Process &proc, int shmid, const UserPtr &addr,
+                 UserPtr *out_ptr)
+{
+    chargeSyscall(proc, 1);
+    auto it = shmSegments.find(shmid);
+    if (it == shmSegments.end())
+        return SysResult::fail(E_INVAL);
+    ShmSegment &seg = it->second;
+    const bool cheri = proc.abi() == Abi::CheriAbi;
+    bool fixed = !addr.isNull() && addr.addr() != 0;
+    if (fixed && cheri) {
+        // shmat at a fixed address requires a vmmap-bearing capability.
+        if (!addr.isCap || !addr.cap.tag() ||
+            !addr.cap.hasPerms(PERM_SW_VMMAP)) {
+            return SysResult::fail(E_PROT);
+        }
+    }
+    u64 start = proc.as().map(fixed ? addr.addr() : 0, seg.size,
+                              PROT_READ | PROT_WRITE,
+                              MappingKind::SharedMem, fixed, true,
+                              "shm", fixed);
+    if (start == 0)
+        return SysResult::fail(E_NOMEM);
+    for (u64 i = 0; i < seg.frames.size(); ++i)
+        proc.as().installFrame(start + i * pageSize, seg.frames[i]);
+    if (!cheri) {
+        *out_ptr = UserPtr::fromAddr(start);
+        return SysResult::ok(start);
+    }
+    Capability cap = proc.as().capForRange(start, seg.size,
+                                           PROT_READ | PROT_WRITE, true);
+    proc.cost().capManip(3);
+    if (traceSink)
+        traceSink->derive(DeriveSource::Syscall, cap);
+    *out_ptr = UserPtr::fromCap(cap);
+    return SysResult::ok(start);
+}
+
+SysResult
+Kernel::sysShmdt(Process &proc, const UserPtr &addr)
+{
+    chargeSyscall(proc, 1);
+    if (proc.abi() == Abi::CheriAbi) {
+        if (!addr.isCap || !addr.cap.tag() ||
+            !addr.cap.hasPerms(PERM_SW_VMMAP)) {
+            return SysResult::fail(E_PROT);
+        }
+    }
+    const Mapping *m = proc.as().findMapping(addr.addr());
+    if (!m || m->kind != MappingKind::SharedMem)
+        return SysResult::fail(E_INVAL);
+    proc.as().unmap(m->start, m->len);
+    return SysResult::ok();
+}
+
+} // namespace cheri

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * User pointers as seen at the system-call boundary.
+ *
+ * Under CheriABI every pointer argument arrives in a capability register
+ * — tagged, bounded, and carrying permissions — and the kernel uses
+ * *that* capability when dereferencing (paper Figure 3), never its own
+ * elevated authority.  Under the legacy mips64 ABI the same argument is
+ * a bare 64-bit integer, and the kernel must construct a capability from
+ * the process's address-space authority before any access.
+ *
+ * UserPtr captures both cases so every syscall has a single signature.
+ */
+
+#ifndef CHERI_OS_USER_PTR_H
+#define CHERI_OS_USER_PTR_H
+
+#include "cap/capability.h"
+
+namespace cheri
+{
+
+struct UserPtr
+{
+    Capability cap;
+    /** True when the caller's ABI delivered a capability register. */
+    bool isCap = false;
+
+    static UserPtr
+    fromCap(const Capability &c)
+    {
+        return {c, true};
+    }
+
+    static UserPtr
+    fromAddr(u64 addr)
+    {
+        return {Capability::fromAddress(addr), false};
+    }
+
+    static UserPtr null() { return {}; }
+
+    u64 addr() const { return cap.address(); }
+    bool isNull() const { return !cap.tag() && cap.address() == 0; }
+
+    /** Pointer arithmetic preserving the carrier capability. */
+    UserPtr
+    offsetBy(s64 delta) const
+    {
+        return {cap.incAddress(delta), isCap};
+    }
+};
+
+} // namespace cheri
+
+#endif // CHERI_OS_USER_PTR_H

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * In-memory virtual filesystem for the MiniBSD kernel.
+ *
+ * Provides regular files in a directory tree, pipes, and a small
+ * pseudo-terminal pair — the device classes the CheriABI evaluation
+ * touches (the paper's Figure 3 walks a capability from userspace
+ * through the file-descriptor layer into a pseudo-terminal).
+ */
+
+#ifndef CHERI_OS_VFS_H
+#define CHERI_OS_VFS_H
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cap/types.h"
+#include "os/errno.h"
+
+namespace cheri
+{
+
+enum class NodeKind
+{
+    Regular,
+    Directory,
+    Pipe,
+    PtyMaster,
+    PtySlave,
+};
+
+/** open(2) flags. */
+enum OpenFlags : u32
+{
+    O_RDONLY = 0,
+    O_WRONLY = 1,
+    O_RDWR = 2,
+    O_ACCMODE = 3,
+    O_APPEND = 0x8,
+    O_CREAT = 0x200,
+    O_TRUNC = 0x400,
+};
+
+struct VNode;
+using VNodeRef = std::shared_ptr<VNode>;
+
+/** Byte queue shared by the two ends of a pipe or pty. */
+struct ByteChannel
+{
+    std::deque<u8> buf;
+    bool writerClosed = false;
+    static constexpr u64 capacity = 64 * 1024;
+};
+
+struct VNode
+{
+    NodeKind kind = NodeKind::Regular;
+    std::string name;
+    std::vector<u8> data;                     // Regular
+    std::map<std::string, VNodeRef> children; // Directory
+    std::shared_ptr<ByteChannel> readCh;      // Pipe/Pty read side
+    std::shared_ptr<ByteChannel> writeCh;     // Pipe/Pty write side
+};
+
+/** One open-file description (shared across dup/fork). */
+struct OpenFile
+{
+    VNodeRef node;
+    u64 offset = 0;
+    u32 flags = O_RDONLY;
+
+    bool readable() const { return (flags & O_ACCMODE) != O_WRONLY; }
+    bool writable() const { return (flags & O_ACCMODE) != O_RDONLY; }
+};
+
+using OpenFileRef = std::shared_ptr<OpenFile>;
+
+class Vfs
+{
+  public:
+    Vfs();
+
+    /** Resolve @p path; nullptr if absent. */
+    VNodeRef lookup(const std::string &path) const;
+
+    /** Create a regular file (and missing parents); fails if it exists
+     *  as a directory. */
+    VNodeRef createFile(const std::string &path);
+
+    /** Create a directory (and missing parents). */
+    VNodeRef mkdir(const std::string &path);
+
+    /** Remove a file; Errno on failure. */
+    int unlink(const std::string &path);
+
+    /** List names in a directory. */
+    std::vector<std::string> readdir(const std::string &path) const;
+
+    /** Make a connected pipe: (read end, write end). */
+    static std::pair<VNodeRef, VNodeRef> makePipe();
+
+    /** Make a pseudo-terminal pair: (master, slave). */
+    static std::pair<VNodeRef, VNodeRef> makePty();
+
+    /** Data immediately readable from @p node (select support). */
+    static bool readReady(const VNodeRef &node, u64 offset);
+
+    /** Space immediately writable to @p node. */
+    static bool writeReady(const VNodeRef &node);
+
+    /**
+     * Read from an open file; returns bytes read (0 = EOF) or negative
+     * errno.  Pipes/ptys consume from their channel.
+     */
+    static s64 read(OpenFile &of, void *buf, u64 len);
+
+    /** Write; returns bytes written or negative errno. */
+    static s64 write(OpenFile &of, const void *buf, u64 len);
+
+  private:
+    VNodeRef walk(const std::string &path, bool create_dirs,
+                  std::string *leaf) const;
+
+    VNodeRef root;
+};
+
+} // namespace cheri
+
+#endif // CHERI_OS_VFS_H

@@ -1,0 +1,157 @@
+#include "sanitizer/asan.h"
+
+namespace cheri
+{
+
+namespace
+{
+
+constexpr u64 arenaBytes = 8 * 1024 * 1024;
+
+} // namespace
+
+AsanRuntime::AsanRuntime(GuestContext &ctx) : ctx(ctx) {}
+
+u64
+AsanRuntime::redzoneFor(u64 size)
+{
+    // ASan scales redzones with allocation size, within fixed bounds.
+    if (size <= 64)
+        return 16;
+    if (size <= 512)
+        return 64;
+    if (size <= 4096)
+        return 128;
+    return 256;
+}
+
+void
+AsanRuntime::unpoison(u64 start, u64 end)
+{
+    if (start >= end)
+        return;
+    auto it = poisoned.lower_bound(start);
+    if (it != poisoned.begin())
+        --it;
+    while (it != poisoned.end() && it->first < end) {
+        u64 s = it->first;
+        PoisonRange r = it->second;
+        if (r.end <= start) {
+            ++it;
+            continue;
+        }
+        it = poisoned.erase(it);
+        if (s < start)
+            poisoned[s] = {start, r.kind};
+        if (r.end > end)
+            it = poisoned.insert({end, {r.end, r.kind}}).first;
+    }
+}
+
+void
+AsanRuntime::poison(u64 start, u64 end, AsanReport::Kind kind)
+{
+    if (start >= end)
+        return;
+    unpoison(start, end); // keep intervals disjoint
+    poisoned[start] = {end, kind};
+}
+
+void
+AsanRuntime::ensureArena()
+{
+    if (!arena.isNull() || arenaEnd != 0)
+        return;
+    arena = ctx.mmap(arenaBytes);
+    arenaBump = arena.addr();
+    arenaEnd = arena.addr() + arenaBytes;
+    // Everything in the heap arena is poisoned until allocated.
+    poison(arenaBump, arenaEnd, AsanReport::Kind::HeapBufferOverflow);
+}
+
+GuestPtr
+AsanRuntime::malloc(u64 size)
+{
+    ensureArena();
+    u64 rz = redzoneFor(size);
+    u64 need = rz + ((size + 15) & ~u64{15}) + rz;
+    if (arenaBump + need > arenaEnd)
+        return GuestPtr();
+    u64 payload = arenaBump + rz;
+    arenaBump += need;
+    unpoison(payload, payload + size);
+    liveSizes[payload] = size;
+    overheadBytes += need - size;
+    // Poisoning/bookkeeping work: shadow bytes written.
+    ctx.cost().alu(16 + need / 8);
+    // ASan hands out an *unbounded* pointer: protection comes from the
+    // shadow, not the pointer.
+    if (ctx.isCheri())
+        return GuestPtr(arena.cap.setAddress(payload));
+    return GuestPtr(Capability::fromAddress(payload));
+}
+
+void
+AsanRuntime::free(const GuestPtr &p)
+{
+    auto it = liveSizes.find(p.addr());
+    if (it == liveSizes.end())
+        return;
+    u64 size = it->second;
+    // Use-after-free protection: poison and quarantine.  The arena is
+    // bump-allocated, so quarantined storage is never reused — a
+    // strict over-approximation of ASan's bounded quarantine.
+    poison(p.addr(), p.addr() + size, AsanReport::Kind::UseAfterFree);
+    quarantine.emplace_back(p.addr(), size);
+    overheadBytes += size;
+    liveSizes.erase(it);
+    ctx.cost().alu(16 + size / 8);
+}
+
+GuestPtr
+AsanRuntime::stackAlloc(StackFrame &frame, u64 size)
+{
+    u64 rz = 32; // fixed stack redzones
+    GuestPtr raw = frame.alloc(rz + size + rz);
+    u64 payload = raw.addr() + rz;
+    poison(raw.addr(), payload, AsanReport::Kind::StackBufferOverflow);
+    // The rest of the frame region — other slots' redzones plus the
+    // not-yet-used stack below the frame — is poisoned shadow too, so
+    // far overflows from a stack buffer land in red (stack poisoning).
+    poison(payload + size, payload + size + rz + 8192,
+           AsanReport::Kind::StackBufferOverflow);
+    unpoison(payload, payload + size);
+    overheadBytes += 2 * rz;
+    ctx.cost().alu(8);
+    if (ctx.isCheri())
+        return GuestPtr(raw.cap.setAddress(payload));
+    return GuestPtr(Capability::fromAddress(payload));
+}
+
+void
+AsanRuntime::registerGlobal(const GuestPtr &p, u64 size)
+{
+    u64 rz = redzoneFor(size);
+    poison(p.addr() + size, p.addr() + size + rz,
+           AsanReport::Kind::GlobalBufferOverflow);
+    if (p.addr() >= rz) {
+        poison(p.addr() - rz, p.addr(),
+               AsanReport::Kind::GlobalBufferOverflow);
+    }
+    overheadBytes += 2 * rz;
+}
+
+void
+AsanRuntime::checkAccess(u64 addr, u64 len) const
+{
+    if (len == 0)
+        return;
+    auto it = poisoned.upper_bound(addr + len - 1);
+    if (it == poisoned.begin())
+        return;
+    --it;
+    if (it->second.end > addr)
+        throw AsanReport(it->second.kind, addr);
+}
+
+} // namespace cheri

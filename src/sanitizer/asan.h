@@ -1,0 +1,147 @@
+/**
+ * @file
+ * AddressSanitizer model.
+ *
+ * The paper compares CheriABI against LLVM AddressSanitizer (section 5):
+ * similar spatial protection for heap/stack/global allocations, but
+ * implemented in software with shadow memory and redzones, at ~3×
+ * run-time cost and with characteristic detection gaps — an access that
+ * jumps clear over the redzone into another valid allocation goes
+ * unnoticed.  This model reproduces both the mechanism and the gaps:
+ *
+ *  - every allocation is surrounded by poisoned redzones whose size
+ *    follows ASan's policy (bounded, not proportional to stride);
+ *  - freed memory is poisoned and quarantined;
+ *  - checks consult the shadow state exactly at the accessed bytes, so
+ *    a far-out-of-bounds access that lands in live memory is a miss.
+ *
+ * Cost-wise, the shadow check instrumentation lives in CostModel
+ * (MachineFeatures::asanInstrumentation); this class adds the allocator
+ * overheads (redzone footprint, poisoning work).
+ */
+
+#ifndef CHERI_SANITIZER_ASAN_H
+#define CHERI_SANITIZER_ASAN_H
+
+#include <map>
+#include <deque>
+
+#include "guest/context.h"
+#include "libc/malloc.h"
+
+namespace cheri
+{
+
+/** Thrown when an instrumented access touches poisoned shadow. */
+class AsanReport : public std::runtime_error
+{
+  public:
+    enum class Kind
+    {
+        HeapBufferOverflow,
+        StackBufferOverflow,
+        GlobalBufferOverflow,
+        UseAfterFree,
+    };
+
+    AsanReport(Kind kind, u64 addr)
+        : std::runtime_error("AddressSanitizer: access at " +
+                             std::to_string(addr)),
+          _kind(kind), _addr(addr)
+    {
+    }
+
+    Kind kind() const { return _kind; }
+    u64 addr() const { return _addr; }
+
+  private:
+    Kind _kind;
+    u64 _addr;
+};
+
+class AsanRuntime
+{
+  public:
+    /**
+     * @param ctx guest context (should run with asanInstrumentation so
+     *        the cost model charges shadow checks)
+     */
+    explicit AsanRuntime(GuestContext &ctx);
+
+    /** Redzone ASan places around an allocation of @p size bytes. */
+    static u64 redzoneFor(u64 size);
+
+    /** Instrumented heap allocation: left+right redzones, shadow
+     *  unpoisoned only over the payload. */
+    GuestPtr malloc(u64 size);
+
+    /** Poison + quarantine; reuse is deferred. */
+    void free(const GuestPtr &p);
+
+    /** Instrumented stack slot within @p frame. */
+    GuestPtr stackAlloc(StackFrame &frame, u64 size);
+
+    /** Register a global of @p size at @p addr with redzones. */
+    void registerGlobal(const GuestPtr &p, u64 size);
+
+    /**
+     * The compiler-inserted check: throws AsanReport if any byte of
+     * [addr, addr+len) is poisoned.  Returns normally otherwise —
+     * including for wild accesses into unpoisoned valid memory (the
+     * model's deliberate blind spot).
+     */
+    void checkAccess(u64 addr, u64 len) const;
+
+    /** Instrumented load/store helpers (check + access + cost). */
+    template <typename T>
+    T
+    load(const GuestPtr &p, s64 off = 0)
+    {
+        checkAccess(p.addr() + static_cast<u64>(off), sizeof(T));
+        return ctx.load<T>(p, off);
+    }
+
+    template <typename T>
+    void
+    store(const GuestPtr &p, s64 off, T v)
+    {
+        checkAccess(p.addr() + static_cast<u64>(off), sizeof(T));
+        ctx.store<T>(p, off, v);
+    }
+
+    /** Bytes of redzone + quarantine currently held (memory overhead). */
+    u64 shadowOverheadBytes() const { return overheadBytes; }
+
+  private:
+    struct PoisonRange
+    {
+        u64 end = 0;
+        AsanReport::Kind kind = AsanReport::Kind::HeapBufferOverflow;
+    };
+
+    /** Mark [start, end) poisoned (replacing any overlap). */
+    void poison(u64 start, u64 end, AsanReport::Kind kind);
+    /** Clear poison over [start, end), splitting intervals. */
+    void unpoison(u64 start, u64 end);
+    void ensureArena();
+
+    GuestContext &ctx;
+    /**
+     * The instrumented heap: one contiguous arena, fully poisoned at
+     * creation; allocations carve unpoisoned payloads out of it (a
+     * bump allocator — freed memory stays quarantined forever, which
+     * over-approximates ASan's quarantine but only strengthens it).
+     */
+    GuestPtr arena;
+    u64 arenaBump = 0;
+    u64 arenaEnd = 0;
+    /** Poisoned intervals (disjoint): start -> (end, kind). */
+    std::map<u64, PoisonRange> poisoned;
+    std::map<u64, u64> liveSizes; // payload start -> size
+    std::deque<std::pair<u64, u64>> quarantine;
+    u64 overheadBytes = 0;
+};
+
+} // namespace cheri
+
+#endif // CHERI_SANITIZER_ASAN_H

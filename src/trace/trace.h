@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Capability derivation tracing.
+ *
+ * The paper reconstructs a process's *abstract capability* from an
+ * ISA-level trace of capability manipulations (section 5.5, Figure 5).
+ * Our equivalent instruments every site where the system mints or
+ * narrows a capability — kernel startup, execve, mmap/syscall returns,
+ * run-time-linker relocations, stack references, malloc, TLS — and
+ * reports each derived capability together with its source.
+ */
+
+#ifndef CHERI_TRACE_TRACE_H
+#define CHERI_TRACE_TRACE_H
+
+#include <cstdint>
+#include <string_view>
+
+#include "cap/capability.h"
+
+namespace cheri
+{
+
+/** Where a capability visible in userspace came from (Figure 5 legend). */
+enum class DeriveSource : std::uint8_t
+{
+    /** Bounded reference to an automatic (stack) object. */
+    Stack,
+    /** Heap allocation returned by malloc/realloc. */
+    Malloc,
+    /** Installed by execve: argv/envv/auxv, initial registers, stack. */
+    Exec,
+    /** Global-variable and function capabilities minted by the RTLD. */
+    GlobRelocs,
+    /** Returned by a system call (mmap, shmat, kevent...). */
+    Syscall,
+    /** Kernel-internal capabilities used to access user memory. */
+    Kern,
+    /** Thread-local-storage block capabilities. */
+    Tls,
+    /** Transient values later narrowed further. */
+    Temp,
+};
+
+constexpr std::string_view
+deriveSourceName(DeriveSource s)
+{
+    switch (s) {
+      case DeriveSource::Stack: return "stack";
+      case DeriveSource::Malloc: return "malloc";
+      case DeriveSource::Exec: return "exec";
+      case DeriveSource::GlobRelocs: return "glob relocs";
+      case DeriveSource::Syscall: return "syscall";
+      case DeriveSource::Kern: return "kern";
+      case DeriveSource::Tls: return "tls";
+      case DeriveSource::Temp: return "temp";
+    }
+    return "?";
+}
+
+/** Number of DeriveSource values. */
+constexpr unsigned numDeriveSources = 8;
+
+/**
+ * Sink for capability derivation events.  Systems code holds a nullable
+ * pointer to one of these; tracing costs nothing when disabled.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** A capability was minted or narrowed and became visible. */
+    virtual void derive(DeriveSource source, const Capability &cap) = 0;
+};
+
+} // namespace cheri
+
+#endif // CHERI_TRACE_TRACE_H

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Unit and property tests for the architectural capability type:
+ * provenance validity, integrity, and monotonicity (paper section 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cap/capability.h"
+
+namespace cheri
+{
+namespace
+{
+
+TEST(Capability, NullIsUntaggedAndEmpty)
+{
+    Capability c;
+    EXPECT_FALSE(c.tag());
+    EXPECT_EQ(c.base(), 0u);
+    EXPECT_EQ(c.length(), 0u);
+    EXPECT_EQ(c.address(), 0u);
+    EXPECT_TRUE(c.isNull());
+}
+
+TEST(Capability, RootSpansAddressSpaceWithAllPerms)
+{
+    Capability r = Capability::root();
+    EXPECT_TRUE(r.tag());
+    EXPECT_EQ(r.base(), 0u);
+    EXPECT_EQ(r.top(), u128{1} << 64);
+    EXPECT_EQ(r.length(), ~u64{0}); // saturated
+    EXPECT_TRUE(r.hasPerms(permsAll));
+    EXPECT_FALSE(r.sealed());
+}
+
+TEST(Capability, SetBoundsNarrows)
+{
+    Capability r = Capability::root().setAddress(0x1000);
+    auto b = r.setBounds(0x100);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(b.value().base(), 0x1000u);
+    EXPECT_EQ(b.value().top(), u128{0x1100});
+    EXPECT_EQ(b.value().address(), 0x1000u);
+    EXPECT_TRUE(b.value().tag());
+}
+
+TEST(Capability, SetBoundsIsMonotonic)
+{
+    Capability r = Capability::root().setAddress(0x1000);
+    Capability small = r.setBounds(0x100).value();
+    // Widening beyond the derived bounds must fault.
+    auto wide = small.setBounds(0x200);
+    EXPECT_FALSE(wide.ok());
+    EXPECT_EQ(wide.fault(), CapFault::LengthViolation);
+    // Moving the cursor below base and rebounding must also fault.
+    Capability below = small.setAddress(0xF00);
+    auto r2 = below.setBounds(0x10);
+    EXPECT_FALSE(r2.ok());
+}
+
+TEST(Capability, SetBoundsOnUntaggedFaults)
+{
+    Capability c = Capability::fromAddress(0x1000);
+    auto r = c.setBounds(0x10);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.fault(), CapFault::TagViolation);
+}
+
+TEST(Capability, AndPermsOnlyClearsBits)
+{
+    Capability r = Capability::root();
+    Capability ro = r.andPerms(permsRoData).value();
+    EXPECT_TRUE(ro.hasPerms(PERM_LOAD));
+    EXPECT_FALSE(ro.hasPerms(PERM_STORE));
+    // Re-adding a permission is impossible: andPerms can only intersect.
+    Capability again = ro.andPerms(permsAll).value();
+    EXPECT_EQ(again.perms(), ro.perms());
+}
+
+TEST(Capability, PointerArithmeticKeepsBoundsAndPerms)
+{
+    Capability c =
+        Capability::root().setAddress(0x2000).setBounds(0x100).value();
+    Capability d = c.incAddress(0x40);
+    EXPECT_TRUE(d.tag());
+    EXPECT_EQ(d.address(), 0x2040u);
+    EXPECT_EQ(d.base(), c.base());
+    EXPECT_EQ(d.top(), c.top());
+    EXPECT_EQ(d.perms(), c.perms());
+}
+
+TEST(Capability, FarOutOfBoundsArithmeticClearsTag)
+{
+    Capability c =
+        Capability::root().setAddress(0x2000).setBounds(0x10).value();
+    // Small out-of-bounds roam (one-past-the-end) stays representable.
+    EXPECT_TRUE(c.incAddress(0x10).tag());
+    // A wildly out-of-bounds cursor is unrepresentable: tag clears.
+    Capability far = c.incAddress(s64{1} << 40);
+    EXPECT_FALSE(far.tag());
+    // The data (address) is still there, as with any integer.
+    EXPECT_EQ(far.address(), 0x2000u + (u64{1} << 40));
+}
+
+TEST(Capability, CheckAccessEnforcesBoundsAndPerms)
+{
+    Capability c = Capability::root()
+                       .setAddress(0x3000)
+                       .setBounds(0x100)
+                       .value()
+                       .andPerms(permsRoData)
+                       .value();
+    EXPECT_FALSE(c.checkAccess(0x3000, 0x100, PERM_LOAD).has_value());
+    EXPECT_EQ(c.checkAccess(0x3000, 0x101, PERM_LOAD).value(),
+              CapFault::LengthViolation);
+    EXPECT_EQ(c.checkAccess(0x2FFF, 1, PERM_LOAD).value(),
+              CapFault::LengthViolation);
+    EXPECT_EQ(c.checkAccess(0x3000, 8, PERM_STORE).value(),
+              CapFault::PermitStoreViolation);
+    EXPECT_EQ(c.withoutTag().checkAccess(0x3000, 8, PERM_LOAD).value(),
+              CapFault::TagViolation);
+}
+
+TEST(Capability, SealMakesImmutableAndNonDereferenceable)
+{
+    Capability sealer = Capability::root()
+                            .setAddress(42)
+                            .setBounds(1)
+                            .value();
+    Capability data =
+        Capability::root().setAddress(0x4000).setBounds(0x100).value();
+    auto sealed = data.seal(sealer);
+    ASSERT_TRUE(sealed.ok());
+    EXPECT_TRUE(sealed.value().sealed());
+    EXPECT_EQ(sealed.value().otype(), 42u);
+    // Sealed: no deref, no bounds ops, arithmetic strips the tag.
+    EXPECT_EQ(sealed.value().checkAccess(0x4000, 4, PERM_LOAD).value(),
+              CapFault::SealViolation);
+    EXPECT_FALSE(sealed.value().setBounds(8).ok());
+    EXPECT_FALSE(sealed.value().incAddress(4).tag());
+    // Unseal with the right authority restores it exactly.
+    auto unsealed = sealed.value().unseal(sealer);
+    ASSERT_TRUE(unsealed.ok());
+    EXPECT_EQ(unsealed.value(), data);
+}
+
+TEST(Capability, UnsealRequiresMatchingOtype)
+{
+    Capability sealer42 =
+        Capability::root().setAddress(42).setBounds(1).value();
+    Capability sealer43 =
+        Capability::root().setAddress(43).setBounds(1).value();
+    Capability data =
+        Capability::root().setAddress(0x4000).setBounds(0x100).value();
+    Capability sealed = data.seal(sealer42).value();
+    auto r = sealed.unseal(sealer43);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.fault(), CapFault::TypeViolation);
+}
+
+TEST(Capability, SealRequiresPermission)
+{
+    Capability no_seal = Capability::root()
+                             .setAddress(42)
+                             .setBounds(1)
+                             .value()
+                             .andPerms(permsData)
+                             .value();
+    Capability data = Capability::root();
+    auto r = data.seal(no_seal);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.fault(), CapFault::PermitSealViolation);
+}
+
+TEST(Capability, BuildRederivesWithinAuthority)
+{
+    Capability root = Capability::root();
+    Capability pattern = root.setAddress(0x5000)
+                             .setBounds(0x40)
+                             .value()
+                             .andPerms(permsData)
+                             .value()
+                             .withoutTag();
+    auto r = Capability::build(root, pattern);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().tag());
+    EXPECT_EQ(r.value().base(), 0x5000u);
+    EXPECT_EQ(r.value().length(), 0x40u);
+}
+
+TEST(Capability, BuildRefusesEscalation)
+{
+    Capability narrow = Capability::root()
+                            .setAddress(0x5000)
+                            .setBounds(0x40)
+                            .value()
+                            .andPerms(permsRoData)
+                            .value();
+    // Pattern asks for wider bounds than the authority has.
+    Capability wide_pattern =
+        Capability::root().setAddress(0x5000).setBounds(0x80).value()
+            .withoutTag();
+    EXPECT_FALSE(Capability::build(narrow, wide_pattern).ok());
+    // Pattern asks for a permission the authority lacks.
+    Capability store_pattern = Capability::root()
+                                   .setAddress(0x5000)
+                                   .setBounds(0x40)
+                                   .value()
+                                   .andPerms(permsData)
+                                   .value()
+                                   .withoutTag();
+    auto r = Capability::build(narrow, store_pattern);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.fault(), CapFault::MonotonicityViolation);
+}
+
+TEST(Capability, BytesRoundTripLosesTag)
+{
+    Capability c =
+        Capability::root().setAddress(0x6000).setBounds(0x40).value();
+    Capability back = Capability::fromBytes(c.toBytes());
+    // Raw bytes never carry provenance.
+    EXPECT_FALSE(back.tag());
+    EXPECT_EQ(back.address(), 0x6000u);
+}
+
+TEST(Capability, ToStringIsInformative)
+{
+    Capability c =
+        Capability::root().setAddress(0x1000).setBounds(0x40).value();
+    std::string s = c.toString();
+    EXPECT_NE(s.find("1000"), std::string::npos);
+    EXPECT_NE(s.find("t"), std::string::npos);
+}
+
+/**
+ * Property: any chain of derivation operations starting from a bounded
+ * capability yields either an untagged capability or one whose bounds
+ * and permissions are a subset of the original's (monotonicity).
+ */
+class MonotonicityProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(MonotonicityProperty, RandomDerivationChainsNeverEscalate)
+{
+    std::mt19937_64 rng(GetParam());
+    Capability origin = Capability::root()
+                            .setAddress(0x10000)
+                            .setBounds(0x10000)
+                            .value()
+                            .andPerms(permsData | PERM_SW_VMMAP)
+                            .value();
+    Capability cur = origin;
+    for (int step = 0; step < 200; ++step) {
+        switch (rng() % 4) {
+          case 0: {
+            u64 len = rng() % 0x20000;
+            auto r = cur.setBounds(len);
+            if (r.ok())
+                cur = r.value();
+            break;
+          }
+          case 1:
+            cur = cur.incAddress(static_cast<s64>(rng() % 0x40000) -
+                                 0x20000);
+            break;
+          case 2: {
+            auto r = cur.andPerms(static_cast<u32>(rng()));
+            if (r.ok())
+                cur = r.value();
+            break;
+          }
+          case 3: {
+            // Round-trip through bytes: must never resurrect a tag.
+            bool was_tagged = cur.tag();
+            Capability rt = Capability::fromBytes(cur.toBytes());
+            EXPECT_FALSE(rt.tag());
+            if (!was_tagged)
+                cur = rt;
+            break;
+          }
+        }
+        if (!cur.tag())
+            continue;
+        EXPECT_GE(cur.base(), origin.base());
+        EXPECT_LE(cur.top(), origin.top());
+        EXPECT_EQ(cur.perms() & ~origin.perms(), 0u)
+            << "derived capability gained a permission";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonotonicityProperty,
+                         ::testing::Range(0u, 32u));
+
+/**
+ * Property: checkAccess accepts exactly the [base, top) range for an
+ * in-perms access, across many bounds shapes.
+ */
+class BoundsProperty
+    : public ::testing::TestWithParam<std::pair<u64, u64>>
+{
+};
+
+TEST_P(BoundsProperty, AccessAcceptedIffInBounds)
+{
+    auto [base, len] = GetParam();
+    Capability root = Capability::root().setAddress(base);
+    auto r = root.setBounds(len);
+    ASSERT_TRUE(r.ok());
+    const Capability c = r.value();
+    // setBounds may round outward; check against the *derived* bounds.
+    u64 b = c.base();
+    u64 t = static_cast<u64>(c.top());
+    EXPECT_FALSE(c.checkAccess(b, 1, PERM_LOAD).has_value());
+    EXPECT_FALSE(c.checkAccess(t - 1, 1, PERM_LOAD).has_value());
+    EXPECT_TRUE(c.checkAccess(b - 1, 1, PERM_LOAD).has_value());
+    EXPECT_TRUE(c.checkAccess(t, 1, PERM_LOAD).has_value());
+    EXPECT_TRUE(c.checkAccess(b, t - b + 1, PERM_LOAD).has_value());
+    EXPECT_FALSE(c.checkAccess(b, t - b, PERM_LOAD).has_value());
+    // The requested region is always contained in the derived region.
+    EXPECT_LE(b, base);
+    EXPECT_GE(t, base + len);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BoundsProperty,
+    ::testing::Values(std::pair<u64, u64>{0x1000, 1},
+                      std::pair<u64, u64>{0x1000, 16},
+                      std::pair<u64, u64>{0x1000, 4096},
+                      std::pair<u64, u64>{0x12340, 0x777},
+                      std::pair<u64, u64>{0x100000, 0x123456},
+                      std::pair<u64, u64>{0x40000000, 0x10000001},
+                      std::pair<u64, u64>{0x8000000000, 0x2000},
+                      std::pair<u64, u64>{0x10000, 0xFFF}));
+
+} // namespace
+} // namespace cheri

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the CHERI-Concentrate bounds-compression model: precision,
+ * alignment requirements, representable-length rounding (CRRL/CRAM),
+ * and out-of-bounds representable slack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cap/compression.h"
+
+namespace cheri::compress
+{
+namespace
+{
+
+TEST(Compression, SmallLengthsAreExact)
+{
+    for (u64 len : {u64{0}, u64{1}, u64{16}, u64{100}, u64{4096},
+                    (u64{1} << (mantissaWidth - 1)) - 1}) {
+        EXPECT_EQ(exponentFor(len), 0u) << len;
+        EXPECT_EQ(representableLength(len), len);
+        EXPECT_EQ(representableAlignmentMask(len), ~u64{0});
+    }
+}
+
+TEST(Compression, LargeLengthsRequireAlignment)
+{
+    u64 len = (u64{1} << 20) + 1; // just over 1 MiB, not granule-sized
+    unsigned e = exponentFor(len);
+    EXPECT_GT(e, 0u);
+    u64 rounded = representableLength(len);
+    EXPECT_GE(rounded, len);
+    EXPECT_EQ(rounded % (u64{1} << exponentFor(rounded)), 0u);
+}
+
+TEST(Compression, RepresentableLengthIsIdempotent)
+{
+    for (u64 len : {u64{1} << 14, (u64{1} << 20) + 123, u64{0xDEADBEEF},
+                    u64{1} << 33, (u64{1} << 40) + 7}) {
+        u64 once = representableLength(len);
+        EXPECT_EQ(representableLength(once), once) << len;
+    }
+}
+
+TEST(Compression, Cap256IsAlwaysExact)
+{
+    u64 len = (u64{1} << 40) + 7;
+    EXPECT_EQ(representableLength(len, CapFormat::Cap256), len);
+    EXPECT_EQ(representableAlignmentMask(len, CapFormat::Cap256), ~u64{0});
+    EXPECT_TRUE(boundsExactlyRepresentable(3, len, CapFormat::Cap256));
+}
+
+TEST(Compression, ExactnessRequiresAlignedBase)
+{
+    u64 len = u64{1} << 20;
+    EXPECT_TRUE(boundsExactlyRepresentable(0, len));
+    u64 granule = u64{1} << exponentFor(len);
+    EXPECT_TRUE(boundsExactlyRepresentable(granule * 7, len));
+    EXPECT_FALSE(boundsExactlyRepresentable(granule * 7 + 16, len));
+}
+
+TEST(Compression, SlackScalesWithObjectSize)
+{
+    u64 small = representableSlack(64);
+    u64 big = representableSlack(u64{1} << 24);
+    EXPECT_GT(small, 0u);
+    EXPECT_GT(big, small);
+}
+
+TEST(Compression, AddressRepresentableWithinSlack)
+{
+    u64 base = 0x100000;
+    u128 top = u128{base} + 4096;
+    EXPECT_TRUE(addressRepresentable(base, top, base));
+    EXPECT_TRUE(addressRepresentable(base, top, base + 4096)); // one-past
+    u64 slack = representableSlack(4096);
+    EXPECT_TRUE(addressRepresentable(base, top, base + 4096 + slack - 1));
+    EXPECT_FALSE(addressRepresentable(base, top, base + 4096 + slack + 1));
+    EXPECT_TRUE(addressRepresentable(base, top, base - slack));
+    EXPECT_FALSE(addressRepresentable(base, top, base - slack - 2));
+}
+
+TEST(Compression, WholeAddressSpaceAlwaysRepresentable)
+{
+    EXPECT_TRUE(
+        addressRepresentable(0, u128{1} << 64, u64{0xFFFFFFFFFFFFFFFF}));
+    EXPECT_TRUE(addressRepresentable(0, u128{1} << 64, 0));
+}
+
+/** Property sweep: rounding invariants across length magnitudes. */
+class RoundingProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RoundingProperty, CrrlAndCramAgree)
+{
+    unsigned shift = GetParam();
+    for (u64 delta : {u64{0}, u64{1}, u64{7}, u64{255}}) {
+        u64 len = (u64{1} << shift) + delta;
+        u64 rounded = representableLength(len);
+        u64 mask = representableAlignmentMask(len);
+        EXPECT_GE(rounded, len);
+        // The rounded length is aligned to the CRAM granule.
+        EXPECT_EQ(rounded & ~mask, 0u);
+        // Rounding never more than doubles the length.
+        EXPECT_LE(rounded, 2 * len);
+        // A base meeting CRAM yields exactly representable bounds.
+        u64 base = (u64{0x123456789} << 12) & mask;
+        EXPECT_TRUE(boundsExactlyRepresentable(base, rounded));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, RoundingProperty,
+                         ::testing::Range(0u, 48u));
+
+} // namespace
+} // namespace cheri::compress

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Core-dump tests: capability register values recorded at death,
+ * round-trip through the file format, and the no-authority property
+ * (a core file is data; reading it can never mint capabilities).
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/coredump.h"
+#include "test_util.h"
+
+namespace cheri
+{
+namespace
+{
+
+using test::GuestSystem;
+
+TEST(CoreDump, WrittenOnSignalDeath)
+{
+    GuestSystem sys(Abi::CheriAbi);
+    GuestContext &ctx = *sys.ctx;
+    GuestPtr buf = ctx.mmap(pageSize);
+    sys.proc->regs().c[5] = buf.cap; // something recognizable
+    int rc = runGuest(ctx, [&](GuestContext &c) {
+        auto narrow = buf.cap.setBounds(8);
+        c.load<u64>(GuestPtr{narrow.value()}, 64);
+        return 0;
+    });
+    ASSERT_EQ(rc, 128 + SIG_PROT);
+    std::string path = "/cores/" + sys.proc->name() + "." +
+                       std::to_string(sys.proc->pid()) + ".core";
+    VNodeRef node = sys.kern.vfs().lookup(path);
+    ASSERT_NE(node, nullptr) << path;
+    auto core = readCoreFile(*node);
+    ASSERT_TRUE(core.has_value());
+    EXPECT_EQ(core->pid, sys.proc->pid());
+    EXPECT_EQ(core->signal, SIG_PROT);
+    EXPECT_EQ(core->fault, CapFault::LengthViolation);
+    // The register values made it, with their metadata...
+    EXPECT_EQ(core->regs.c[5].address(), buf.cap.address());
+    EXPECT_EQ(core->regs.c[5].base(), buf.cap.base());
+    EXPECT_EQ(core->regs.c[5].perms(), buf.cap.perms());
+    // ...but as data: no record in a core file carries a tag.
+    EXPECT_FALSE(core->regs.c[5].tag());
+    EXPECT_FALSE(core->regs.pcc.tag());
+}
+
+TEST(CoreDump, RecordsMemoryMap)
+{
+    GuestSystem sys(Abi::CheriAbi);
+    sys.ctx->mmap(3 * pageSize);
+    runGuest(*sys.ctx, [](GuestContext &c) {
+        c.load<u64>(c.ptrFromInt(0x1)); // immediate fault
+        return 0;
+    });
+    VNodeRef node = sys.kern.vfs().lookup(
+        "/cores/" + sys.proc->name() + "." +
+        std::to_string(sys.proc->pid()) + ".core");
+    ASSERT_NE(node, nullptr);
+    auto core = readCoreFile(*node);
+    ASSERT_TRUE(core.has_value());
+    bool saw_stack = false, saw_text = false;
+    for (const Mapping &m : core->mappings) {
+        saw_stack |= m.kind == MappingKind::Stack;
+        saw_text |= m.kind == MappingKind::Text;
+    }
+    EXPECT_TRUE(saw_stack);
+    EXPECT_TRUE(saw_text);
+}
+
+TEST(CoreDump, MalformedFileRejected)
+{
+    VNode junk;
+    junk.data = {'n', 'o', 't', 'a', 'c', 'o', 'r', 'e', 0, 0};
+    EXPECT_FALSE(readCoreFile(junk).has_value());
+    VNode tiny;
+    tiny.data = {'M'};
+    EXPECT_FALSE(readCoreFile(tiny).has_value());
+    // Truncated after the magic.
+    VNode trunc;
+    const char magic[] = "MBSDCORE";
+    trunc.data.assign(magic, magic + 8);
+    EXPECT_FALSE(readCoreFile(trunc).has_value());
+}
+
+TEST(CoreDump, NormalExitLeavesNoCore)
+{
+    GuestSystem sys(Abi::CheriAbi);
+    runGuest(*sys.ctx, [](GuestContext &) { return 0; });
+    EXPECT_EQ(sys.kern.vfs().readdir("/cores").size(), 0u);
+}
+
+} // namespace
+} // namespace cheri

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Tests for tagged physical memory, address spaces (demand-zero, COW,
+ * shared mappings), and tag-preserving swap with rederivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/phys_mem.h"
+#include "mem/swap.h"
+#include "mem/vm.h"
+
+namespace cheri
+{
+namespace
+{
+
+class MemTest : public ::testing::Test
+{
+  protected:
+    PhysMem phys;
+    SwapDevice swap;
+    AddressSpace as{phys, swap, 1};
+
+    u64
+    mapAnon(u64 len, u32 prot = PROT_READ | PROT_WRITE)
+    {
+        u64 va = as.map(0, len, prot, MappingKind::Data);
+        EXPECT_NE(va, 0u);
+        return va;
+    }
+
+    Capability
+    capFor(u64 va, u64 len)
+    {
+        return as.capForRange(va, len, PROT_READ | PROT_WRITE);
+    }
+};
+
+TEST_F(MemTest, FrameDataWriteClearsTag)
+{
+    auto frame = phys.allocFrame();
+    Capability c = Capability::root().setAddress(0x100).setBounds(16).value();
+    frame->writeCap(0, c);
+    EXPECT_TRUE(frame->tagAt(0));
+    EXPECT_EQ(frame->readCap(0), c);
+    // Overwrite one byte of the granule with data: tag must clear.
+    u8 b = 0xFF;
+    frame->write(7, &b, 1);
+    EXPECT_FALSE(frame->tagAt(0));
+    EXPECT_FALSE(frame->readCap(0).tag());
+}
+
+TEST_F(MemTest, FrameCopyPreservesTags)
+{
+    auto a = phys.allocFrame();
+    Capability c = Capability::root().setAddress(0x200).setBounds(32).value();
+    a->writeCap(16, c);
+    auto b = phys.allocFrame();
+    b->copyFrom(*a);
+    EXPECT_TRUE(b->tagAt(16));
+    EXPECT_EQ(b->readCap(16), c);
+}
+
+TEST_F(MemTest, DemandZeroPagesReadAsZero)
+{
+    u64 va = mapAnon(3 * pageSize);
+    std::array<u8, 64> buf;
+    buf.fill(0xAA);
+    ASSERT_FALSE(as.readBytes(va + pageSize + 100, buf.data(), 64)
+                     .has_value());
+    for (u8 byte : buf)
+        EXPECT_EQ(byte, 0);
+    // Only touched pages become resident.
+    EXPECT_EQ(as.residentPages(), 1u);
+}
+
+TEST_F(MemTest, ReadWriteRoundTripAcrossPages)
+{
+    u64 va = mapAnon(2 * pageSize);
+    std::vector<u8> out(5000), in(5000);
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = static_cast<u8>(i * 7);
+    ASSERT_FALSE(as.writeBytes(va + 100, out.data(), out.size())
+                     .has_value());
+    ASSERT_FALSE(as.readBytes(va + 100, in.data(), in.size()).has_value());
+    EXPECT_EQ(in, out);
+}
+
+TEST_F(MemTest, UnmappedAccessPageFaults)
+{
+    u8 b;
+    auto fault = as.readBytes(0x123456000, &b, 1);
+    ASSERT_TRUE(fault.has_value());
+    EXPECT_EQ(*fault, CapFault::PageFault);
+}
+
+TEST_F(MemTest, ProtectionIsEnforced)
+{
+    u64 va = mapAnon(pageSize, PROT_READ);
+    u8 b = 1;
+    EXPECT_FALSE(as.readBytes(va, &b, 1).has_value());
+    EXPECT_TRUE(as.writeBytes(va, &b, 1).has_value());
+    ASSERT_TRUE(as.protect(va, pageSize, PROT_READ | PROT_WRITE));
+    EXPECT_FALSE(as.writeBytes(va, &b, 1).has_value());
+}
+
+TEST_F(MemTest, CapStoreLoadRoundTrip)
+{
+    u64 va = mapAnon(pageSize);
+    Capability c = capFor(va, 64);
+    ASSERT_FALSE(as.writeCap(va + 32, c).has_value());
+    auto r = as.readCap(va + 32);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), c);
+    EXPECT_TRUE(r.value().tag());
+}
+
+TEST_F(MemTest, MisalignedCapAccessFaults)
+{
+    u64 va = mapAnon(pageSize);
+    auto r = as.readCap(va + 8);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.fault(), CapFault::AlignmentViolation);
+}
+
+TEST_F(MemTest, DataStoreOverCapClearsItsTag)
+{
+    u64 va = mapAnon(pageSize);
+    Capability c = capFor(va, 64);
+    ASSERT_FALSE(as.writeCap(va, c).has_value());
+    u64 evil = 0xDEADBEEF;
+    ASSERT_FALSE(as.writeBytes(va + 4, &evil, 8).has_value());
+    auto r = as.readCap(va);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.value().tag()) << "in-memory forgery must untag";
+}
+
+TEST_F(MemTest, MapFixedRefusesOverlapUnlessForced)
+{
+    u64 va = mapAnon(pageSize);
+    EXPECT_EQ(as.map(va, pageSize, PROT_READ, MappingKind::Data, true), 0u);
+    EXPECT_EQ(as.map(va, pageSize, PROT_READ, MappingKind::Data, true,
+                     false, "", true),
+              va);
+}
+
+TEST_F(MemTest, UnmapSplitsMappings)
+{
+    u64 va = mapAnon(4 * pageSize);
+    ASSERT_TRUE(as.unmap(va + pageSize, pageSize));
+    EXPECT_NE(as.findMapping(va), nullptr);
+    EXPECT_EQ(as.findMapping(va + pageSize), nullptr);
+    EXPECT_NE(as.findMapping(va + 2 * pageSize), nullptr);
+    u8 b = 0;
+    EXPECT_TRUE(as.readBytes(va + pageSize, &b, 1).has_value());
+    EXPECT_FALSE(as.readBytes(va + 3 * pageSize, &b, 1).has_value());
+}
+
+TEST_F(MemTest, CapForRangeDerivesPermsFromProt)
+{
+    u64 va = mapAnon(pageSize, PROT_READ);
+    Capability c = as.capForRange(va, pageSize, PROT_READ);
+    EXPECT_TRUE(c.hasPerms(PERM_LOAD));
+    EXPECT_FALSE(c.hasPerms(PERM_STORE));
+    EXPECT_TRUE(c.hasPerms(PERM_SW_VMMAP));
+    Capability nc = as.capForRange(va, pageSize, PROT_READ, false);
+    EXPECT_FALSE(nc.hasPerms(PERM_SW_VMMAP));
+}
+
+TEST_F(MemTest, SwapRoundTripPreservesDataAndTags)
+{
+    u64 va = mapAnon(pageSize);
+    Capability c = capFor(va, 128);
+    u64 magic = 0x1122334455667788;
+    ASSERT_FALSE(as.writeBytes(va + 200, &magic, 8).has_value());
+    ASSERT_FALSE(as.writeCap(va + 256, c).has_value());
+    ASSERT_TRUE(as.swapOutPage(va));
+    EXPECT_EQ(as.residentPages(), 0u);
+    EXPECT_EQ(swap.usedSlots(), 1u);
+    // Touching the page swaps it back in.
+    u64 got = 0;
+    ASSERT_FALSE(as.readBytes(va + 200, &got, 8).has_value());
+    EXPECT_EQ(got, magic);
+    auto r = as.readCap(va + 256);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().tag()) << "swap must rederive capabilities";
+    EXPECT_EQ(r.value().base(), c.base());
+    EXPECT_EQ(r.value().top(), c.top());
+    EXPECT_EQ(r.value().perms(), c.perms());
+    EXPECT_EQ(swap.usedSlots(), 0u);
+}
+
+TEST_F(MemTest, NaiveSwapLosesTags)
+{
+    SwapDevice naive(SwapPolicy::Naive);
+    AddressSpace as2(phys, naive, 2);
+    u64 va = as2.map(0, pageSize, PROT_READ | PROT_WRITE,
+                     MappingKind::Data);
+    Capability c = as2.capForRange(va, 64, PROT_READ | PROT_WRITE);
+    ASSERT_FALSE(as2.writeCap(va, c).has_value());
+    ASSERT_TRUE(as2.swapOutPage(va));
+    auto r = as2.readCap(va);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.value().tag())
+        << "without tag metadata, swap destroys capabilities";
+    // The address survives as data, as on a real tag-less disk.
+    EXPECT_EQ(r.value().address(), c.address());
+}
+
+TEST_F(MemTest, SwapRederivationCannotEscalate)
+{
+    // Craft a frame whose metadata claims kernel-range bounds; the user
+    // root must refuse to rederive it.
+    auto frame = phys.allocFrame();
+    Capability bogus = Capability::root()
+                           .setAddress(AddressSpace::userTop + 0x1000)
+                           .setBounds(0x1000)
+                           .value();
+    frame->writeCap(0, bogus);
+    u64 slot = swap.swapOut(*frame);
+    auto fresh = phys.allocFrame();
+    swap.swapIn(slot, *fresh, as.rederivationRoot());
+    EXPECT_FALSE(fresh->readCap(0).tag())
+        << "rederivation beyond the principal root must fail closed";
+}
+
+TEST_F(MemTest, ForkCopyIsCopyOnWrite)
+{
+    u64 va = mapAnon(pageSize);
+    u64 parent_val = 0xAAAA;
+    ASSERT_FALSE(as.writeBytes(va, &parent_val, 8).has_value());
+    auto child = as.forkCopy(99);
+    EXPECT_EQ(child->principal(), 99u);
+    // Child sees parent data...
+    u64 got = 0;
+    ASSERT_FALSE(child->readBytes(va, &got, 8).has_value());
+    EXPECT_EQ(got, parent_val);
+    // ...but writes are private in both directions.
+    u64 child_val = 0xBBBB;
+    ASSERT_FALSE(child->writeBytes(va, &child_val, 8).has_value());
+    ASSERT_FALSE(as.readBytes(va, &got, 8).has_value());
+    EXPECT_EQ(got, parent_val);
+    u64 parent_val2 = 0xCCCC;
+    ASSERT_FALSE(as.writeBytes(va, &parent_val2, 8).has_value());
+    ASSERT_FALSE(child->readBytes(va, &got, 8).has_value());
+    EXPECT_EQ(got, child_val);
+}
+
+TEST_F(MemTest, ForkPreservesCapTagsAcrossCow)
+{
+    u64 va = mapAnon(pageSize);
+    Capability c = capFor(va, 64);
+    ASSERT_FALSE(as.writeCap(va, c).has_value());
+    auto child = as.forkCopy(100);
+    // Force the COW copy by writing elsewhere in the page.
+    u8 b = 1;
+    ASSERT_FALSE(child->writeBytes(va + 128, &b, 1).has_value());
+    auto r = child->readCap(va);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().tag()) << "COW copies preserve tags in-kernel";
+}
+
+TEST_F(MemTest, SharedMappingsAliasFrames)
+{
+    u64 va = as.map(0, pageSize, PROT_READ | PROT_WRITE,
+                    MappingKind::SharedMem, false, true);
+    ASSERT_NE(va, 0u);
+    u64 v = 42;
+    ASSERT_FALSE(as.writeBytes(va, &v, 8).has_value());
+    auto child = as.forkCopy(101);
+    u64 v2 = 77;
+    ASSERT_FALSE(child->writeBytes(va, &v2, 8).has_value());
+    u64 got = 0;
+    ASSERT_FALSE(as.readBytes(va, &got, 8).has_value());
+    EXPECT_EQ(got, v2) << "shared mapping writes must be visible to both";
+}
+
+TEST_F(MemTest, SwapOutResidentEvictsAndRestores)
+{
+    u64 va = mapAnon(8 * pageSize);
+    for (u64 p = 0; p < 8; ++p) {
+        u64 val = p;
+        ASSERT_FALSE(
+            as.writeBytes(va + p * pageSize, &val, 8).has_value());
+    }
+    EXPECT_EQ(as.residentPages(), 8u);
+    u64 evicted = as.swapOutResident(5);
+    EXPECT_EQ(evicted, 5u);
+    EXPECT_EQ(as.residentPages(), 3u);
+    for (u64 p = 0; p < 8; ++p) {
+        u64 got = ~u64{0};
+        ASSERT_FALSE(
+            as.readBytes(va + p * pageSize, &got, 8).has_value());
+        EXPECT_EQ(got, p);
+    }
+}
+
+TEST_F(MemTest, PhysMemAccountsLiveFrames)
+{
+    u64 before = phys.liveFrames();
+    {
+        auto f = phys.allocFrame();
+        EXPECT_EQ(phys.liveFrames(), before + 1);
+    }
+    EXPECT_EQ(phys.liveFrames(), before);
+}
+
+TEST_F(MemTest, RepresentablePaddingForLargeMappings)
+{
+    // A 1 MiB + 1 page request needs padding so mmap can return an
+    // exactly-bounded capability.
+    u64 want = (u64{1} << 20) + pageSize;
+    u64 padded = as.representablePadding(want);
+    EXPECT_GE(padded, want);
+    EXPECT_TRUE(compress::boundsExactlyRepresentable(0, padded));
+}
+
+} // namespace
+} // namespace cheri

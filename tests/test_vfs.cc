@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Direct VFS tests: path resolution, directory operations, regular
+ * file I/O semantics, pipe capacity and EOF, and pty duplexing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/vfs.h"
+
+namespace cheri
+{
+namespace
+{
+
+class VfsTest : public ::testing::Test
+{
+  protected:
+    Vfs fs;
+};
+
+TEST_F(VfsTest, RootExists)
+{
+    VNodeRef root = fs.lookup("/");
+    ASSERT_NE(root, nullptr);
+    EXPECT_EQ(root->kind, NodeKind::Directory);
+}
+
+TEST_F(VfsTest, CreateFileMakesParents)
+{
+    VNodeRef f = fs.createFile("/a/b/c/file.txt");
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->kind, NodeKind::Regular);
+    VNodeRef dir = fs.lookup("/a/b/c");
+    ASSERT_NE(dir, nullptr);
+    EXPECT_EQ(dir->kind, NodeKind::Directory);
+    EXPECT_EQ(fs.lookup("/a/b/c/file.txt"), f);
+}
+
+TEST_F(VfsTest, CreateFileIsIdempotent)
+{
+    VNodeRef a = fs.createFile("/x/y");
+    VNodeRef b = fs.createFile("/x/y");
+    EXPECT_EQ(a, b);
+}
+
+TEST_F(VfsTest, CreateFileOverDirectoryFails)
+{
+    ASSERT_NE(fs.mkdir("/d"), nullptr);
+    EXPECT_EQ(fs.createFile("/d"), nullptr);
+}
+
+TEST_F(VfsTest, LookupThroughFileFails)
+{
+    fs.createFile("/plain");
+    EXPECT_EQ(fs.lookup("/plain/child"), nullptr);
+    EXPECT_EQ(fs.createFile("/plain/child"), nullptr);
+}
+
+TEST_F(VfsTest, UnlinkSemantics)
+{
+    fs.createFile("/doomed");
+    EXPECT_EQ(fs.unlink("/doomed"), E_OK);
+    EXPECT_EQ(fs.lookup("/doomed"), nullptr);
+    EXPECT_EQ(fs.unlink("/doomed"), E_NOENT);
+    fs.mkdir("/dir");
+    EXPECT_EQ(fs.unlink("/dir"), E_ISDIR);
+}
+
+TEST_F(VfsTest, ReaddirListsChildrenSorted)
+{
+    fs.createFile("/home/b");
+    fs.createFile("/home/a");
+    fs.mkdir("/home/z");
+    auto names = fs.readdir("/home");
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "a");
+    EXPECT_EQ(names[1], "b");
+    EXPECT_EQ(names[2], "z");
+    EXPECT_TRUE(fs.readdir("/nonexistent").empty());
+}
+
+TEST_F(VfsTest, RegularReadWriteOffsets)
+{
+    VNodeRef f = fs.createFile("/data");
+    OpenFile of;
+    of.node = f;
+    of.flags = O_RDWR;
+    const char msg[] = "0123456789";
+    EXPECT_EQ(Vfs::write(of, msg, 10), 10);
+    EXPECT_EQ(of.offset, 10u);
+    of.offset = 4;
+    char buf[4] = {};
+    EXPECT_EQ(Vfs::read(of, buf, 4), 4);
+    EXPECT_EQ(std::string(buf, 4), "4567");
+    // EOF.
+    of.offset = 10;
+    EXPECT_EQ(Vfs::read(of, buf, 4), 0);
+}
+
+TEST_F(VfsTest, AppendModeWritesAtEnd)
+{
+    VNodeRef f = fs.createFile("/log");
+    OpenFile a;
+    a.node = f;
+    a.flags = O_WRONLY | O_APPEND;
+    Vfs::write(a, "one", 3);
+    a.offset = 0; // append must ignore the offset
+    Vfs::write(a, "two", 3);
+    EXPECT_EQ(std::string(f->data.begin(), f->data.end()), "onetwo");
+}
+
+TEST_F(VfsTest, AccessModeEnforced)
+{
+    VNodeRef f = fs.createFile("/ro");
+    OpenFile rd;
+    rd.node = f;
+    rd.flags = O_RDONLY;
+    char b;
+    EXPECT_EQ(Vfs::write(rd, "x", 1), -E_BADF);
+    OpenFile wr;
+    wr.node = f;
+    wr.flags = O_WRONLY;
+    EXPECT_EQ(Vfs::read(wr, &b, 1), -E_BADF);
+}
+
+TEST_F(VfsTest, PipeFifoOrderAndWouldBlock)
+{
+    auto [rd, wr] = Vfs::makePipe();
+    OpenFile rof, wof;
+    rof.node = rd;
+    rof.flags = O_RDONLY;
+    wof.node = wr;
+    wof.flags = O_WRONLY;
+    char b;
+    EXPECT_EQ(Vfs::read(rof, &b, 1), -E_INTR) << "empty pipe blocks";
+    EXPECT_EQ(Vfs::write(wof, "ab", 2), 2);
+    EXPECT_EQ(Vfs::read(rof, &b, 1), 1);
+    EXPECT_EQ(b, 'a');
+    EXPECT_EQ(Vfs::read(rof, &b, 1), 1);
+    EXPECT_EQ(b, 'b');
+}
+
+TEST_F(VfsTest, PipeCapacityBounded)
+{
+    auto [rd, wr] = Vfs::makePipe();
+    OpenFile wof;
+    wof.node = wr;
+    wof.flags = O_WRONLY;
+    std::vector<char> chunk(ByteChannel::capacity + 100, 'x');
+    s64 n = Vfs::write(wof, chunk.data(), chunk.size());
+    EXPECT_EQ(n, static_cast<s64>(ByteChannel::capacity))
+        << "writes saturate at the channel capacity";
+    EXPECT_FALSE(Vfs::writeReady(wr));
+    EXPECT_TRUE(Vfs::readReady(rd, 0));
+    (void)rd;
+}
+
+TEST_F(VfsTest, PipeEofAfterWriterCloses)
+{
+    auto [rd, wr] = Vfs::makePipe();
+    OpenFile rof;
+    rof.node = rd;
+    rof.flags = O_RDONLY;
+    wr->writeCh->writerClosed = true;
+    char b;
+    EXPECT_EQ(Vfs::read(rof, &b, 1), 0) << "EOF, not would-block";
+    EXPECT_TRUE(Vfs::readReady(rd, 0)) << "EOF counts as readable";
+}
+
+TEST_F(VfsTest, PtyIsFullDuplex)
+{
+    auto [master, slave] = Vfs::makePty();
+    OpenFile m, s;
+    m.node = master;
+    m.flags = O_RDWR;
+    s.node = slave;
+    s.flags = O_RDWR;
+    EXPECT_EQ(Vfs::write(m, "to-slave", 8), 8);
+    EXPECT_EQ(Vfs::write(s, "to-master", 9), 9);
+    char buf[16] = {};
+    EXPECT_EQ(Vfs::read(s, buf, 8), 8);
+    EXPECT_EQ(std::string(buf, 8), "to-slave");
+    EXPECT_EQ(Vfs::read(m, buf, 9), 9);
+    EXPECT_EQ(std::string(buf, 9), "to-master");
+}
+
+TEST_F(VfsTest, DirectoryIoRejected)
+{
+    fs.mkdir("/somedir");
+    OpenFile of;
+    of.node = fs.lookup("/somedir");
+    of.flags = O_RDWR;
+    char b;
+    EXPECT_EQ(Vfs::read(of, &b, 1), -E_ISDIR);
+    EXPECT_EQ(Vfs::write(of, &b, 1), -E_ISDIR);
+    EXPECT_FALSE(Vfs::readReady(of.node, 0));
+    EXPECT_FALSE(Vfs::writeReady(of.node));
+}
+
+} // namespace
+} // namespace cheri
