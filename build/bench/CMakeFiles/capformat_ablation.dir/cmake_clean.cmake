@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capformat_ablation.dir/capformat_ablation.cc.o"
+  "CMakeFiles/capformat_ablation.dir/capformat_ablation.cc.o.d"
+  "capformat_ablation"
+  "capformat_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capformat_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

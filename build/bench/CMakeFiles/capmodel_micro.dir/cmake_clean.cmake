@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capmodel_micro.dir/capmodel_micro.cc.o"
+  "CMakeFiles/capmodel_micro.dir/capmodel_micro.cc.o.d"
+  "capmodel_micro"
+  "capmodel_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capmodel_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for capmodel_micro.
+# This may be replaced when dependencies are built.

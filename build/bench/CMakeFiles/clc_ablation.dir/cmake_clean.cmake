@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clc_ablation.dir/clc_ablation.cc.o"
+  "CMakeFiles/clc_ablation.dir/clc_ablation.cc.o.d"
+  "clc_ablation"
+  "clc_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clc_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

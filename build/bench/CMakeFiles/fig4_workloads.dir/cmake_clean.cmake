@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_workloads.dir/fig4_workloads.cc.o"
+  "CMakeFiles/fig4_workloads.dir/fig4_workloads.cc.o.d"
+  "fig4_workloads"
+  "fig4_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_granularity.dir/fig5_granularity.cc.o"
+  "CMakeFiles/fig5_granularity.dir/fig5_granularity.cc.o.d"
+  "fig5_granularity"
+  "fig5_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

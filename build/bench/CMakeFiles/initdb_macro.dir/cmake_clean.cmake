@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/initdb_macro.dir/initdb_macro.cc.o"
+  "CMakeFiles/initdb_macro.dir/initdb_macro.cc.o.d"
+  "initdb_macro"
+  "initdb_macro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/initdb_macro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

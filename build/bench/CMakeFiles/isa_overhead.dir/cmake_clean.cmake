@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_overhead.dir/isa_overhead.cc.o"
+  "CMakeFiles/isa_overhead.dir/isa_overhead.cc.o.d"
+  "isa_overhead"
+  "isa_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

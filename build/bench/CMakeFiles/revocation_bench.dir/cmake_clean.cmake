@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revocation_bench.dir/revocation_bench.cc.o"
+  "CMakeFiles/revocation_bench.dir/revocation_bench.cc.o.d"
+  "revocation_bench"
+  "revocation_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revocation_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syscall_micro.dir/syscall_micro.cc.o"
+  "CMakeFiles/syscall_micro.dir/syscall_micro.cc.o.d"
+  "syscall_micro"
+  "syscall_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syscall_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_testsuites.dir/table1_testsuites.cc.o"
+  "CMakeFiles/table1_testsuites.dir/table1_testsuites.cc.o.d"
+  "table1_testsuites"
+  "table1_testsuites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_testsuites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

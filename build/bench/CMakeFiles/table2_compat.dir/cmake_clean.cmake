@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_compat.dir/table2_compat.cc.o"
+  "CMakeFiles/table2_compat.dir/table2_compat.cc.o.d"
+  "table2_compat"
+  "table2_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_bodiag.dir/table3_bodiag.cc.o"
+  "CMakeFiles/table3_bodiag.dir/table3_bodiag.cc.o.d"
+  "table3_bodiag"
+  "table3_bodiag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_bodiag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compartments.dir/compartments.cpp.o"
+  "CMakeFiles/compartments.dir/compartments.cpp.o.d"
+  "compartments"
+  "compartments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compartments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debugger.dir/debugger.cpp.o"
+  "CMakeFiles/debugger.dir/debugger.cpp.o.d"
+  "debugger"
+  "debugger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debugger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

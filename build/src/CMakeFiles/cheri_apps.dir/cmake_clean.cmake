@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_apps.dir/apps/minidb.cc.o"
+  "CMakeFiles/cheri_apps.dir/apps/minidb.cc.o.d"
+  "CMakeFiles/cheri_apps.dir/apps/sslserver.cc.o"
+  "CMakeFiles/cheri_apps.dir/apps/sslserver.cc.o.d"
+  "CMakeFiles/cheri_apps.dir/apps/testsuite.cc.o"
+  "CMakeFiles/cheri_apps.dir/apps/testsuite.cc.o.d"
+  "CMakeFiles/cheri_apps.dir/apps/workloads.cc.o"
+  "CMakeFiles/cheri_apps.dir/apps/workloads.cc.o.d"
+  "libcheri_apps.a"
+  "libcheri_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

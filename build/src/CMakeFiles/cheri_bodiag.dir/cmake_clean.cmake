@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_bodiag.dir/bodiag/suite.cc.o"
+  "CMakeFiles/cheri_bodiag.dir/bodiag/suite.cc.o.d"
+  "libcheri_bodiag.a"
+  "libcheri_bodiag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_bodiag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

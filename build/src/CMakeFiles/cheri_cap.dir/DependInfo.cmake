@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cap/capability.cc" "src/CMakeFiles/cheri_cap.dir/cap/capability.cc.o" "gcc" "src/CMakeFiles/cheri_cap.dir/cap/capability.cc.o.d"
+  "/root/repo/src/cap/compression.cc" "src/CMakeFiles/cheri_cap.dir/cap/compression.cc.o" "gcc" "src/CMakeFiles/cheri_cap.dir/cap/compression.cc.o.d"
+  "/root/repo/src/cap/perms.cc" "src/CMakeFiles/cheri_cap.dir/cap/perms.cc.o" "gcc" "src/CMakeFiles/cheri_cap.dir/cap/perms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_cap.dir/cap/capability.cc.o"
+  "CMakeFiles/cheri_cap.dir/cap/capability.cc.o.d"
+  "CMakeFiles/cheri_cap.dir/cap/compression.cc.o"
+  "CMakeFiles/cheri_cap.dir/cap/compression.cc.o.d"
+  "CMakeFiles/cheri_cap.dir/cap/perms.cc.o"
+  "CMakeFiles/cheri_cap.dir/cap/perms.cc.o.d"
+  "libcheri_cap.a"
+  "libcheri_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

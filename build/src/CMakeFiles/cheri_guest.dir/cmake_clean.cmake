@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_guest.dir/guest/context.cc.o"
+  "CMakeFiles/cheri_guest.dir/guest/context.cc.o.d"
+  "libcheri_guest.a"
+  "libcheri_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_isa.dir/isa/assembler.cc.o"
+  "CMakeFiles/cheri_isa.dir/isa/assembler.cc.o.d"
+  "CMakeFiles/cheri_isa.dir/isa/insn.cc.o"
+  "CMakeFiles/cheri_isa.dir/isa/insn.cc.o.d"
+  "CMakeFiles/cheri_isa.dir/isa/interp.cc.o"
+  "CMakeFiles/cheri_isa.dir/isa/interp.cc.o.d"
+  "libcheri_isa.a"
+  "libcheri_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/libc/crt.cc" "src/CMakeFiles/cheri_libc.dir/libc/crt.cc.o" "gcc" "src/CMakeFiles/cheri_libc.dir/libc/crt.cc.o.d"
+  "/root/repo/src/libc/cstring.cc" "src/CMakeFiles/cheri_libc.dir/libc/cstring.cc.o" "gcc" "src/CMakeFiles/cheri_libc.dir/libc/cstring.cc.o.d"
+  "/root/repo/src/libc/malloc.cc" "src/CMakeFiles/cheri_libc.dir/libc/malloc.cc.o" "gcc" "src/CMakeFiles/cheri_libc.dir/libc/malloc.cc.o.d"
+  "/root/repo/src/libc/revoke.cc" "src/CMakeFiles/cheri_libc.dir/libc/revoke.cc.o" "gcc" "src/CMakeFiles/cheri_libc.dir/libc/revoke.cc.o.d"
+  "/root/repo/src/libc/sealing.cc" "src/CMakeFiles/cheri_libc.dir/libc/sealing.cc.o" "gcc" "src/CMakeFiles/cheri_libc.dir/libc/sealing.cc.o.d"
+  "/root/repo/src/libc/tls.cc" "src/CMakeFiles/cheri_libc.dir/libc/tls.cc.o" "gcc" "src/CMakeFiles/cheri_libc.dir/libc/tls.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cheri_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cheri_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cheri_rtld.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cheri_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cheri_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cheri_cap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

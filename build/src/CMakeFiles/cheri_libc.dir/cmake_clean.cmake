@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_libc.dir/libc/crt.cc.o"
+  "CMakeFiles/cheri_libc.dir/libc/crt.cc.o.d"
+  "CMakeFiles/cheri_libc.dir/libc/cstring.cc.o"
+  "CMakeFiles/cheri_libc.dir/libc/cstring.cc.o.d"
+  "CMakeFiles/cheri_libc.dir/libc/malloc.cc.o"
+  "CMakeFiles/cheri_libc.dir/libc/malloc.cc.o.d"
+  "CMakeFiles/cheri_libc.dir/libc/revoke.cc.o"
+  "CMakeFiles/cheri_libc.dir/libc/revoke.cc.o.d"
+  "CMakeFiles/cheri_libc.dir/libc/sealing.cc.o"
+  "CMakeFiles/cheri_libc.dir/libc/sealing.cc.o.d"
+  "CMakeFiles/cheri_libc.dir/libc/tls.cc.o"
+  "CMakeFiles/cheri_libc.dir/libc/tls.cc.o.d"
+  "libcheri_libc.a"
+  "libcheri_libc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_libc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

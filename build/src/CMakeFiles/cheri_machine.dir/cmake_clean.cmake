@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_machine.dir/machine/cache.cc.o"
+  "CMakeFiles/cheri_machine.dir/machine/cache.cc.o.d"
+  "CMakeFiles/cheri_machine.dir/machine/cost_model.cc.o"
+  "CMakeFiles/cheri_machine.dir/machine/cost_model.cc.o.d"
+  "libcheri_machine.a"
+  "libcheri_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

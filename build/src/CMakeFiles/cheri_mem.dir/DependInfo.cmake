@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/phys_mem.cc" "src/CMakeFiles/cheri_mem.dir/mem/phys_mem.cc.o" "gcc" "src/CMakeFiles/cheri_mem.dir/mem/phys_mem.cc.o.d"
+  "/root/repo/src/mem/swap.cc" "src/CMakeFiles/cheri_mem.dir/mem/swap.cc.o" "gcc" "src/CMakeFiles/cheri_mem.dir/mem/swap.cc.o.d"
+  "/root/repo/src/mem/vm.cc" "src/CMakeFiles/cheri_mem.dir/mem/vm.cc.o" "gcc" "src/CMakeFiles/cheri_mem.dir/mem/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cheri_cap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_mem.dir/mem/phys_mem.cc.o"
+  "CMakeFiles/cheri_mem.dir/mem/phys_mem.cc.o.d"
+  "CMakeFiles/cheri_mem.dir/mem/swap.cc.o"
+  "CMakeFiles/cheri_mem.dir/mem/swap.cc.o.d"
+  "CMakeFiles/cheri_mem.dir/mem/vm.cc.o"
+  "CMakeFiles/cheri_mem.dir/mem/vm.cc.o.d"
+  "libcheri_mem.a"
+  "libcheri_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

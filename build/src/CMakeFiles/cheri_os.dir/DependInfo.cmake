@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/coredump.cc" "src/CMakeFiles/cheri_os.dir/os/coredump.cc.o" "gcc" "src/CMakeFiles/cheri_os.dir/os/coredump.cc.o.d"
+  "/root/repo/src/os/events.cc" "src/CMakeFiles/cheri_os.dir/os/events.cc.o" "gcc" "src/CMakeFiles/cheri_os.dir/os/events.cc.o.d"
+  "/root/repo/src/os/exec.cc" "src/CMakeFiles/cheri_os.dir/os/exec.cc.o" "gcc" "src/CMakeFiles/cheri_os.dir/os/exec.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/CMakeFiles/cheri_os.dir/os/kernel.cc.o" "gcc" "src/CMakeFiles/cheri_os.dir/os/kernel.cc.o.d"
+  "/root/repo/src/os/process.cc" "src/CMakeFiles/cheri_os.dir/os/process.cc.o" "gcc" "src/CMakeFiles/cheri_os.dir/os/process.cc.o.d"
+  "/root/repo/src/os/ptrace.cc" "src/CMakeFiles/cheri_os.dir/os/ptrace.cc.o" "gcc" "src/CMakeFiles/cheri_os.dir/os/ptrace.cc.o.d"
+  "/root/repo/src/os/signal_delivery.cc" "src/CMakeFiles/cheri_os.dir/os/signal_delivery.cc.o" "gcc" "src/CMakeFiles/cheri_os.dir/os/signal_delivery.cc.o.d"
+  "/root/repo/src/os/syscalls_fd.cc" "src/CMakeFiles/cheri_os.dir/os/syscalls_fd.cc.o" "gcc" "src/CMakeFiles/cheri_os.dir/os/syscalls_fd.cc.o.d"
+  "/root/repo/src/os/syscalls_vm.cc" "src/CMakeFiles/cheri_os.dir/os/syscalls_vm.cc.o" "gcc" "src/CMakeFiles/cheri_os.dir/os/syscalls_vm.cc.o.d"
+  "/root/repo/src/os/threads.cc" "src/CMakeFiles/cheri_os.dir/os/threads.cc.o" "gcc" "src/CMakeFiles/cheri_os.dir/os/threads.cc.o.d"
+  "/root/repo/src/os/vfs.cc" "src/CMakeFiles/cheri_os.dir/os/vfs.cc.o" "gcc" "src/CMakeFiles/cheri_os.dir/os/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cheri_cap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cheri_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cheri_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cheri_rtld.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_os.dir/os/coredump.cc.o"
+  "CMakeFiles/cheri_os.dir/os/coredump.cc.o.d"
+  "CMakeFiles/cheri_os.dir/os/events.cc.o"
+  "CMakeFiles/cheri_os.dir/os/events.cc.o.d"
+  "CMakeFiles/cheri_os.dir/os/exec.cc.o"
+  "CMakeFiles/cheri_os.dir/os/exec.cc.o.d"
+  "CMakeFiles/cheri_os.dir/os/kernel.cc.o"
+  "CMakeFiles/cheri_os.dir/os/kernel.cc.o.d"
+  "CMakeFiles/cheri_os.dir/os/process.cc.o"
+  "CMakeFiles/cheri_os.dir/os/process.cc.o.d"
+  "CMakeFiles/cheri_os.dir/os/ptrace.cc.o"
+  "CMakeFiles/cheri_os.dir/os/ptrace.cc.o.d"
+  "CMakeFiles/cheri_os.dir/os/signal_delivery.cc.o"
+  "CMakeFiles/cheri_os.dir/os/signal_delivery.cc.o.d"
+  "CMakeFiles/cheri_os.dir/os/syscalls_fd.cc.o"
+  "CMakeFiles/cheri_os.dir/os/syscalls_fd.cc.o.d"
+  "CMakeFiles/cheri_os.dir/os/syscalls_vm.cc.o"
+  "CMakeFiles/cheri_os.dir/os/syscalls_vm.cc.o.d"
+  "CMakeFiles/cheri_os.dir/os/threads.cc.o"
+  "CMakeFiles/cheri_os.dir/os/threads.cc.o.d"
+  "CMakeFiles/cheri_os.dir/os/vfs.cc.o"
+  "CMakeFiles/cheri_os.dir/os/vfs.cc.o.d"
+  "libcheri_os.a"
+  "libcheri_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

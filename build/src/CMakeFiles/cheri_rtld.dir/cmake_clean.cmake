@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_rtld.dir/rtld/rtld.cc.o"
+  "CMakeFiles/cheri_rtld.dir/rtld/rtld.cc.o.d"
+  "libcheri_rtld.a"
+  "libcheri_rtld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_rtld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

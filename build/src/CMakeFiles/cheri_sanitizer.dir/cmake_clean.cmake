@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_sanitizer.dir/sanitizer/asan.cc.o"
+  "CMakeFiles/cheri_sanitizer.dir/sanitizer/asan.cc.o.d"
+  "libcheri_sanitizer.a"
+  "libcheri_sanitizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_sanitizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bodiag.dir/test_bodiag.cc.o"
+  "CMakeFiles/test_bodiag.dir/test_bodiag.cc.o.d"
+  "test_bodiag"
+  "test_bodiag.pdb"
+  "test_bodiag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bodiag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_capability.dir/test_capability.cc.o"
+  "CMakeFiles/test_capability.dir/test_capability.cc.o.d"
+  "test_capability"
+  "test_capability.pdb"
+  "test_capability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_capability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

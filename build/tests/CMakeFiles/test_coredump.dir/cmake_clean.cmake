@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coredump.dir/test_coredump.cc.o"
+  "CMakeFiles/test_coredump.dir/test_coredump.cc.o.d"
+  "test_coredump"
+  "test_coredump.pdb"
+  "test_coredump[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coredump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

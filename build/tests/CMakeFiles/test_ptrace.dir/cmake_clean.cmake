@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ptrace.dir/test_ptrace.cc.o"
+  "CMakeFiles/test_ptrace.dir/test_ptrace.cc.o.d"
+  "test_ptrace"
+  "test_ptrace.pdb"
+  "test_ptrace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ptrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

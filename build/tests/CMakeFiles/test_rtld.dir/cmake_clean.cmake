@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtld.dir/test_rtld.cc.o"
+  "CMakeFiles/test_rtld.dir/test_rtld.cc.o.d"
+  "test_rtld"
+  "test_rtld.pdb"
+  "test_rtld[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_threads_mmapfd.cc" "tests/CMakeFiles/test_threads_mmapfd.dir/test_threads_mmapfd.cc.o" "gcc" "tests/CMakeFiles/test_threads_mmapfd.dir/test_threads_mmapfd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cheri_libc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cheri_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cheri_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cheri_rtld.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cheri_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cheri_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cheri_cap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

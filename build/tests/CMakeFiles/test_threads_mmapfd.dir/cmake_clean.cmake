@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threads_mmapfd.dir/test_threads_mmapfd.cc.o"
+  "CMakeFiles/test_threads_mmapfd.dir/test_threads_mmapfd.cc.o.d"
+  "test_threads_mmapfd"
+  "test_threads_mmapfd.pdb"
+  "test_threads_mmapfd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threads_mmapfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_threads_mmapfd.
+# This may be replaced when dependencies are built.

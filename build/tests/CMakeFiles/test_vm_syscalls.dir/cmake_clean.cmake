@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_syscalls.dir/test_vm_syscalls.cc.o"
+  "CMakeFiles/test_vm_syscalls.dir/test_vm_syscalls.cc.o.d"
+  "test_vm_syscalls"
+  "test_vm_syscalls.pdb"
+  "test_vm_syscalls[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_syscalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
