@@ -16,6 +16,7 @@
 #include "bench_util.h"
 #include "isa/assembler.h"
 #include "isa/interp.h"
+#include "obs/metrics.h"
 #include "os/kernel.h"
 
 using namespace cheri;
@@ -33,7 +34,8 @@ struct RunStats
 };
 
 RunStats
-runKernel(Abi abi, bool capability_form, u64 words)
+runKernel(Abi abi, bool capability_form, u64 words, obs::Metrics *mx,
+          const char *label)
 {
     Kernel kern;
     SelfObject prog;
@@ -79,6 +81,7 @@ runKernel(Abi abi, bool capability_form, u64 words)
     a.writeTo(proc->as(), code);
 
     Interpreter interp(*proc);
+    interp.setMetrics(mx);
     if (abi == Abi::CheriAbi) {
         interp.setEntry(proc->as()
                             .capForRange(code, pageSize,
@@ -111,6 +114,8 @@ runKernel(Abi abi, bool capability_form, u64 words)
     s.simCycles = proc->cost().cycles();
     double secs = std::chrono::duration<double>(t1 - t0).count();
     s.hostMips = secs > 0 ? s.retired / secs / 1e6 : 0;
+    if (mx)
+        mx->captureCost(label, proc->cost());
     return s;
 }
 
@@ -122,8 +127,11 @@ main()
     const u64 words = 32 * 1024;
     bench::banner("ISA-level kernel: legacy (DDC) vs capability "
                   "addressing");
-    RunStats legacy = runKernel(Abi::Mips64, false, words);
-    RunStats capform = runKernel(Abi::CheriAbi, true, words);
+    obs::Metrics metrics;
+    RunStats legacy =
+        runKernel(Abi::Mips64, false, words, &metrics, "legacy-copy");
+    RunStats capform =
+        runKernel(Abi::CheriAbi, true, words, &metrics, "cap-copy");
     std::printf("%-26s %12s %12s %12s %10s\n", "form", "retired",
                 "sim-instr", "sim-cycles", "host-MIPS");
     std::printf("%-26s %12lu %12lu %12lu %10.1f\n",
@@ -146,5 +154,8 @@ main()
                 "(capability addressing is ~1:1 with legacy;\n"
                 "the loop differs only in pointer-increment form)\n",
                 instr_delta);
+    bench::banner("Instruction mix + cost counters (JSON, "
+                  "cheri.metrics.v1)");
+    std::printf("%s\n", metrics.toJson().c_str());
     return 0;
 }

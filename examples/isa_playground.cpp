@@ -6,7 +6,9 @@
  * deriving a bounded capability with CSetBounds, faulting precisely at
  * an out-of-bounds CLD, and demonstrating the paper's NULL-DDC rule —
  * the very same legacy load instruction that works in a mips64 process
- * traps immediately in a pure-capability one.
+ * traps immediately in a pure-capability one.  The finale enters the
+ * kernel through the numbered syscall ABI and dumps the observability
+ * registry (counters, fault telemetry with provenance) as JSON.
  *
  * Build & run:  ./build/examples/isa_playground
  */
@@ -15,6 +17,7 @@
 
 #include "isa/assembler.h"
 #include "isa/interp.h"
+#include "obs/metrics.h"
 #include "os/kernel.h"
 
 using namespace cheri;
@@ -41,6 +44,9 @@ int
 main()
 {
     Kernel kern;
+    obs::Metrics metrics;
+    kern.setMetrics(&metrics);
+    kern.setTrace(&metrics); // learn capability provenance
     SelfObject prog;
     prog.name = "isa";
     Process *proc = kern.spawn(Abi::CheriAbi, "isa");
@@ -62,7 +68,8 @@ main()
         .halt();
     a.writeTo(proc->as(), code);
 
-    Interpreter interp(*proc);
+    Interpreter interp(*proc, &metrics);
+    interp.setMetrics(&metrics);
     interp.setEntry(proc->as()
                         .capForRange(code, pageSize,
                                      PROT_READ | PROT_EXEC, false)
@@ -111,5 +118,37 @@ main()
     std::printf("  in a mips64 process:      %s — DDC spans the "
                 "address space\n",
                 statusName(r3.status));
+
+    std::printf("\nfinally, the numbered syscall ABI: `syscall #n` "
+                "enters Kernel::dispatch,\nwhich marshals arguments "
+                "from the register file and reports errno in "
+                "registers\n");
+    Assembler d;
+    d.syscall(static_cast<s64>(SysNum::Getpid))
+        .syscall(static_cast<s64>(SysNum::Sbrk)) // CheriABI: E_NOSYS
+        .halt();
+    d.writeTo(proc->as(), code);
+    Interpreter interp4(*proc);
+    interp4.setEntry(proc->as()
+                         .capForRange(code, pageSize,
+                                      PROT_READ | PROT_EXEC, false)
+                         .setAddress(code));
+    installDefaultSyscallHook(interp4, kern);
+    interp4.run(1); // getpid first
+    std::printf("  getpid -> err=%lu ret=%lu (the pid)\n",
+                static_cast<unsigned long>(interp4.regs().x[regSysErr]),
+                static_cast<unsigned long>(interp4.regs().x[regRetVal]));
+    interp4.run();
+    std::printf("  sbrk   -> err=%lu ret=%lu (%s: CheriABI excludes "
+                "sbrk by principle)\n",
+                static_cast<unsigned long>(interp4.regs().x[regSysErr]),
+                static_cast<unsigned long>(interp4.regs().x[regRetVal]),
+                std::string(errnoName(static_cast<int>(
+                                interp4.regs().x[regRetVal])))
+                    .c_str());
+
+    std::printf("\neverything above was observed; the registry as "
+                "JSON:\n%s\n",
+                metrics.toJson().c_str());
     return 0;
 }

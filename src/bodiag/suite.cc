@@ -65,6 +65,11 @@ struct CaseEnv
     std::unique_ptr<GuestContext> ctx;
     std::unique_ptr<AsanRuntime> asan;
     Mode mode;
+    /** An ASan case's buffer frame: must stay live for the whole case
+     *  (popping it would move the stack pointer mid-access), so the
+     *  env owns it and tears it down last.  Declared after ctx/asan so
+     *  its destructor still sees them alive. */
+    std::unique_ptr<StackFrame> frame;
 
     explicit CaseEnv(Mode m) : mode(m)
     {
@@ -295,9 +300,9 @@ buildBuffer(CaseEnv &env, const BodiagCase &c)
     switch (c.region) {
       case Region::Stack: {
         if (env.mode == Mode::Asan) {
-            // Leaked frame: allocate directly at the stack pointer.
-            auto *frame = new StackFrame(ctx, 4096); // leaked on purpose
-            out.ptr = env.asan->stackAlloc(*frame, struct_size);
+            // The frame outlives this function: the case env owns it.
+            env.frame = std::make_unique<StackFrame>(ctx, 4096);
+            out.ptr = env.asan->stackAlloc(*env.frame, struct_size);
             break;
         }
         // Half the programs keep the buffer in a shallow frame near

@@ -1,7 +1,21 @@
 #include "guest/context.h"
 
+#include "os/sys_invoke.h"
+
 namespace cheri
 {
+
+namespace
+{
+
+/** The libc stub convention: -errno on failure, the value otherwise. */
+s64
+retOrNegErrno(const SysResult &r)
+{
+    return r.failed() ? -r.error : static_cast<s64>(r.value);
+}
+
+} // namespace
 
 const Capability &
 GuestContext::authorityFor(const GuestPtr &p) const
@@ -80,25 +94,31 @@ GuestContext::storePtr(const GuestPtr &p, s64 off, const GuestPtr &v)
 GuestPtr
 GuestContext::mmap(u64 len, u32 prot, u32 flags, GuestPtr hint)
 {
-    UserPtr out;
-    SysResult r = kern.sysMmap(_proc, toUser(hint), len, prot, flags,
-                               &out);
-    if (r.failed())
+    SysInvokeResult r =
+        sysInvoke(kern, _proc, SysNum::Mmap,
+                  {SysArg::p(toUser(hint)), SysArg::i(len),
+                   SysArg::i(prot), SysArg::i(flags)});
+    if (r.res.failed())
         return GuestPtr();
-    return GuestPtr(out.isCap ? out.cap
-                              : Capability::fromAddress(out.addr()));
+    return GuestPtr(r.out.isCap ? r.out.cap
+                                : Capability::fromAddress(r.out.addr()));
 }
 
 int
 GuestContext::munmap(const GuestPtr &p, u64 len)
 {
-    return kern.sysMunmap(_proc, toUser(p), len).error;
+    return sysInvoke(kern, _proc, SysNum::Munmap,
+                     {SysArg::p(toUser(p)), SysArg::i(len)})
+        .res.error;
 }
 
 int
 GuestContext::mprotect(const GuestPtr &p, u64 len, u32 prot)
 {
-    return kern.sysMprotect(_proc, toUser(p), len, prot).error;
+    return sysInvoke(kern, _proc, SysNum::Mprotect,
+                     {SysArg::p(toUser(p)), SysArg::i(len),
+                      SysArg::i(prot)})
+        .res.error;
 }
 
 GuestPtr
@@ -131,44 +151,100 @@ s64
 GuestContext::open(const std::string &path, u32 flags)
 {
     GuestPtr p = stageString(path);
-    SysResult r = kern.sysOpen(_proc, toUser(p), flags);
-    return r.failed() ? -r.error : static_cast<s64>(r.value);
+    return retOrNegErrno(sysInvoke(kern, _proc, SysNum::Open,
+                                   {SysArg::p(toUser(p)),
+                                    SysArg::i(flags)})
+                             .res);
 }
 
 s64
 GuestContext::read(int fd, const GuestPtr &buf, u64 len)
 {
-    SysResult r = kern.sysRead(_proc, fd, toUser(buf), len);
-    return r.failed() ? -r.error : static_cast<s64>(r.value);
+    return retOrNegErrno(
+        sysInvoke(kern, _proc, SysNum::Read,
+                  {SysArg::i(static_cast<u64>(fd)),
+                   SysArg::p(toUser(buf)), SysArg::i(len)})
+            .res);
 }
 
 s64
 GuestContext::write(int fd, const GuestPtr &buf, u64 len)
 {
-    SysResult r = kern.sysWrite(_proc, fd, toUser(buf), len);
-    return r.failed() ? -r.error : static_cast<s64>(r.value);
+    return retOrNegErrno(
+        sysInvoke(kern, _proc, SysNum::Write,
+                  {SysArg::i(static_cast<u64>(fd)),
+                   SysArg::p(toUser(buf)), SysArg::i(len)})
+            .res);
 }
 
 int
 GuestContext::close(int fd)
 {
-    return kern.sysClose(_proc, fd).error;
+    return sysInvoke(kern, _proc, SysNum::Close,
+                     {SysArg::i(static_cast<u64>(fd))})
+        .res.error;
+}
+
+s64
+GuestContext::lseek(int fd, s64 off, int whence)
+{
+    return retOrNegErrno(
+        sysInvoke(kern, _proc, SysNum::Lseek,
+                  {SysArg::i(static_cast<u64>(fd)),
+                   SysArg::i(static_cast<u64>(off)),
+                   SysArg::i(static_cast<u64>(whence))})
+            .res);
+}
+
+int
+GuestContext::pipe(const GuestPtr &fds)
+{
+    return sysInvoke(kern, _proc, SysNum::Pipe,
+                     {SysArg::p(toUser(fds))})
+        .res.error;
+}
+
+s64
+GuestContext::dup(int fd)
+{
+    return retOrNegErrno(sysInvoke(kern, _proc, SysNum::Dup,
+                                   {SysArg::i(static_cast<u64>(fd))})
+                             .res);
+}
+
+s64
+GuestContext::getpid()
+{
+    return retOrNegErrno(sysInvoke(kern, _proc, SysNum::Getpid).res);
+}
+
+int
+GuestContext::kill(u64 pid, int sig)
+{
+    return sysInvoke(kern, _proc, SysNum::Kill,
+                     {SysArg::i(pid), SysArg::i(static_cast<u64>(sig))})
+        .res.error;
 }
 
 s64
 GuestContext::getcwd(const GuestPtr &buf, u64 len)
 {
-    SysResult r = kern.sysGetcwd(_proc, toUser(buf), len);
-    return r.failed() ? -r.error : static_cast<s64>(r.value);
+    return retOrNegErrno(sysInvoke(kern, _proc, SysNum::Getcwd,
+                                   {SysArg::p(toUser(buf)),
+                                    SysArg::i(len)})
+                             .res);
 }
 
 s64
 GuestContext::select(int nfds, const GuestPtr &rd, const GuestPtr &wr,
                      const GuestPtr &ex, const GuestPtr &timeout)
 {
-    SysResult r = kern.sysSelect(_proc, nfds, toUser(rd), toUser(wr),
-                                 toUser(ex), toUser(timeout));
-    return r.failed() ? -r.error : static_cast<s64>(r.value);
+    return retOrNegErrno(
+        sysInvoke(kern, _proc, SysNum::Select,
+                  {SysArg::i(static_cast<u64>(nfds)),
+                   SysArg::p(toUser(rd)), SysArg::p(toUser(wr)),
+                   SysArg::p(toUser(ex)), SysArg::p(toUser(timeout))})
+            .res);
 }
 
 StackFrame::StackFrame(GuestContext &ctx, u64 frame_bytes,
@@ -235,6 +311,8 @@ runGuest(GuestContext &ctx, const std::function<int(GuestContext &)> &fn)
         info.fault = trap.fault();
         info.faultAddr = trap.addr();
         info.detail = trap.what();
+        info.faultCap = trap.via();
+        info.faultCapKnown = true;
         ctx.kernel().faultProcess(proc, info);
         return proc.exited() ? proc.exitStatus() : 128 + SIG_PROT;
     }

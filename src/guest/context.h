@@ -141,7 +141,15 @@ class GuestContext
         return UserPtr::fromAddr(p.addr());
     }
 
-    /** @name System-call veneers (libc syscall stubs) */
+    /** @name System-call veneers (libc syscall stubs)
+     *
+     * Each veneer loads the numbered-syscall argument registers and
+     * enters the kernel through Kernel::dispatch — the same single
+     * choke point interpreted code uses — so every call is counted,
+     * timed, and errno-converted in one place.  The s64-returning
+     * veneers return -errno on failure; the int-returning ones return
+     * the errno itself (0 on success), like kernel-internal callers.
+     */
     /// @{
     GuestPtr mmap(u64 len, u32 prot = PROT_READ | PROT_WRITE,
                   u32 flags = MAP_ANON | MAP_PRIVATE,
@@ -152,6 +160,12 @@ class GuestContext
     s64 read(int fd, const GuestPtr &buf, u64 len);
     s64 write(int fd, const GuestPtr &buf, u64 len);
     int close(int fd);
+    s64 lseek(int fd, s64 off, int whence);
+    /** Writes the two descriptors through @p fds (two 32-bit ints). */
+    int pipe(const GuestPtr &fds);
+    s64 dup(int fd);
+    s64 getpid();
+    int kill(u64 pid, int sig);
     s64 getcwd(const GuestPtr &buf, u64 len);
     s64 select(int nfds, const GuestPtr &rd, const GuestPtr &wr,
                const GuestPtr &ex, const GuestPtr &timeout);

@@ -1,6 +1,8 @@
 #include "isa/interp.h"
 
 #include "machine/trap.h"
+#include "obs/metrics.h"
+#include "os/kernel.h"
 
 namespace cheri::isa
 {
@@ -8,16 +10,27 @@ namespace cheri::isa
 namespace
 {
 
-/** Internal fault signal carrying the architectural cause. */
+/** Internal fault signal carrying the architectural cause, plus (when
+ *  the faulting instruction named one) the offending capability and
+ *  effective address for telemetry. */
 struct IsaFault
 {
     CapFault cause;
+    Capability via;
+    u64 addr = 0;
+    bool hasVia = false;
 };
 
 [[noreturn]] void
 fault(CapFault cause)
 {
-    throw IsaFault{cause};
+    throw IsaFault{cause, {}, 0, false};
+}
+
+[[noreturn]] void
+fault(CapFault cause, const Capability &via, u64 addr)
+{
+    throw IsaFault{cause, via, addr, true};
 }
 
 /** Check-and-throw helper for Result-returning capability ops. */
@@ -39,7 +52,7 @@ Interpreter::fetch()
     if (proc.abi() == Abi::CheriAbi || pcc.tag()) {
         // Instruction fetch is authorized by PCC.
         if (CapCheck chk = pcc.checkAccess(pc, insnSize, PERM_EXECUTE))
-            fault(*chk);
+            fault(*chk, pcc, pc);
     }
     u64 word = 0;
     if (CapCheck mmu = proc.as().readBytes(pc, &word, insnSize))
@@ -56,6 +69,8 @@ Interpreter::step()
     u64 pc = r.pcc.address();
     try {
         Insn i = fetch();
+        if (mx)
+            mx->countInsn(static_cast<unsigned>(i.op), proc.abi());
         // Default next PC; branches overwrite.
         u64 next = pc + insnSize;
         auto branch_to = [&](s64 insn_off) {
@@ -66,12 +81,12 @@ Interpreter::step()
             // Legacy loads/stores are checked against DDC: NULL under
             // CheriABI, so they trap there by construction.
             if (CapCheck chk = r.ddc.checkAccess(addr, len, perm))
-                fault(*chk);
+                fault(*chk, r.ddc, addr);
         };
         auto cap_access = [&](const Capability &cb, u64 addr, u64 len,
                               u32 perm) {
             if (CapCheck chk = cb.checkAccess(addr, len, perm))
-                fault(*chk);
+                fault(*chk, cb, addr);
         };
         auto mmu = [&](CapCheck chk) {
             if (chk)
@@ -317,8 +332,33 @@ Interpreter::step()
         res.fault = f.cause;
         res.faultPc = pc;
         res.steps = _retired;
+        if (mx) {
+            mx->recordFault(f.cause, pc, f.addr,
+                            f.hasVia ? &f.via : nullptr, proc.abi());
+        }
         return res;
     }
+}
+
+void
+Interpreter::setMetrics(obs::Metrics *m)
+{
+    mx = m;
+    if (mx) {
+        mx->setOpNamer(+[](unsigned op) {
+            return opName(static_cast<Op>(op));
+        });
+    }
+}
+
+void
+installDefaultSyscallHook(Interpreter &interp, Kernel &kern)
+{
+    interp.setSyscallHook([&kern](Interpreter &ii, u64 code) {
+        kern.dispatch(ii.process(), code);
+    });
+    if (kern.metrics())
+        interp.setMetrics(kern.metrics());
 }
 
 InterpResult

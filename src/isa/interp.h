@@ -32,6 +32,11 @@
 #include "os/process.h"
 #include "trace/trace.h"
 
+namespace cheri::obs
+{
+class Metrics;
+}
+
 namespace cheri::isa
 {
 
@@ -66,6 +71,14 @@ class Interpreter
     using SyscallHook = std::function<void(Interpreter &, u64 code)>;
     void setSyscallHook(SyscallHook hook) { sysHook = std::move(hook); }
 
+    /**
+     * Attach the observability registry: every decoded instruction
+     * feeds the per-ABI instruction-mix profiler and every fault is
+     * recorded with its cause, PC, and offending capability (for
+     * provenance attribution).  Nullable; one branch when absent.
+     */
+    void setMetrics(obs::Metrics *m);
+
     /** The live register file (the process's current thread). */
     ThreadRegs &regs() { return proc.regs(); }
     Process &process() { return proc; }
@@ -94,8 +107,18 @@ class Interpreter
     Process &proc;
     TraceSink *traceSink;
     SyscallHook sysHook;
+    obs::Metrics *mx = nullptr;
     u64 _retired = 0;
 };
+
+/**
+ * The default syscall hook: route Op::Syscall through the kernel's
+ * numbered dispatcher (Kernel::dispatch), which marshals arguments from
+ * the register file and applies the errno register convention.  Also
+ * wires the kernel's Metrics registry (if any) into the interpreter so
+ * instruction-mix and fault telemetry accumulate in the same place.
+ */
+void installDefaultSyscallHook(Interpreter &interp, Kernel &kern);
 
 } // namespace cheri::isa
 

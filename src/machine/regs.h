@@ -31,7 +31,14 @@ constexpr unsigned numCapRegs = 32;
 /** Conventional register assignments used by the ABI. */
 enum CapReg : unsigned
 {
-    /** Return value. */
+    /**
+     * Syscall error flag, written by Kernel::dispatch: x[regSysErr] is
+     * 0 on success and 1 on failure (the BSD/MIPS a3 convention, kept
+     * off the argument registers so it survives marshalling).
+     */
+    regSysErr = 2,
+    /** Return value: x[regRetVal]; pointer-returning syscalls also set
+     *  c[regRetVal] (a tagged capability under CheriABI). */
     regRetVal = 3,
     /** First argument register. */
     regArg0 = 4,

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * The observability registry.
+ *
+ * One `Metrics` object collects everything the paper's evaluation
+ * measures at the kernel/ISA boundary:
+ *
+ *  - per-syscall call/error counters and simulated-cycle histograms,
+ *    keyed by syscall number *and* ABI (the Figure 3/4 axis: overhead
+ *    scales with pointer-argument count, and differs per ABI);
+ *  - capability-fault telemetry: cause, faulting PC and address, the
+ *    syscall in flight, and — when the offending capability was seen
+ *    being minted — its `DeriveSource` provenance (the Figure 5
+ *    legend), learned by doubling as a `TraceSink`;
+ *  - an instruction-mix profiler fed by the interpreter (per-ABI
+ *    opcode counts, exposing e.g. the capability-manipulation delta);
+ *  - cost-model/cache snapshots from `machine/` (instructions, cycles,
+ *    miss counts) labelled by workload.
+ *
+ * Consumers hold a nullable `Metrics *`; everything costs one branch
+ * when disabled.  `toJson()`/`toCsv()` give benches and examples a
+ * structured emitter to replace ad-hoc printf tables.
+ */
+
+#ifndef CHERI_OBS_METRICS_H
+#define CHERI_OBS_METRICS_H
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cap/capability.h"
+#include "cap/fault.h"
+#include "machine/cost_model.h"
+#include "os/sysnum.h"
+#include "trace/trace.h"
+
+namespace cheri::obs
+{
+
+/** Human-readable ABI name for metric keys and reports. */
+constexpr std::string_view
+abiName(Abi abi)
+{
+    switch (abi) {
+      case Abi::Mips64: return "mips64";
+      case Abi::CheriAbi: return "cheriabi";
+      case Abi::Hybrid: return "hybrid";
+    }
+    return "?";
+}
+
+/** Power-of-two bucketed histogram (bucket i covers [2^(i-1), 2^i)). */
+struct Histogram
+{
+    static constexpr unsigned numBuckets = 32;
+
+    std::array<u64, numBuckets> buckets{};
+    u64 count = 0;
+    u64 sum = 0;
+    u64 min = ~u64{0};
+    u64 max = 0;
+
+    void record(u64 v);
+
+    /** Bucket index holding value @p v. */
+    static unsigned bucketOf(u64 v);
+
+    /** Inclusive lower edge of bucket @p i. */
+    static u64 bucketLo(unsigned i);
+
+    double
+    mean() const
+    {
+        return count ? static_cast<double>(sum) /
+                           static_cast<double>(count)
+                     : 0.0;
+    }
+};
+
+/** Per-(syscall, ABI) accumulation. */
+struct SyscallStats
+{
+    u64 calls = 0;
+    u64 errors = 0;
+    Histogram cycles;
+};
+
+/** One recorded capability fault. */
+struct FaultRecord
+{
+    CapFault cause = CapFault::None;
+    u64 pc = 0;
+    u64 addr = 0;
+    Abi abi = Abi::Mips64;
+    /** Syscall in flight when the fault hit (0 = none). */
+    u16 sysnum = 0;
+    /** Provenance of the offending capability, when known. */
+    DeriveSource provenance = DeriveSource::Temp;
+    bool provenanceKnown = false;
+};
+
+/** Labelled snapshot of a process's cost model and cache counters. */
+struct CostSnapshot
+{
+    std::string label;
+    Abi abi = Abi::Mips64;
+    u64 instructions = 0;
+    u64 cycles = 0;
+    u64 l1dMisses = 0;
+    u64 l2Misses = 0;
+    u64 codeBytes = 0;
+};
+
+class Metrics : public TraceSink
+{
+  public:
+    /** Upper bound on distinct opcodes tracked by the mix profiler. */
+    static constexpr unsigned maxOps = 64;
+
+    /** @name Syscall layer (fed by Kernel::dispatch) */
+    /// @{
+    void recordSyscall(u64 num, Abi abi, u64 cycles, bool failed);
+
+    /** Mark/clear the syscall currently executing, so faults raised
+     *  while the kernel runs on the user's behalf are attributed. */
+    void setCurrentSyscall(u64 num) { currentSys = num; }
+    void clearCurrentSyscall() { currentSys = 0; }
+
+    const SyscallStats &syscall(u64 num, Abi abi) const;
+    /// @}
+
+    /** @name Capability-fault telemetry */
+    /// @{
+    /** Record a fault; @p via (nullable) is the offending capability,
+     *  matched against derivation history for provenance. */
+    void recordFault(CapFault cause, u64 pc, u64 addr,
+                     const Capability *via, Abi abi);
+
+    const std::vector<FaultRecord> &faults() const { return _faults; }
+    u64 faultCount(CapFault cause) const;
+    /// @}
+
+    /** @name Instruction-mix profiler (fed by Interpreter::step) */
+    /// @{
+    void
+    countInsn(unsigned op, Abi abi)
+    {
+        if (op < maxOps)
+            ++insnMix[abiIndex(abi)][op];
+    }
+
+    u64
+    insnCount(unsigned op, Abi abi) const
+    {
+        return op < maxOps ? insnMix[abiIndex(abi)][op] : 0;
+    }
+
+    /** Resolver from opcode index to mnemonic, for the emitters
+     *  (installed by the interpreter; obs does not link the ISA). */
+    using OpNamer = std::string_view (*)(unsigned);
+    void setOpNamer(OpNamer fn) { opNamer = fn; }
+    /// @}
+
+    /** @name Cost-model export */
+    /// @{
+    void captureCost(std::string label, const CostModel &cost);
+    const std::vector<CostSnapshot> &costSnapshots() const
+    {
+        return costs;
+    }
+    /// @}
+
+    /** @name TraceSink: provenance learning
+     * Install a Metrics as the kernel's (and interpreter's) trace sink
+     * and it remembers where each capability was minted, counts derive
+     * events per source, and forwards to an optional chained sink.
+     */
+    /// @{
+    void derive(DeriveSource source, const Capability &cap) override;
+    void chainTo(TraceSink *sink) { next = sink; }
+    u64 deriveCount(DeriveSource s) const
+    {
+        return deriveCounts[static_cast<unsigned>(s)];
+    }
+    /// @}
+
+    /** @name Emitters */
+    /// @{
+    /** Full registry as one JSON document (schema in DESIGN.md). */
+    std::string toJson() const;
+    /** Per-syscall stats as CSV rows. */
+    std::string toCsv() const;
+    /// @}
+
+    void reset();
+
+  private:
+    static unsigned
+    abiIndex(Abi abi)
+    {
+        return static_cast<unsigned>(abi);
+    }
+
+    static constexpr unsigned numAbis = 3;
+    /** Faults kept verbatim; beyond this only counters grow. */
+    static constexpr u64 maxFaultRecords = 4096;
+
+    std::array<std::array<SyscallStats, numSysNums>, numAbis> sys{};
+    std::array<std::array<u64, maxOps>, numAbis> insnMix{};
+    std::vector<FaultRecord> _faults;
+    u64 faultsDropped = 0;
+    std::array<u64, static_cast<unsigned>(CapFault::VmmapPermViolation) + 1>
+        faultsByCause{};
+    std::vector<CostSnapshot> costs;
+    std::array<u64, numDeriveSources> deriveCounts{};
+    /** (base, length) of tagged capabilities seen at derive sites. */
+    std::map<std::pair<u64, u64>, DeriveSource> provenance;
+    TraceSink *next = nullptr;
+    OpNamer opNamer = nullptr;
+    u64 currentSys = 0;
+};
+
+} // namespace cheri::obs
+
+#endif // CHERI_OBS_METRICS_H

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * The numbered system-call dispatcher.
+ *
+ * Single entry point for every guest syscall: argument marshalling from
+ * the register file, the SysNum -> sysFoo switch, result/errno
+ * conversion to the register convention, and per-syscall metrics —
+ * all in one place (see the class comment in kernel.h).
+ */
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "os/sys_invoke.h"
+
+namespace cheri
+{
+
+namespace
+{
+
+/** Integer argument @p i of the in-flight syscall. */
+u64
+argInt(const Process &proc, unsigned i)
+{
+    return proc.regs().x[regArg0 + i];
+}
+
+/**
+ * Pointer argument @p i.  CheriABI: the capability register, exactly as
+ * delivered (Figure 3 — the kernel never substitutes authority).
+ * Hybrid: a tagged capability register if the caller annotated the
+ * pointer, the integer register otherwise.  mips64: always the integer
+ * register; the kernel wraps it later.
+ */
+UserPtr
+argPtr(const Process &proc, unsigned i)
+{
+    const ThreadRegs &r = proc.regs();
+    if (proc.abi() == Abi::CheriAbi)
+        return UserPtr::fromCap(r.c[regArg0 + i]);
+    if (r.c[regArg0 + i].tag())
+        return UserPtr::fromCap(r.c[regArg0 + i]);
+    return UserPtr::fromAddr(r.x[regArg0 + i]);
+}
+
+} // namespace
+
+SysResult
+Kernel::dispatch(Process &proc, u64 code)
+{
+    const SyscallInfo *info = syscallInfo(code);
+    const u64 cycles0 = proc.cost().cycles();
+    if (mx)
+        mx->setCurrentSyscall(info ? code : 0);
+
+    SysResult res;
+    UserPtr out;
+    bool hasOut = false;
+
+    if (!info) {
+        res = SysResult::fail(E_NOSYS);
+    } else {
+        switch (info->num) {
+          case SysNum::Exit:
+            exitProcess(proc, static_cast<int>(argInt(proc, 0)));
+            res = SysResult::ok();
+            break;
+          case SysNum::Fork: {
+            Process *child = fork(proc);
+            res = child ? SysResult::ok(child->pid())
+                        : SysResult::fail(E_NOMEM);
+            break;
+          }
+          case SysNum::Wait4:
+            res = wait4(proc, argInt(proc, 0));
+            break;
+          case SysNum::Read:
+            res = sysRead(proc, static_cast<int>(argInt(proc, 0)),
+                          argPtr(proc, 1), argInt(proc, 2));
+            break;
+          case SysNum::Write:
+            res = sysWrite(proc, static_cast<int>(argInt(proc, 0)),
+                           argPtr(proc, 1), argInt(proc, 2));
+            break;
+          case SysNum::Open:
+            res = sysOpen(proc, argPtr(proc, 0),
+                          static_cast<u32>(argInt(proc, 1)));
+            break;
+          case SysNum::Close:
+            res = sysClose(proc, static_cast<int>(argInt(proc, 0)));
+            break;
+          case SysNum::Lseek:
+            res = sysLseek(proc, static_cast<int>(argInt(proc, 0)),
+                           static_cast<s64>(argInt(proc, 1)),
+                           static_cast<int>(argInt(proc, 2)));
+            break;
+          case SysNum::Pipe: {
+            int fds[2] = {-1, -1};
+            res = sysPipe(proc, fds);
+            if (!res.failed()) {
+                std::int32_t guest_fds[2] = {fds[0], fds[1]};
+                int err = copyout(proc, guest_fds, argPtr(proc, 0),
+                                  sizeof(guest_fds));
+                if (err)
+                    res = SysResult::fail(err);
+            }
+            break;
+          }
+          case SysNum::Dup:
+            res = sysDup(proc, static_cast<int>(argInt(proc, 0)));
+            break;
+          case SysNum::Getcwd:
+            res = sysGetcwd(proc, argPtr(proc, 0), argInt(proc, 1));
+            break;
+          case SysNum::Select:
+            res = sysSelect(proc, static_cast<int>(argInt(proc, 0)),
+                            argPtr(proc, 1), argPtr(proc, 2),
+                            argPtr(proc, 3), argPtr(proc, 4));
+            break;
+          case SysNum::Mmap:
+            res = sysMmap(proc, argPtr(proc, 0), argInt(proc, 1),
+                          static_cast<u32>(argInt(proc, 2)),
+                          static_cast<u32>(argInt(proc, 3)), &out);
+            hasOut = true;
+            break;
+          case SysNum::Munmap:
+            res = sysMunmap(proc, argPtr(proc, 0), argInt(proc, 1));
+            break;
+          case SysNum::Mprotect:
+            res = sysMprotect(proc, argPtr(proc, 0), argInt(proc, 1),
+                              static_cast<u32>(argInt(proc, 2)));
+            break;
+          case SysNum::Msync:
+            res = sysMsync(proc, argPtr(proc, 0), argInt(proc, 1));
+            break;
+          case SysNum::Sbrk:
+            res = sysSbrk(proc, static_cast<s64>(argInt(proc, 0)));
+            break;
+          case SysNum::Getpid:
+            res = sysGetpid(proc);
+            break;
+          case SysNum::Getppid:
+            res = sysGetppid(proc);
+            break;
+          case SysNum::Kill:
+            res = sysKill(proc, argInt(proc, 0),
+                          static_cast<int>(argInt(proc, 1)));
+            break;
+          case SysNum::Sigprocmask:
+            res = sysSigprocmask(proc, argInt(proc, 0), argInt(proc, 1));
+            break;
+          case SysNum::Revoke:
+            res = sysRevoke(proc, argInt(proc, 0), argInt(proc, 1));
+            break;
+          case SysNum::ThrNew: {
+            u64 stack = argInt(proc, 0);
+            res = stack ? sysThrNew(proc, stack) : sysThrNew(proc);
+            break;
+          }
+          case SysNum::ThrSwitch:
+            res = sysThrSwitch(proc, argInt(proc, 0));
+            break;
+          case SysNum::ThrExit:
+            res = sysThrExit(proc, argInt(proc, 0));
+            break;
+          case SysNum::Shmget:
+            res = sysShmget(proc, argInt(proc, 0), argInt(proc, 1));
+            break;
+          case SysNum::Shmat:
+            res = sysShmat(proc, static_cast<int>(argInt(proc, 0)),
+                           argPtr(proc, 1), &out);
+            hasOut = true;
+            break;
+          case SysNum::Shmdt:
+            res = sysShmdt(proc, argPtr(proc, 0));
+            break;
+          case SysNum::Invalid:
+          case SysNum::Count:
+            res = SysResult::fail(E_NOSYS);
+            break;
+        }
+    }
+
+    // Errno conversion: the one place SysResult meets the register
+    // convention for both ABIs.
+    ThreadRegs &r = proc.regs();
+    r.x[regSysErr] = res.failed() ? 1 : 0;
+    r.x[regRetVal] = res.failed() ? static_cast<u64>(res.error)
+                                  : res.value;
+    if (hasOut) {
+        if (!res.failed()) {
+            r.c[regRetVal] = out.isCap
+                                 ? out.cap
+                                 : Capability::fromAddress(out.addr());
+            r.x[regRetVal] = out.addr();
+        } else {
+            r.c[regRetVal] = Capability();
+        }
+    }
+
+    if (mx) {
+        mx->recordSyscall(info ? code : 0, proc.abi(),
+                          proc.cost().cycles() - cycles0, res.failed());
+        mx->clearCurrentSyscall();
+    }
+    return res;
+}
+
+SysInvokeResult
+sysInvoke(Kernel &kern, Process &proc, SysNum num,
+          std::initializer_list<SysArg> args)
+{
+    ThreadRegs &r = proc.regs();
+    unsigned i = 0;
+    for (const SysArg &a : args) {
+        r.x[regArg0 + i] = a.ival;
+        if (a.isPtr)
+            r.c[regArg0 + i] = a.ptr.cap;
+        else
+            r.c[regArg0 + i] = Capability();
+        ++i;
+    }
+    SysInvokeResult out;
+    out.res = kern.dispatch(proc, static_cast<u64>(num));
+    const SyscallInfo *info = syscallInfo(static_cast<u64>(num));
+    if (info && info->returnsPtr && !out.res.failed()) {
+        const Capability &c = proc.regs().c[regRetVal];
+        out.out = c.tag() ? UserPtr::fromCap(c)
+                          : UserPtr::fromAddr(c.address());
+    }
+    return out;
+}
+
+} // namespace cheri

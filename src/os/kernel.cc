@@ -1,5 +1,6 @@
 #include "os/kernel.h"
 
+#include "obs/metrics.h"
 #include "os/coredump.h"
 
 #include <algorithm>
@@ -119,6 +120,12 @@ Kernel::faultProcess(Process &proc, const DeathInfo &info)
 {
     // A capability fault becomes SIG_PROT; a handler may catch it,
     // otherwise the process dies with the fault recorded.
+    if (mx && info.fault != CapFault::None) {
+        mx->recordFault(info.fault, proc.regs().pcc.address(),
+                        info.faultAddr,
+                        info.faultCapKnown ? &info.faultCap : nullptr,
+                        proc.abi());
+    }
     SigAction &act = proc.sigaction(info.signal ? info.signal : SIG_PROT);
     DeathInfo di = info;
     if (di.signal == 0)

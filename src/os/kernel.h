@@ -24,11 +24,17 @@
 #include <vector>
 
 #include "os/process.h"
+#include "os/sysnum.h"
 #include "os/user_ptr.h"
 #include "trace/trace.h"
 
 namespace cheri
 {
+
+namespace obs
+{
+class Metrics;
+}
 
 /** mmap(2) flags. */
 enum MmapFlags : u32
@@ -126,6 +132,33 @@ class Kernel
     const KernelConfig &config() const { return cfg; }
     void setTrace(TraceSink *sink) { traceSink = sink; }
     TraceSink *trace() const { return traceSink; }
+    /** Attach/detach the observability registry (nullable; costs one
+     *  branch per syscall/fault when absent). */
+    void setMetrics(obs::Metrics *m) { mx = m; }
+    obs::Metrics *metrics() const { return mx; }
+    /// @}
+
+    /**
+     * @name Numbered syscall dispatch (the ABI choke point)
+     *
+     * dispatch() is the single entry through which guest syscalls flow:
+     * it decodes @p code via the SysNum table, marshals arguments from
+     * the current thread's register file (integers from x[regArg0+i];
+     * pointer arguments from c[regArg0+i] as capabilities under
+     * CheriABI, from x[regArg0+i] as bare addresses under mips64), runs
+     * the internal sysFoo implementation, and converts the SysResult to
+     * the register-level errno convention in one place:
+     *
+     *   success:  x[regSysErr] = 0, x[regRetVal] = value
+     *   failure:  x[regSysErr] = 1, x[regRetVal] = errno
+     *
+     * Pointer-returning syscalls (mmap, shmat) additionally install the
+     * result in c[regRetVal] — a tagged, bounded capability under
+     * CheriABI, an untagged address otherwise.  Metrics, tracing, and
+     * batching all attach here instead of at N bespoke call sites.
+     */
+    /// @{
+    SysResult dispatch(Process &proc, u64 code);
     /// @}
 
     /** @name Process lifecycle */
@@ -352,6 +385,7 @@ class Kernel
     Vfs fs;
     Rtld linker;
     TraceSink *traceSink = nullptr;
+    obs::Metrics *mx = nullptr;
     std::map<u64, std::unique_ptr<Process>> procs;
     std::map<int, ShmSegment> shmSegments;
     std::map<u64, std::vector<KEvent>> kqueues; // by pid

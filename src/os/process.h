@@ -37,6 +37,10 @@ struct DeathInfo
     CapFault fault = CapFault::None;
     u64 faultAddr = 0;
     std::string detail;
+    /** The offending capability, when the trap carried one — lets the
+     *  observability layer attribute the fault to its DeriveSource. */
+    Capability faultCap;
+    bool faultCapKnown = false;
 };
 
 /** One kernel-scheduled thread context within a process. */

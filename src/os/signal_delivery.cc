@@ -61,7 +61,10 @@ Kernel::sysKill(Process &proc, u64 pid, int sig)
     if (sig <= 0 || sig >= numSignals)
         return SysResult::fail(E_INVAL);
     if (sig == SIG_KILL) {
-        target->die({SIG_KILL, CapFault::None, 0, "killed"});
+        DeathInfo killed;
+        killed.signal = SIG_KILL;
+        killed.detail = "killed";
+        target->die(killed);
         return SysResult::ok();
     }
     target->raiseSignal(sig);
@@ -179,8 +182,12 @@ Kernel::deliverSignals(Process &proc)
           case SigAction::Kind::Ignore:
             continue;
           case SigAction::Kind::Default:
-            if (defaultTerminates(sig))
-                proc.die({sig, CapFault::None, 0, "default action"});
+            if (defaultTerminates(sig)) {
+                DeathInfo death;
+                death.signal = sig;
+                death.detail = "default action";
+                proc.die(death);
+            }
             continue;
           case SigAction::Kind::Handler: {
             const SigHandler *fn = proc.handlerById(act.handlerId);

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Host-side entry into the numbered syscall ABI.
+ *
+ * Guest workloads written as C++ (GuestContext veneers, benches, tests)
+ * reach the kernel through the same register-level convention as
+ * interpreted machine code: sysInvoke() marshals arguments into the
+ * calling thread's register file exactly as compiled guest code would —
+ * integers into x[regArg0+i], pointers into c[regArg0+i] (with the
+ * address mirrored into the integer file for the legacy ABI) — then
+ * enters Kernel::dispatch and decodes the result registers.  This keeps
+ * Kernel::dispatch the single choke point for every syscall, however
+ * it is issued.
+ */
+
+#ifndef CHERI_OS_SYS_INVOKE_H
+#define CHERI_OS_SYS_INVOKE_H
+
+#include <initializer_list>
+
+#include "os/kernel.h"
+
+namespace cheri
+{
+
+/** One syscall argument: an integer or a user pointer. */
+struct SysArg
+{
+    u64 ival = 0;
+    UserPtr ptr;
+    bool isPtr = false;
+
+    static SysArg
+    i(u64 v)
+    {
+        SysArg a;
+        a.ival = v;
+        return a;
+    }
+
+    static SysArg
+    p(const UserPtr &u)
+    {
+        SysArg a;
+        a.ptr = u;
+        a.ival = u.addr();
+        a.isPtr = true;
+        return a;
+    }
+};
+
+/** Decoded result registers of a dispatched syscall. */
+struct SysInvokeResult
+{
+    SysResult res;
+    /** For pointer-returning syscalls: the c[regRetVal] result. */
+    UserPtr out;
+};
+
+/**
+ * Issue syscall @p num on @p proc's current thread through
+ * Kernel::dispatch.  At most six arguments (regArg0..regArg0+5).
+ */
+SysInvokeResult sysInvoke(Kernel &kern, Process &proc, SysNum num,
+                          std::initializer_list<SysArg> args = {});
+
+} // namespace cheri
+
+#endif // CHERI_OS_SYS_INVOKE_H

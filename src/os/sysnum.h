@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The numbered system-call ABI.
+ *
+ * Every kernel service reachable from guest code has a stable number
+ * here, plus a metadata row giving its name and pointer-argument count
+ * (the quantity the paper's Figure 3/4 analysis keys on: CheriABI
+ * passes each pointer argument as a capability register, while the
+ * legacy kernel must construct a capability per pointer argument).
+ *
+ * The table is the single source of truth consumed by
+ * `Kernel::dispatch` (argument marshalling), the `obs::Metrics`
+ * registry (per-syscall counters and histograms), and the benches'
+ * structured output.  Numbers are dense so per-syscall state can live
+ * in flat arrays.
+ */
+
+#ifndef CHERI_OS_SYSNUM_H
+#define CHERI_OS_SYSNUM_H
+
+#include <string_view>
+
+#include "cap/types.h"
+
+namespace cheri
+{
+
+/** System-call numbers (dense; 0 is reserved as invalid). */
+enum class SysNum : u16
+{
+    Invalid = 0,
+    Exit,
+    Fork,
+    Wait4,
+    Read,
+    Write,
+    Open,
+    Close,
+    Lseek,
+    Pipe,
+    Dup,
+    Getcwd,
+    Select,
+    Mmap,
+    Munmap,
+    Mprotect,
+    Msync,
+    Sbrk,
+    Getpid,
+    Getppid,
+    Kill,
+    Sigprocmask,
+    Revoke,
+    ThrNew,
+    ThrSwitch,
+    ThrExit,
+    Shmget,
+    Shmat,
+    Shmdt,
+    Count,
+};
+
+/** Number of syscall slots (Invalid included; arrays index by number). */
+constexpr unsigned numSysNums = static_cast<unsigned>(SysNum::Count);
+
+/** Static per-syscall metadata. */
+struct SyscallInfo
+{
+    SysNum num = SysNum::Invalid;
+    std::string_view name = "invalid";
+    /** Pointer arguments marshalled from capability registers under
+     *  CheriABI (and wrapped by the kernel under mips64). */
+    u8 nPtrArgs = 0;
+    /** True when the success value is a pointer: the result lands in
+     *  c[regRetVal] (a tagged capability under CheriABI). */
+    bool returnsPtr = false;
+};
+
+/** Metadata table indexed by syscall number. */
+constexpr SyscallInfo syscallTable[numSysNums] = {
+    {SysNum::Invalid, "invalid", 0, false},
+    {SysNum::Exit, "exit", 0, false},
+    {SysNum::Fork, "fork", 0, false},
+    {SysNum::Wait4, "wait4", 0, false},
+    {SysNum::Read, "read", 1, false},
+    {SysNum::Write, "write", 1, false},
+    {SysNum::Open, "open", 1, false},
+    {SysNum::Close, "close", 0, false},
+    {SysNum::Lseek, "lseek", 0, false},
+    {SysNum::Pipe, "pipe", 1, false},
+    {SysNum::Dup, "dup", 0, false},
+    {SysNum::Getcwd, "getcwd", 1, false},
+    {SysNum::Select, "select", 4, false},
+    {SysNum::Mmap, "mmap", 1, true},
+    {SysNum::Munmap, "munmap", 1, false},
+    {SysNum::Mprotect, "mprotect", 1, false},
+    {SysNum::Msync, "msync", 1, false},
+    {SysNum::Sbrk, "sbrk", 0, false},
+    {SysNum::Getpid, "getpid", 0, false},
+    {SysNum::Getppid, "getppid", 0, false},
+    {SysNum::Kill, "kill", 0, false},
+    {SysNum::Sigprocmask, "sigprocmask", 0, false},
+    {SysNum::Revoke, "revoke", 0, false},
+    {SysNum::ThrNew, "thr_new", 0, false},
+    {SysNum::ThrSwitch, "thr_switch", 0, false},
+    {SysNum::ThrExit, "thr_exit", 0, false},
+    {SysNum::Shmget, "shmget", 0, false},
+    {SysNum::Shmat, "shmat", 1, true},
+    {SysNum::Shmdt, "shmdt", 1, false},
+};
+
+/** Metadata for @p code, or nullptr for out-of-range/invalid numbers. */
+constexpr const SyscallInfo *
+syscallInfo(u64 code)
+{
+    if (code == 0 || code >= numSysNums)
+        return nullptr;
+    return &syscallTable[code];
+}
+
+/** Name for @p code ("invalid" when unknown). */
+constexpr std::string_view
+sysNumName(u64 code)
+{
+    const SyscallInfo *info = syscallInfo(code);
+    return info ? info->name : syscallTable[0].name;
+}
+
+} // namespace cheri
+
+#endif // CHERI_OS_SYSNUM_H

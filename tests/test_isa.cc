@@ -252,6 +252,21 @@ TEST_P(IsaRun, SyscallHookFires)
     EXPECT_EQ(interp.regs().x[2], 14u);
 }
 
+TEST_P(IsaRun, DefaultSyscallHookDispatches)
+{
+    // The stock hook routes Op::Syscall through Kernel::dispatch and
+    // the numbered ABI's register convention: error flag clear, result
+    // in the return-value register.
+    Assembler a;
+    a.syscall(static_cast<s64>(SysNum::Getpid)).halt();
+    Interpreter interp = load(a);
+    installDefaultSyscallHook(interp, sys.kern);
+    InterpResult r = interp.run();
+    ASSERT_EQ(r.status, InterpResult::Status::Halted);
+    EXPECT_EQ(interp.regs().x[regSysErr], 0u);
+    EXPECT_EQ(interp.regs().x[regRetVal], sys.proc->pid());
+}
+
 TEST_P(IsaRun, StepLimitStopsRunaway)
 {
     Assembler a;

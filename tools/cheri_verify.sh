@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Strict verification pass: configure a scratch build tree with -Werror
+# and Address/UndefinedBehavior sanitizers, build everything, and run
+# the full test suite.  Exits non-zero on any warning, sanitizer
+# report, or test failure.
+set -euo pipefail
+
+src_dir="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${CHERI_VERIFY_BUILD_DIR:-$src_dir/build-verify}"
+
+cmake -S "$src_dir" -B "$build_dir" \
+    -DCHERI_WERROR=ON -DCHERI_SANITIZE=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j "$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+echo "cheri_verify: all checks passed"
