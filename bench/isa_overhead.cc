@@ -38,6 +38,7 @@ runKernel(Abi abi, bool capability_form, u64 words, obs::Metrics *mx,
           const char *label)
 {
     Kernel kern;
+    kern.setMetrics(mx); // wires per-ABI TLB counters into spawn
     SelfObject prog;
     prog.name = "isakernel";
     Process *proc = kern.spawn(abi, "isakernel");
@@ -155,7 +156,7 @@ main()
                 "the loop differs only in pointer-increment form)\n",
                 instr_delta);
     bench::banner("Instruction mix + cost counters (JSON, "
-                  "cheri.metrics.v1)");
+                  "cheri.metrics.v2)");
     std::printf("%s\n", metrics.toJson().c_str());
     return 0;
 }

@@ -38,7 +38,7 @@ GuestContext::read(const GuestPtr &p, void *buf, u64 len)
     if (CapCheck chk = via.checkAccess(p.addr(), len, PERM_LOAD))
         throw CapTrap(*chk, p.addr(), via, "guest load");
     cost().load(p.addr(), len);
-    if (CapCheck fault = _proc.as().readBytes(p.addr(), buf, len))
+    if (CapCheck fault = _proc.mem().read(p.addr(), buf, len))
         throw CapTrap(*fault, p.addr(), via, "guest load");
 }
 
@@ -49,7 +49,7 @@ GuestContext::write(const GuestPtr &p, const void *buf, u64 len)
     if (CapCheck chk = via.checkAccess(p.addr(), len, PERM_STORE))
         throw CapTrap(*chk, p.addr(), via, "guest store");
     cost().store(p.addr(), len);
-    if (CapCheck fault = _proc.as().writeBytes(p.addr(), buf, len))
+    if (CapCheck fault = _proc.mem().write(p.addr(), buf, len))
         throw CapTrap(*fault, p.addr(), via, "guest store");
 }
 
@@ -64,7 +64,7 @@ GuestContext::loadPtr(const GuestPtr &p, s64 off)
             throw CapTrap(*chk, at.addr(), via, "pointer load");
         }
         cost().load(at.addr(), capSize);
-        Result<Capability> r = _proc.as().readCap(at.addr());
+        Result<Capability> r = _proc.mem().readCap(at.addr());
         if (!r.ok())
             throw CapTrap(r.fault(), at.addr(), via, "pointer load");
         return GuestPtr(r.value());
@@ -84,7 +84,7 @@ GuestContext::storePtr(const GuestPtr &p, s64 off, const GuestPtr &v)
             throw CapTrap(*chk, at.addr(), via, "pointer store");
         }
         cost().store(at.addr(), capSize);
-        if (CapCheck fault = _proc.as().writeCap(at.addr(), v.cap))
+        if (CapCheck fault = _proc.mem().writeCap(at.addr(), v.cap))
             throw CapTrap(*fault, at.addr(), via, "pointer store");
         return;
     }

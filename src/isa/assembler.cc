@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "mem/access.h"
+
 namespace cheri::isa
 {
 
@@ -43,7 +45,11 @@ Assembler::writeTo(AddressSpace &as, u64 va) const
 {
     std::vector<u64> image = assemble();
     u64 bytes = image.size() * insnSize;
-    CapCheck fault = as.writeBytes(va, image.data(), bytes);
+    // Routed through a transient MemAccess so even image loading goes
+    // down the unified access path (and bumps fetch generations on any
+    // listener attached to @p as).
+    MemAccess mem(as);
+    CapCheck fault = mem.write(va, image.data(), bytes);
     if (fault.has_value())
         throw std::runtime_error("assembler: image does not fit at va");
     return bytes;

@@ -27,6 +27,13 @@ fault(CapFault cause)
     throw IsaFault{cause, {}, 0, false};
 }
 
+/** MMU faults carry the faulting VA but no capability. */
+[[noreturn]] void
+faultAt(CapFault cause, u64 addr)
+{
+    throw IsaFault{cause, {}, addr, false};
+}
+
 [[noreturn]] void
 fault(CapFault cause, const Capability &via, u64 addr)
 {
@@ -50,14 +57,24 @@ Interpreter::fetch()
     const Capability &pcc = proc.regs().pcc;
     u64 pc = pcc.address();
     if (proc.abi() == Abi::CheriAbi || pcc.tag()) {
-        // Instruction fetch is authorized by PCC.
+        // Instruction fetch is authorized by PCC — checked on every
+        // fetch, decode cache or not.
         if (CapCheck chk = pcc.checkAccess(pc, insnSize, PERM_EXECUTE))
             fault(*chk, pcc, pc);
     }
+    MemAccess &mem = proc.mem();
+    DecodeEntry &e = dcache[(pc / insnSize) & (decodeCacheSize - 1)];
+    if (e.va == pc && e.gen == mem.fetchGen()) {
+        mem.countFetchHit();
+        return e.insn;
+    }
     u64 word = 0;
-    if (CapCheck mmu = proc.as().readBytes(pc, &word, insnSize))
-        fault(*mmu);
-    return Insn::decode(word);
+    if (CapCheck mmu = mem.fetch(pc, &word, insnSize))
+        faultAt(*mmu, pc);
+    e.va = pc;
+    e.gen = mem.fetchGen();
+    e.insn = Insn::decode(word);
+    return e.insn;
 }
 
 InterpResult
@@ -88,9 +105,11 @@ Interpreter::step()
             if (CapCheck chk = cb.checkAccess(addr, len, perm))
                 fault(*chk, cb, addr);
         };
-        auto mmu = [&](CapCheck chk) {
+        // MMU faults record the faulting effective address so the
+        // telemetry's provenance records are complete.
+        auto mmu = [&](u64 addr, CapCheck chk) {
             if (chk)
-                fault(*chk);
+                faultAt(*chk, addr);
         };
 
         switch (i.op) {
@@ -144,7 +163,7 @@ Interpreter::step()
             u64 addr = r.x[i.rs] + static_cast<u64>(i.imm);
             legacy_access(addr, 1, PERM_LOAD);
             u8 v = 0;
-            mmu(proc.as().readBytes(addr, &v, 1));
+            mmu(addr, proc.mem().read(addr, &v, 1));
             r.x[i.rd] = v;
             cost.load(addr, 1);
             break;
@@ -153,7 +172,7 @@ Interpreter::step()
             u64 addr = r.x[i.rs] + static_cast<u64>(i.imm);
             legacy_access(addr, 8, PERM_LOAD);
             u64 v = 0;
-            mmu(proc.as().readBytes(addr, &v, 8));
+            mmu(addr, proc.mem().read(addr, &v, 8));
             r.x[i.rd] = v;
             cost.load(addr, 8);
             break;
@@ -162,14 +181,14 @@ Interpreter::step()
             u64 addr = r.x[i.rs] + static_cast<u64>(i.imm);
             legacy_access(addr, 1, PERM_STORE);
             u8 v = static_cast<u8>(r.x[i.rd]);
-            mmu(proc.as().writeBytes(addr, &v, 1));
+            mmu(addr, proc.mem().write(addr, &v, 1));
             cost.store(addr, 1);
             break;
           }
           case Op::Sd: {
             u64 addr = r.x[i.rs] + static_cast<u64>(i.imm);
             legacy_access(addr, 8, PERM_STORE);
-            mmu(proc.as().writeBytes(addr, &r.x[i.rd], 8));
+            mmu(addr, proc.mem().write(addr, &r.x[i.rd], 8));
             cost.store(addr, 8);
             break;
           }
@@ -251,7 +270,7 @@ Interpreter::step()
             u64 addr = cb.address() + static_cast<u64>(i.imm);
             cap_access(cb, addr, 1, PERM_LOAD);
             u8 v = 0;
-            mmu(proc.as().readBytes(addr, &v, 1));
+            mmu(addr, proc.mem().read(addr, &v, 1));
             r.x[i.rd] = v;
             cost.load(addr, 1);
             break;
@@ -261,7 +280,7 @@ Interpreter::step()
             u64 addr = cb.address() + static_cast<u64>(i.imm);
             cap_access(cb, addr, 8, PERM_LOAD);
             u64 v = 0;
-            mmu(proc.as().readBytes(addr, &v, 8));
+            mmu(addr, proc.mem().read(addr, &v, 8));
             r.x[i.rd] = v;
             cost.load(addr, 8);
             break;
@@ -271,7 +290,7 @@ Interpreter::step()
             u64 addr = cb.address() + static_cast<u64>(i.imm);
             cap_access(cb, addr, 1, PERM_STORE);
             u8 v = static_cast<u8>(r.x[i.rd]);
-            mmu(proc.as().writeBytes(addr, &v, 1));
+            mmu(addr, proc.mem().write(addr, &v, 1));
             cost.store(addr, 1);
             break;
           }
@@ -279,7 +298,7 @@ Interpreter::step()
             const Capability &cb = r.c[i.rs];
             u64 addr = cb.address() + static_cast<u64>(i.imm);
             cap_access(cb, addr, 8, PERM_STORE);
-            mmu(proc.as().writeBytes(addr, &r.x[i.rd], 8));
+            mmu(addr, proc.mem().write(addr, &r.x[i.rd], 8));
             cost.store(addr, 8);
             break;
           }
@@ -287,9 +306,9 @@ Interpreter::step()
             const Capability &cb = r.c[i.rs];
             u64 addr = cb.address() + static_cast<u64>(i.imm);
             cap_access(cb, addr, capSize, PERM_LOAD | PERM_LOAD_CAP);
-            Result<Capability> v = proc.as().readCap(addr);
+            Result<Capability> v = proc.mem().readCap(addr);
             if (!v.ok())
-                fault(v.fault());
+                faultAt(v.fault(), addr);
             r.c[i.rd] = v.value();
             cost.load(addr, capSize);
             break;
@@ -298,8 +317,8 @@ Interpreter::step()
             const Capability &cb = r.c[i.rs];
             u64 addr = cb.address() + static_cast<u64>(i.imm);
             cap_access(cb, addr, capSize, PERM_STORE | PERM_STORE_CAP);
-            if (CapCheck w = proc.as().writeCap(addr, r.c[i.rd]))
-                fault(*w);
+            if (CapCheck w = proc.mem().writeCap(addr, r.c[i.rd]))
+                faultAt(*w, addr);
             cost.store(addr, capSize);
             break;
           }
@@ -331,6 +350,7 @@ Interpreter::step()
         res.status = InterpResult::Status::Fault;
         res.fault = f.cause;
         res.faultPc = pc;
+        res.faultAddr = f.addr;
         res.steps = _retired;
         if (mx) {
             mx->recordFault(f.cause, pc, f.addr,

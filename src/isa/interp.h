@@ -26,6 +26,7 @@
 #ifndef CHERI_ISA_INTERP_H
 #define CHERI_ISA_INTERP_H
 
+#include <array>
 #include <functional>
 
 #include "isa/insn.h"
@@ -55,6 +56,9 @@ struct InterpResult
     CapFault fault = CapFault::None;
     /** PC of the faulting instruction. */
     u64 faultPc = 0;
+    /** Effective address of the faulting access (0 when the fault did
+     *  not involve one, e.g. a derivation failure). */
+    u64 faultAddr = 0;
     Op faultOp = Op::Halt;
 };
 
@@ -104,11 +108,28 @@ class Interpreter
     /** Fetch+decode at PCC; may fault. */
     Insn fetch();
 
+    /**
+     * Decoded-instruction micro-cache, keyed on (va, MemAccess fetch
+     * generation): a hit skips both the memory read and the decode.
+     * The generation increments on every TLB invalidation and on any
+     * write to an executable page, so self-modifying code always
+     * re-fetches.  The PCC check still runs on every fetch — the cache
+     * only elides the MMU/decode work, never the capability check.
+     */
+    struct DecodeEntry
+    {
+        u64 va = ~u64{0};
+        u64 gen = 0;
+        Insn insn;
+    };
+    static constexpr u64 decodeCacheSize = 256;
+
     Process &proc;
     TraceSink *traceSink;
     SyscallHook sysHook;
     obs::Metrics *mx = nullptr;
     u64 _retired = 0;
+    std::array<DecodeEntry, decodeCacheSize> dcache{};
 };
 
 /**

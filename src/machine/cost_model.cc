@@ -160,6 +160,10 @@ CostModel::reset()
     _instructions = 0;
     _cycles = 0;
     _codeBytes = 0;
+    _itlbAccesses = 0;
+    _itlbMisses = 0;
+    _dtlbAccesses = 0;
+    _dtlbMisses = 0;
     pc = 0x120000000;
     cacheHier.flush();
     cacheHier = CacheHierarchy();

@@ -70,6 +70,8 @@ struct CyclePenalties
 {
     u64 l2Hit = 10;
     u64 memory = 80;
+    /** Software-managed TLB refill (trap + walk), per miss. */
+    u64 tlbRefill = 30;
 };
 
 class CostModel
@@ -156,6 +158,30 @@ class CostModel
 
     /** Save/restore one thread's register file. */
     void contextSwitch();
+
+    /**
+     * One translation through the software TLB (fed by MemAccess with
+     * real hit/miss events): hits are free beyond the access charge
+     * already made, misses pay the modelled refill trap.  @p instr
+     * selects the iTLB, otherwise the dTLB.
+     */
+    void
+    tlbAccess(bool instr, bool hit)
+    {
+        if (instr) {
+            ++_itlbAccesses;
+            if (!hit) {
+                ++_itlbMisses;
+                _cycles += penalties.tlbRefill;
+            }
+        } else {
+            ++_dtlbAccesses;
+            if (!hit) {
+                ++_dtlbMisses;
+                _cycles += penalties.tlbRefill;
+            }
+        }
+    }
     /// @}
 
     /** @name Results */
@@ -166,6 +192,10 @@ class CostModel
     u64 l1dMisses() const { return cacheHier.l1dMisses(); }
     /** Static code bytes emitted (tracks the CLC code-size effect). */
     u64 codeBytes() const { return _codeBytes; }
+    u64 itlbAccesses() const { return _itlbAccesses; }
+    u64 itlbMisses() const { return _itlbMisses; }
+    u64 dtlbAccesses() const { return _dtlbAccesses; }
+    u64 dtlbMisses() const { return _dtlbMisses; }
     /// @}
 
     void reset();
@@ -190,6 +220,10 @@ class CostModel
     u64 _instructions = 0;
     u64 _cycles = 0;
     u64 _codeBytes = 0;
+    u64 _itlbAccesses = 0;
+    u64 _itlbMisses = 0;
+    u64 _dtlbAccesses = 0;
+    u64 _dtlbMisses = 0;
     u64 pc = 0x120000000;
     /** Hot-loop code footprint the synthetic PC wraps within. */
     u64 codeFootprint = 16 * 1024;

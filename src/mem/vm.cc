@@ -1,6 +1,9 @@
 #include "mem/vm.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "mem/access.h"
 
 namespace cheri
 {
@@ -23,6 +26,69 @@ AddressSpace::AddressSpace(PhysMem &phys, SwapDevice &swap, u64 principal,
         bounded.value().andPerms(permsAll & ~PERM_ACCESS_SYS_REGS);
     assert(no_sysregs.ok());
     root = no_sysregs.value();
+}
+
+AddressSpace::~AddressSpace()
+{
+    // MemAccess objects may outlive the space (execve swaps spaces
+    // under the process); make sure none keeps a dangling pointer.
+    for (MemAccess *l : listeners)
+        l->detach();
+}
+
+void
+AddressSpace::addTlbListener(MemAccess *l)
+{
+    listeners.push_back(l);
+}
+
+void
+AddressSpace::removeTlbListener(MemAccess *l)
+{
+    listeners.erase(
+        std::remove(listeners.begin(), listeners.end(), l),
+        listeners.end());
+}
+
+void
+AddressSpace::notifyInvalidatePage(u64 page_va) const
+{
+    for (MemAccess *l : listeners)
+        l->invalidatePage(page_va);
+}
+
+void
+AddressSpace::notifyInvalidateRange(u64 start, u64 len) const
+{
+    for (MemAccess *l : listeners)
+        l->invalidateRange(start, len);
+}
+
+void
+AddressSpace::notifyInvalidateAll() const
+{
+    for (MemAccess *l : listeners)
+        l->invalidateAll();
+}
+
+void
+AddressSpace::notifyCodeWrite() const
+{
+    for (MemAccess *l : listeners)
+        l->noteCodeWrite();
+}
+
+bool
+AddressSpace::resolvePage(u64 va, bool for_write, PageView *out)
+{
+    Pte *pte = walk(va, for_write);
+    if (!pte)
+        return false;
+    out->frame = pte->frame.get();
+    out->prot = pte->prot;
+    out->cow = pte->cow;
+    out->shared = pte->shared;
+    return true;
 }
 
 u64
@@ -88,7 +154,9 @@ AddressSpace::map(u64 addr, u64 len, u32 prot, MappingKind kind, bool fixed,
     m.shared = shared;
     m.name = name;
     mappings.emplace(start, m);
-    // Pages are demand-zero: PTEs are created lazily by walk().
+    // PTEs are created eagerly (frameless) so protection is recorded per
+    // page; the *frames* stay demand-zero, allocated by walk() on first
+    // touch.
     for (u64 va = start; va < start + len; va += pageSize) {
         Pte pte;
         pte.prot = prot;
@@ -104,6 +172,8 @@ AddressSpace::unmap(u64 start, u64 len)
     start = pageTrunc(start);
     len = pageRound(len);
     u64 end = start + len;
+    // Shoot down cached translations before the frames are released.
+    notifyInvalidateRange(start, len);
     bool any = false;
     // Split or drop overlapping mapping records.
     for (auto it = mappings.begin(); it != mappings.end();) {
@@ -136,6 +206,8 @@ AddressSpace::protect(u64 start, u64 len, u32 prot)
 {
     start = pageTrunc(start);
     len = pageRound(len);
+    // Cached translations embed the old protection; drop them first.
+    notifyInvalidateRange(start, len);
     for (u64 va = start; va < start + len; va += pageSize) {
         auto it = pages.find(va);
         if (it == pages.end())
@@ -244,6 +316,9 @@ AddressSpace::walk(u64 va, bool for_write)
             FrameRef copy = phys.allocFrame();
             copy->copyFrom(*pte.frame); // tags preserved across COW
             pte.frame = std::move(copy);
+            // The page changed frames: cached read translations still
+            // point at the sibling's copy.
+            notifyInvalidatePage(pageTrunc(va));
         }
         pte.cow = false;
     }
@@ -276,6 +351,8 @@ AddressSpace::writeBytes(u64 va, const void *buf, u64 len)
         Pte *pte = walk(va, true);
         if (!pte)
             return CapFault::PageFault;
+        if (pte->prot & PROT_EXEC)
+            notifyCodeWrite();
         u64 off = va & pageMask;
         u64 chunk = std::min(len, pageSize - off);
         pte->frame->write(off, in, chunk);
@@ -305,6 +382,8 @@ AddressSpace::writeCap(u64 va, const Capability &cap)
     Pte *pte = walk(va, true);
     if (!pte)
         return CapFault::PageFault;
+    if (pte->prot & PROT_EXEC)
+        notifyCodeWrite();
     pte->frame->writeCap(va & pageMask, cap);
     return std::nullopt;
 }
@@ -335,6 +414,10 @@ AddressSpace::forkCopy(u64 new_principal) const
         }
         child->pages[va] = cp;
     }
+    // The parent's private pages just became COW: any cached writable
+    // translation would let a store dodge the copy and corrupt the
+    // child's view of the shared frame.
+    notifyInvalidateAll();
     return child;
 }
 
@@ -380,6 +463,7 @@ AddressSpace::installFrame(u64 va, FrameRef frame)
     auto it = pages.find(pageTrunc(va));
     if (it == pages.end())
         return false;
+    notifyInvalidatePage(pageTrunc(va));
     it->second.frame = std::move(frame);
     it->second.shared = true;
     it->second.cow = false;
@@ -396,6 +480,9 @@ AddressSpace::swapOutPage(u64 va)
     Pte &pte = it->second;
     if (pte.frame.use_count() > 1)
         return false; // still aliased by a COW sibling; keep resident
+    // Invalidate before the frame dies: TLBs hold raw Frame pointers
+    // without a reference.
+    notifyInvalidatePage(pageTrunc(va));
     pte.swapSlot = swap.swapOut(*pte.frame);
     pte.frame.reset();
     pte.swapped = true;
@@ -410,6 +497,7 @@ AddressSpace::swapOutResident(u64 max_pages)
         if (evicted >= max_pages)
             break;
         if (pte.frame && !pte.shared && pte.frame.use_count() == 1) {
+            notifyInvalidatePage(va);
             pte.swapSlot = swap.swapOut(*pte.frame);
             pte.frame.reset();
             pte.swapped = true;
@@ -423,6 +511,10 @@ u64
 AddressSpace::revokeCapsMatching(
     const std::function<bool(const Capability &)> &pred)
 {
+    // Revocation mutates tag state under any cached translation; a TLB
+    // must not keep serving pre-sweep capability loads from its frame
+    // pointer without re-walking (decode caches also flush).
+    notifyInvalidateAll();
     u64 revoked = 0;
     for (auto &[va, pte] : pages) {
         if (pte.swapped) {

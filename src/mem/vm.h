@@ -84,6 +84,21 @@ struct Mapping
     u64 end() const { return start + len; }
 };
 
+class MemAccess;
+
+/**
+ * A resolved translation handed to the software TLB (MemAccess): the
+ * frame backing one page after any demand-zero / COW / swap-in fault
+ * service, plus the state the TLB needs to decide cacheability.
+ */
+struct PageView
+{
+    Frame *frame = nullptr;
+    u32 prot = PROT_NONE;
+    bool cow = false;
+    bool shared = false;
+};
+
 class AddressSpace
 {
   public:
@@ -102,6 +117,9 @@ class AddressSpace
     AddressSpace(PhysMem &phys, SwapDevice &swap, u64 principal,
                  compress::CapFormat fmt = compress::CapFormat::Cap128,
                  u64 aslr_seed = 0);
+
+    /** Detaches any MemAccess objects still bound to this space. */
+    ~AddressSpace();
 
     u64 principal() const { return _principal; }
     compress::CapFormat format() const { return fmt; }
@@ -166,6 +184,17 @@ class AddressSpace
      * check, demand-zero, COW, swap-in.  Capability-level checks (tag,
      * bounds, perms) belong to the caller.  All return CapFault::PageFault
      * on translation failure.
+     *
+     * These are the reference (walk-per-page) implementations; hot-path
+     * consumers go through MemAccess (mem/access.h), which caches
+     * translations and falls back to walk() only on TLB miss.
+     *
+     * Partial-write semantics: multi-page operations are not atomic.
+     * writeBytes copies page by page, so when a fault is reported
+     * mid-range every byte up to the faulting page boundary has already
+     * been stored (mirroring copyout's EFAULT contract); readBytes
+     * likewise leaves @p buf partially filled.  Callers that need
+     * all-or-nothing behavior must pre-validate the whole range.
      */
     /// @{
     CapCheck readBytes(u64 va, void *buf, u64 len);
@@ -239,6 +268,22 @@ class AddressSpace
      */
     u64 verifyCapContainment() const;
 
+    /** @name Software-TLB interface (MemAccess)
+     * resolvePage services one page like walk() (demand-zero, COW,
+     * swap-in) and reports the state a TLB entry needs.  Listeners are
+     * notified whenever a translation this space handed out may have
+     * become stale: unmap, protect, swap-out, installFrame, forkCopy,
+     * COW resolution, and revocation sweeps.
+     */
+    /// @{
+    bool resolvePage(u64 va, bool for_write, PageView *out);
+    void addTlbListener(MemAccess *l);
+    void removeTlbListener(MemAccess *l);
+    /** A store reached an executable page: decoded-instruction caches
+     *  must be flushed even though translations stay valid. */
+    void notifyCodeWrite() const;
+    /// @}
+
   private:
     struct Pte
     {
@@ -259,6 +304,14 @@ class AddressSpace
 
     u64 findFree(u64 hint, u64 len) const;
 
+    /** @name TLB shoot-down helpers (const: fork mutates the parent's
+     *  COW state through const_cast and must still notify). */
+    /// @{
+    void notifyInvalidatePage(u64 page_va) const;
+    void notifyInvalidateRange(u64 start, u64 len) const;
+    void notifyInvalidateAll() const;
+    /// @}
+
     PhysMem &phys;
     SwapDevice &swap;
     u64 _principal;
@@ -267,6 +320,8 @@ class AddressSpace
     Capability root;
     std::map<u64, Mapping> mappings; // keyed by start
     std::map<u64, Pte> pages;        // keyed by page va
+    /** MemAccess objects caching translations of this space. */
+    std::vector<MemAccess *> listeners;
 };
 
 } // namespace cheri

@@ -109,6 +109,8 @@ Metrics::captureCost(std::string label, const CostModel &cost)
     snap.l1dMisses = cost.l1dMisses();
     snap.l2Misses = cost.l2Misses();
     snap.codeBytes = cost.codeBytes();
+    snap.itlbMisses = cost.itlbMisses();
+    snap.dtlbMisses = cost.dtlbMisses();
     costs.push_back(std::move(snap));
 }
 
@@ -127,6 +129,8 @@ Metrics::reset()
 {
     sys = {};
     insnMix = {};
+    // Zeroed in place: MemAccess counter-block pointers stay valid.
+    tlb = {};
     _faults.clear();
     faultsDropped = 0;
     faultsByCause = {};
@@ -170,7 +174,7 @@ Metrics::toJson() const
 {
     JsonWriter w;
     w.beginObject();
-    w.key("schema").value(std::string_view("cheri.metrics.v1"));
+    w.key("schema").value(std::string_view("cheri.metrics.v2"));
 
     w.key("syscalls").beginArray();
     for (Abi abi : allAbis) {
@@ -240,6 +244,28 @@ Metrics::toJson() const
         w.key("l1d_misses").value(c.l1dMisses);
         w.key("l2_misses").value(c.l2Misses);
         w.key("code_bytes").value(c.codeBytes);
+        w.key("itlb_misses").value(c.itlbMisses);
+        w.key("dtlb_misses").value(c.dtlbMisses);
+        w.endObject();
+    }
+    w.endArray();
+
+    // Per-ABI software-TLB counters (v2 schema addition).
+    w.key("tlb").beginArray();
+    for (Abi abi : allAbis) {
+        const auto &blk = tlb[abiIndex(abi)];
+        u64 total = 0;
+        for (u64 v : blk)
+            total += v;
+        if (!total)
+            continue;
+        w.beginObject();
+        w.key("abi").value(abiName(abi));
+        w.key("data_hits").value(blk[TlbDataHit]);
+        w.key("data_misses").value(blk[TlbDataMiss]);
+        w.key("fetch_hits").value(blk[TlbFetchHit]);
+        w.key("fetch_misses").value(blk[TlbFetchMiss]);
+        w.key("invalidations").value(blk[TlbInvalidation]);
         w.endObject();
     }
     w.endArray();
@@ -282,6 +308,35 @@ Metrics::toCsv() const
                                                               : 0),
                 static_cast<unsigned long long>(s.cycles.max),
                 s.cycles.mean());
+            out += buf;
+        }
+    }
+    // Second table: per-ABI software-TLB counters (v2 addition).
+    bool any_tlb = false;
+    for (Abi abi : allAbis) {
+        for (u64 v : tlb[abiIndex(abi)])
+            any_tlb = any_tlb || v != 0;
+    }
+    if (any_tlb) {
+        out += "\nabi,tlb_data_hits,tlb_data_misses,tlb_fetch_hits,"
+               "tlb_fetch_misses,tlb_invalidations\n";
+        for (Abi abi : allAbis) {
+            const auto &blk = tlb[abiIndex(abi)];
+            u64 total = 0;
+            for (u64 v : blk)
+                total += v;
+            if (!total)
+                continue;
+            char buf[192];
+            std::snprintf(
+                buf, sizeof(buf), "%.*s,%llu,%llu,%llu,%llu,%llu\n",
+                static_cast<int>(abiName(abi).size()),
+                abiName(abi).data(),
+                static_cast<unsigned long long>(blk[TlbDataHit]),
+                static_cast<unsigned long long>(blk[TlbDataMiss]),
+                static_cast<unsigned long long>(blk[TlbFetchHit]),
+                static_cast<unsigned long long>(blk[TlbFetchMiss]),
+                static_cast<unsigned long long>(blk[TlbInvalidation]));
             out += buf;
         }
     }

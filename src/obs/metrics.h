@@ -33,6 +33,7 @@
 #include "cap/capability.h"
 #include "cap/fault.h"
 #include "machine/cost_model.h"
+#include "mem/access.h"
 #include "os/sysnum.h"
 #include "trace/trace.h"
 
@@ -111,6 +112,8 @@ struct CostSnapshot
     u64 l1dMisses = 0;
     u64 l2Misses = 0;
     u64 codeBytes = 0;
+    u64 itlbMisses = 0;
+    u64 dtlbMisses = 0;
 };
 
 class Metrics : public TraceSink
@@ -163,6 +166,20 @@ class Metrics : public TraceSink
     void setOpNamer(OpNamer fn) { opNamer = fn; }
     /// @}
 
+    /** @name Software-TLB counters (fed by MemAccess)
+     * Each ABI gets one raw counter block indexed by TlbCounter; the
+     * kernel hands the block pointer to every process's MemAccess so
+     * the hot path increments directly, with no virtual call.
+     */
+    /// @{
+    u64 *tlbCounterBlock(Abi abi) { return tlb[abiIndex(abi)].data(); }
+    u64
+    tlbCounter(Abi abi, TlbCounter c) const
+    {
+        return tlb[abiIndex(abi)][c];
+    }
+    /// @}
+
     /** @name Cost-model export */
     /// @{
     void captureCost(std::string label, const CostModel &cost);
@@ -209,6 +226,7 @@ class Metrics : public TraceSink
 
     std::array<std::array<SyscallStats, numSysNums>, numAbis> sys{};
     std::array<std::array<u64, maxOps>, numAbis> insnMix{};
+    std::array<std::array<u64, numTlbCounters>, numAbis> tlb{};
     std::vector<FaultRecord> _faults;
     u64 faultsDropped = 0;
     std::array<u64, static_cast<unsigned>(CapFault::VmmapPermViolation) + 1>

@@ -60,7 +60,7 @@ class ProcLinkerEnv : public LinkerEnv
     void
     storeBytes(u64 va, const void *buf, u64 len) override
     {
-        mustSucceed(proc.as().writeBytes(va, buf, len));
+        mustSucceed(proc.mem().write(va, buf, len));
         proc.cost().copyLoop(0xC000000000 + va, va, len);
     }
 
@@ -68,11 +68,11 @@ class ProcLinkerEnv : public LinkerEnv
     storePointer(u64 va, const Capability &cap) override
     {
         if (proc.abi() == Abi::CheriAbi) {
-            mustSucceed(proc.as().writeCap(va, cap));
+            mustSucceed(proc.mem().writeCap(va, cap));
             proc.cost().store(va, capSize);
         } else {
             u64 addr = cap.address();
-            mustSucceed(proc.as().writeBytes(va, &addr, 8));
+            mustSucceed(proc.mem().write(va, &addr, 8));
             proc.cost().store(va, 8);
         }
     }
@@ -110,7 +110,7 @@ Kernel::setupStack(Process &proc, const std::vector<std::string> &argv,
     std::vector<u64> arg_addrs, env_addrs;
     auto push_string = [&](const std::string &s) {
         cursor -= s.size() + 1;
-        mustSucceed(proc.as().writeBytes(cursor, s.c_str(), s.size() + 1));
+        mustSucceed(proc.mem().write(cursor, s.c_str(), s.size() + 1));
         return cursor;
     };
     for (auto it = envv.rbegin(); it != envv.rend(); ++it)
@@ -134,10 +134,10 @@ Kernel::setupStack(Process &proc, const std::vector<std::string> &argv,
 
     auto write_ptr = [&](u64 va, const Capability &cap) {
         if (cheri) {
-            mustSucceed(proc.as().writeCap(va, cap));
+            mustSucceed(proc.mem().writeCap(va, cap));
         } else {
             u64 a = cap.address();
-            mustSucceed(proc.as().writeBytes(va, &a, 8));
+            mustSucceed(proc.mem().write(va, &a, 8));
         }
     };
 
@@ -187,7 +187,7 @@ Kernel::setupStack(Process &proc, const std::vector<std::string> &argv,
     u64 auxv_va = cursor;
     for (size_t i = 0; i < aux.size(); ++i) {
         u64 ent = auxv_va + i * aux_ent_size;
-        mustSucceed(proc.as().writeBytes(ent, &aux[i].tag, 8));
+        mustSucceed(proc.mem().write(ent, &aux[i].tag, 8));
         write_ptr(ent + 16, aux[i].val);
     }
 
@@ -224,6 +224,9 @@ Kernel::execve(Process &proc, const SelfObject &program,
     proc._as = std::make_unique<AddressSpace>(
         phys, swap, newPrincipal(), cfg.capFormat,
         cfg.aslrSeed ? cfg.aslrSeed + proc.pid() : 0);
+    // Re-target the process's access path at the fresh space before
+    // any image bytes are loaded.
+    proc.mem().bind(*proc._as);
     proc._regs = ThreadRegs{};
     proc._name = program.name;
     if (proc.abi() != Abi::CheriAbi) {

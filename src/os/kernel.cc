@@ -46,8 +46,19 @@ Kernel::spawn(Abi abi, const std::string &name)
     auto proc = std::make_unique<Process>(*this, pid, 0, abi, name,
                                           std::move(as), cfg.features);
     Process *p = proc.get();
+    p->mem().setCounterBlock(mx ? mx->tlbCounterBlock(abi) : nullptr);
     procs.emplace(pid, std::move(proc));
     return p;
+}
+
+void
+Kernel::setMetrics(obs::Metrics *m)
+{
+    mx = m;
+    for (auto &[pid, p] : procs) {
+        p->mem().setCounterBlock(mx ? mx->tlbCounterBlock(p->abi())
+                                    : nullptr);
+    }
 }
 
 Process *
@@ -59,6 +70,8 @@ Kernel::fork(Process &parent)
                                            parent.abi(), parent.name(),
                                            std::move(as), cfg.features);
     Process *c = child.get();
+    c->mem().setCounterBlock(mx ? mx->tlbCounterBlock(c->abi())
+                                : nullptr);
     procs.emplace(pid, std::move(child));
     // The child starts as an exact register-state copy: capabilities in
     // registers survive fork architecturally (tags included).
@@ -199,7 +212,7 @@ Kernel::copyin(Process &proc, const UserPtr &src, void *dst, u64 len)
     if (err)
         return err;
     proc.cost().copyLoop(src.addr(), 0xC000000000 + src.addr(), len);
-    CapCheck fault = proc.as().readBytes(src.addr(), dst, len);
+    CapCheck fault = proc.mem().read(src.addr(), dst, len);
     return fault.has_value() ? E_FAULT : E_OK;
 }
 
@@ -213,9 +226,9 @@ Kernel::copyout(Process &proc, const void *src, const UserPtr &dst,
     if (err)
         return err;
     proc.cost().copyLoop(0xC000000000 + dst.addr(), dst.addr(), len);
-    // writeBytes clears tags on every granule it touches: ordinary
+    // Byte writes clear tags on every granule they touch: ordinary
     // copyout can never leak a tagged kernel capability to userspace.
-    CapCheck fault = proc.as().writeBytes(dst.addr(), src, len);
+    CapCheck fault = proc.mem().write(dst.addr(), src, len);
     return fault.has_value() ? E_FAULT : E_OK;
 }
 
@@ -224,20 +237,40 @@ Kernel::copyinstr(Process &proc, const UserPtr &src, std::string *out,
                   u64 max)
 {
     out->clear();
+    if (max == 0)
+        return E_RANGE;
     u64 addr = src.addr();
-    for (u64 i = 0; i < max; ++i) {
-        int err = checkUserPtr(proc, src.offsetBy(static_cast<s64>(i)), 1,
-                               PERM_LOAD);
-        if (err)
-            return err;
-        char c;
-        CapCheck fault = proc.as().readBytes(addr + i, &c, 1);
-        if (fault.has_value())
-            return E_FAULT;
+    // Validate the pointer once and derive the scan window from its
+    // authority, instead of re-checking (and re-walking) per byte: a
+    // NUL inside the window succeeds no matter what lies beyond it.
+    int err = checkUserPtr(proc, src, 1, PERM_LOAD);
+    if (err)
+        return err;
+    const bool cap_authority =
+        proc.abi() == Abi::CheriAbi ||
+        (proc.abi() == Abi::Hybrid && src.isCap);
+    u64 limit = cap_authority ? src.cap.top() : proc.ddc().top();
+    u64 window = std::min(max, limit - addr);
+    u64 scanned = 0;
+    MemAccess::StrRead r =
+        proc.mem().readString(addr, out, window, &scanned);
+    // Modelled cost: the kernel's strlen-style loop still touches every
+    // byte it examined, one load each.
+    for (u64 i = 0; i < scanned; ++i)
         proc.cost().load(addr + i, 1);
-        if (c == '\0')
-            return E_OK;
-        out->push_back(c);
+    switch (r) {
+      case MemAccess::StrRead::Ok:
+        return E_OK;
+      case MemAccess::StrRead::Fault:
+        return E_FAULT;
+      case MemAccess::StrRead::TooLong:
+        break;
+    }
+    if (window < max) {
+        // The string ran off the end of the caller's authority before
+        // hitting max: the per-byte path would have faulted on the
+        // check at the clamp point.
+        return cap_authority ? E_PROT : E_FAULT;
     }
     return E_RANGE;
 }
@@ -250,7 +283,7 @@ Kernel::copyincap(Process &proc, const UserPtr &src, Capability *out)
                                PERM_LOAD | PERM_LOAD_CAP);
         if (err)
             return err;
-        Result<Capability> r = proc.as().readCap(src.addr());
+        Result<Capability> r = proc.mem().readCap(src.addr());
         if (!r.ok())
             return r.fault() == CapFault::AlignmentViolation ? E_INVAL
                                                              : E_FAULT;
@@ -279,7 +312,7 @@ Kernel::copyoutcap(Process &proc, const Capability &cap,
                                PERM_STORE | PERM_STORE_CAP);
         if (err)
             return err;
-        CapCheck fault = proc.as().writeCap(dst.addr(), cap);
+        CapCheck fault = proc.mem().writeCap(dst.addr(), cap);
         if (fault.has_value())
             return E_FAULT;
         proc.cost().store(dst.addr(), capSize);

@@ -133,8 +133,9 @@ class Kernel
     void setTrace(TraceSink *sink) { traceSink = sink; }
     TraceSink *trace() const { return traceSink; }
     /** Attach/detach the observability registry (nullable; costs one
-     *  branch per syscall/fault when absent). */
-    void setMetrics(obs::Metrics *m) { mx = m; }
+     *  branch per syscall/fault when absent).  Also (re)wires every
+     *  live process's MemAccess TLB counter block. */
+    void setMetrics(obs::Metrics *m);
     obs::Metrics *metrics() const { return mx; }
     /// @}
 
@@ -217,13 +218,22 @@ class Kernel
     /** @name User-memory access (Figure 3 semantics)
      * All return an errno (E_OK on success).  For CheriABI processes a
      * non-capability UserPtr is rejected with E_PROT, and capability
-     * checks use exactly the user-supplied capability.
+     * checks use exactly the user-supplied capability.  Transfers run
+     * through the process's MemAccess (software-TLB) path.
+     *
+     * Like the BSD originals, copyout is not atomic across pages: when
+     * E_FAULT is reported mid-range, bytes up to the faulting page
+     * boundary have already reached user memory (and copyin has
+     * partially filled @p dst).  The capability/DDC check still covers
+     * the whole range up front, so partial transfers only arise from
+     * translation faults, never from authority violations.
      */
     /// @{
     int copyin(Process &proc, const UserPtr &src, void *dst, u64 len);
     int copyout(Process &proc, const void *src, const UserPtr &dst,
                 u64 len);
-    /** NUL-terminated string copyin, bounded by @p max. */
+    /** NUL-terminated string copyin, bounded by @p max (page-chunked;
+     *  E_RANGE when @p max bytes pass without a NUL). */
     int copyinstr(Process &proc, const UserPtr &src, std::string *out,
                   u64 max = 1024);
     /** Capability-preserving variants for the few interfaces that

@@ -10,8 +10,9 @@ Process::Process(Kernel &kernel, u64 pid, u64 ppid, Abi abi,
                  MachineFeatures features)
     : kern(kernel), _pid(pid), _ppid(ppid), _abi(abi),
       _name(std::move(name)), _as(std::move(as)),
-      _cost(abi, features, _as->format())
+      _cost(abi, features, _as->format()), _mem(*_as)
 {
+    _mem.setCostModel(&_cost);
     // DDC: the legacy and hybrid ABIs retain an address-space-spanning
     // default data capability; CheriABI sets it to NULL so no access
     // can occur without naming an explicit capability.

@@ -20,6 +20,7 @@
 
 #include "machine/cost_model.h"
 #include "machine/regs.h"
+#include "mem/access.h"
 #include "mem/vm.h"
 #include "os/signal.h"
 #include "os/vfs.h"
@@ -73,6 +74,11 @@ class Process
 
     AddressSpace &as() { return *_as; }
     const AddressSpace &as() const { return *_as; }
+
+    /** The unified guest-memory access path (software TLB) for this
+     *  process; all kernel and interpreter accesses to this process's
+     *  memory go through here. */
+    MemAccess &mem() { return _mem; }
 
     /** Register state of the *currently running* thread. */
     ThreadRegs &regs() { return _regs; }
@@ -161,6 +167,7 @@ class Process
     std::unique_ptr<AddressSpace> _as;
     ThreadRegs _regs;
     CostModel _cost;
+    MemAccess _mem;
     std::vector<OpenFileRef> fds;
     std::vector<ThreadRecord> threads;
     u64 curThread = 0;

@@ -51,7 +51,7 @@ Kernel::sysPtrace(Process &debugger, PtReq req, u64 pid, u64 addr,
       case PtReq::ReadData: {
         if (!isAttached(attached, debugger.pid(), pid))
             return SysResult::fail(E_PERM);
-        CapCheck f = target->as().readBytes(addr, host_buf, len);
+        CapCheck f = target->mem().read(addr, host_buf, len);
         return f.has_value() ? SysResult::fail(E_FAULT) : SysResult::ok(len);
       }
       case PtReq::WriteData: {
@@ -59,7 +59,7 @@ Kernel::sysPtrace(Process &debugger, PtReq req, u64 pid, u64 addr,
             return SysResult::fail(E_PERM);
         // Byte writes clear tags in the target — a debugger poking raw
         // data can never fabricate a capability.
-        CapCheck f = target->as().writeBytes(addr, host_buf, len);
+        CapCheck f = target->mem().write(addr, host_buf, len);
         return f.has_value() ? SysResult::fail(E_FAULT) : SysResult::ok(len);
       }
       default:
@@ -77,7 +77,7 @@ Kernel::ptraceReadCap(Process &debugger, u64 pid, u64 addr,
         return SysResult::fail(E_SRCH);
     if (!isAttached(attached, debugger.pid(), pid))
         return SysResult::fail(E_PERM);
-    Result<Capability> r = target->as().readCap(addr);
+    Result<Capability> r = target->mem().readCap(addr);
     if (!r.ok())
         return SysResult::fail(E_FAULT);
     // The debugger sees the capability's value (bounds, perms, tag) but
@@ -104,7 +104,7 @@ Kernel::ptraceWriteCap(Process &debugger, u64 pid, u64 addr,
                           cap.withoutTag());
     if (!injected.ok())
         return SysResult::fail(E_PROT);
-    CapCheck f = target->as().writeCap(addr, injected.value());
+    CapCheck f = target->mem().writeCap(addr, injected.value());
     if (f.has_value())
         return SysResult::fail(E_FAULT);
     if (traceSink)

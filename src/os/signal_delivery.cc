@@ -95,15 +95,15 @@ Kernel::pushSigFrame(Process &proc, SigFrame &frame)
 
     u64 hdr[3] = {static_cast<u64>(frame.signo), frame.faultAddr,
                   static_cast<u64>(frame.faultCause)};
-    mustSucceed(proc.as().writeBytes(va, hdr, sizeof(hdr)));
+    mustSucceed(proc.mem().write(va, hdr, sizeof(hdr)));
 
     auto store_slot = [&](u64 idx, const Capability &cap) {
         u64 at = va + header + idx * slot;
         if (cheri) {
-            mustSucceed(proc.as().writeCap(at, cap));
+            mustSucceed(proc.mem().writeCap(at, cap));
         } else {
             u64 a = cap.address();
-            mustSucceed(proc.as().writeBytes(at, &a, 8));
+            mustSucceed(proc.mem().write(at, &a, 8));
         }
     };
     const ThreadRegs &regs = proc.regs();
@@ -113,8 +113,8 @@ Kernel::pushSigFrame(Process &proc, SigFrame &frame)
         store_slot(2 + i, regs.c[i]);
     if (!cheri) {
         u64 xbase = va + header + numFrameCaps * 8;
-        mustSucceed(proc.as().writeBytes(xbase, regs.x.data(),
-                                          numCapRegs * 8));
+        mustSucceed(proc.mem().write(xbase, regs.x.data(),
+                                     numCapRegs * 8));
     }
     frame.saved = regs;
     // Cost: trap entry plus spilling the (ABI-width) register file.
@@ -139,12 +139,12 @@ Kernel::popSigFrame(Process &proc, const SigFrame &frame)
     auto load_slot = [&](u64 idx) -> Capability {
         u64 at = va + header + idx * slot;
         if (cheri) {
-            Result<Capability> r = proc.as().readCap(at);
+            Result<Capability> r = proc.mem().readCap(at);
             assert(r.ok());
             return r.value();
         }
         u64 a = 0;
-        mustSucceed(proc.as().readBytes(at, &a, 8));
+        mustSucceed(proc.mem().read(at, &a, 8));
         return Capability::fromAddress(a);
     };
     if (cheri) {
@@ -161,8 +161,8 @@ Kernel::popSigFrame(Process &proc, const SigFrame &frame)
         regs.c[i] = load_slot(2 + i);
     if (!cheri) {
         u64 xbase = va + header + numFrameCaps * 8;
-        mustSucceed(proc.as().readBytes(xbase, regs.x.data(),
-                                          numCapRegs * 8));
+        mustSucceed(proc.mem().read(xbase, regs.x.data(),
+                                    numCapRegs * 8));
     }
     proc.regs() = regs;
     proc.cost().copyLoop(va, 0x7f0000000, header + numFrameCaps * slot);

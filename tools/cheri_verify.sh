@@ -13,4 +13,7 @@ cmake -S "$src_dir" -B "$build_dir" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+# Smoke the unified-access-path bench: --check fails unless the TLB
+# fast path beats the walk path on sequential access.
+"$build_dir/bench/vm_micro" --json --check
 echo "cheri_verify: all checks passed"
