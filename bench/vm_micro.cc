@@ -194,6 +194,81 @@ runForkChurn(PhysMem &phys, SwapDevice &swap)
            iters;
 }
 
+/** Constrained-memory phase: drive a working set several times larger
+ *  than the frame budget through the TLB path, with LRU reclaim as the
+ *  only thing standing between the workload and allocation failure. */
+struct PressureResult
+{
+    u64 frameBudget = 0;
+    u64 slotBudget = 0;
+    u64 pages = 0;
+    u64 maxLiveFrames = 0;
+    u64 maxUsedSlots = 0;
+    u64 reclaimCalls = 0;
+    u64 pagesEvicted = 0;
+    double ms = 0;
+    bool completed = false;
+    bool budgetsHeld() const
+    {
+        return maxLiveFrames <= frameBudget && maxUsedSlots <= slotBudget;
+    }
+};
+
+PressureResult
+runPressure(u64 frame_budget, u64 slot_budget)
+{
+    PressureResult r;
+    r.frameBudget = frame_budget;
+    r.slotBudget = slot_budget;
+    r.pages = 4 * frame_budget;
+
+    PhysMem phys;
+    SwapDevice swap;
+    phys.setCapacity(frame_budget);
+    swap.setSlotBudget(slot_budget);
+    AddressSpace as(phys, swap, 1);
+    MemAccess mem(as);
+    // The reclaim hook is the bench's stand-in for the kernel's LRU
+    // pass: evict a few pages beyond the immediate need so every fault
+    // does not pay for a reclaim.
+    phys.setReclaimHook([&](u64 wanted, const void *) {
+        ++r.reclaimCalls;
+        u64 n = as.swapOutResident(wanted + 7);
+        r.pagesEvicted += n;
+        return n;
+    });
+
+    u64 base = as.map(0, r.pages * pageSize, PROT_READ | PROT_WRITE,
+                      MappingKind::Data);
+    if (base == 0)
+        return r;
+    auto sample = [&] {
+        r.maxLiveFrames = std::max(r.maxLiveFrames, phys.liveFrames());
+        r.maxUsedSlots = std::max(r.maxUsedSlots, swap.usedSlots());
+    };
+    auto t0 = Clock::now();
+    for (u64 p = 0; p < r.pages; ++p) {
+        u64 v = p * 2654435761u;
+        if (mem.write(base + p * pageSize, &v, 8))
+            return r; // exhaustion must not occur with reclaim armed
+        sample();
+    }
+    // Read everything back — half the set is on swap by now, so this
+    // exercises swap-in under the same budgets.
+    for (u64 p = 0; p < r.pages; ++p) {
+        u64 got = 0;
+        if (mem.read(base + p * pageSize, &got, 8))
+            return r;
+        if (got != p * 2654435761u)
+            return r; // reclaim corrupted the working set
+        sample();
+    }
+    auto t1 = Clock::now();
+    r.ms = std::chrono::duration<double>(t1 - t0).count() * 1000.0;
+    r.completed = true;
+    return r;
+}
+
 } // namespace
 
 int
@@ -201,11 +276,17 @@ main(int argc, char **argv)
 {
     bool json = false;
     bool check = false;
+    u64 frame_budget = 64;
+    u64 slot_budget = 256;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--json"))
             json = true;
         else if (!std::strcmp(argv[i], "--check"))
             check = true;
+        else if (!std::strcmp(argv[i], "--frames") && i + 1 < argc)
+            frame_budget = std::strtoull(argv[++i], nullptr, 0);
+        else if (!std::strcmp(argv[i], "--slots") && i + 1 < argc)
+            slot_budget = std::strtoull(argv[++i], nullptr, 0);
     }
 
     PhysMem phys;
@@ -243,6 +324,7 @@ main(int argc, char **argv)
     results.push_back(runPattern("strided", as, mem, base, strided));
     results.push_back(runCopyinstr(as, mem, base));
     double fork_ms = runForkChurn(phys, swap);
+    PressureResult pr = runPressure(frame_budget, slot_budget);
 
     const MemAccess::Stats &st = mem.stats();
     if (json) {
@@ -259,6 +341,19 @@ main(int argc, char **argv)
         }
         std::printf("  ],\n");
         std::printf("  \"fork_cow_churn_ms\": %.3f,\n", fork_ms);
+        std::printf("  \"pressure\": {\"frame_budget\": %llu, "
+                    "\"slot_budget\": %llu, \"pages\": %llu, "
+                    "\"max_live_frames\": %llu, \"max_used_slots\": "
+                    "%llu, \"reclaim_calls\": %llu, \"pages_evicted\": "
+                    "%llu, \"ms\": %.3f, \"completed\": %s},\n",
+                    static_cast<unsigned long long>(pr.frameBudget),
+                    static_cast<unsigned long long>(pr.slotBudget),
+                    static_cast<unsigned long long>(pr.pages),
+                    static_cast<unsigned long long>(pr.maxLiveFrames),
+                    static_cast<unsigned long long>(pr.maxUsedSlots),
+                    static_cast<unsigned long long>(pr.reclaimCalls),
+                    static_cast<unsigned long long>(pr.pagesEvicted),
+                    pr.ms, pr.completed ? "true" : "false");
         std::printf("  \"tlb\": {\"data_hits\": %llu, \"data_misses\": "
                     "%llu, \"invalidations\": %llu}\n}\n",
                     static_cast<unsigned long long>(st.dataHits),
@@ -279,6 +374,18 @@ main(int argc, char **argv)
         std::printf("\nfork/COW churn (64 pages, half dirtied): %.3f "
                     "ms/iter\n",
                     fork_ms);
+        std::printf("pressure: %llu pages through %llu frames / %llu "
+                    "slots in %.3f ms (%llu reclaims, %llu evictions, "
+                    "peak %llu frames / %llu slots)%s\n",
+                    static_cast<unsigned long long>(pr.pages),
+                    static_cast<unsigned long long>(pr.frameBudget),
+                    static_cast<unsigned long long>(pr.slotBudget),
+                    pr.ms,
+                    static_cast<unsigned long long>(pr.reclaimCalls),
+                    static_cast<unsigned long long>(pr.pagesEvicted),
+                    static_cast<unsigned long long>(pr.maxLiveFrames),
+                    static_cast<unsigned long long>(pr.maxUsedSlots),
+                    pr.completed ? "" : " [INCOMPLETE]");
         std::printf("TLB: %llu data hits, %llu misses, %llu "
                     "invalidations\n",
                     static_cast<unsigned long long>(st.dataHits),
@@ -290,6 +397,21 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "FAIL: sequential TLB speedup %.2fx below 1.5x\n",
                      results[0].speedup());
+        return 1;
+    }
+    if (check && !pr.completed) {
+        std::fprintf(stderr, "FAIL: constrained workload did not "
+                             "complete under reclaim\n");
+        return 1;
+    }
+    if (check && !pr.budgetsHeld()) {
+        std::fprintf(stderr,
+                     "FAIL: budgets breached (peak %llu/%llu frames, "
+                     "%llu/%llu slots)\n",
+                     static_cast<unsigned long long>(pr.maxLiveFrames),
+                     static_cast<unsigned long long>(pr.frameBudget),
+                     static_cast<unsigned long long>(pr.maxUsedSlots),
+                     static_cast<unsigned long long>(pr.slotBudget));
         return 1;
     }
     return 0;

@@ -51,7 +51,17 @@ enum class CapFault : std::uint8_t
     PageFault,
     /** Software check: user lacked the required vmmap permission. */
     VmmapPermViolation,
+    /** MMU: frame allocation failed under memory pressure; the fault
+     *  is guest-visible (ENOMEM / SIG_KILL), never a host abort. */
+    MemoryExhausted,
+    /** MMU: the swap device failed to read a page back; the slot is
+     *  retained so the access can be retried. */
+    SwapInFailure,
 };
+
+/** Number of distinct CapFault causes (for cause-indexed tables). */
+constexpr unsigned numCapFaults =
+    static_cast<unsigned>(CapFault::SwapInFailure) + 1;
 
 /** Human-readable fault name for diagnostics and test output. */
 std::string_view capFaultName(CapFault fault);

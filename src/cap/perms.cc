@@ -57,6 +57,8 @@ capFaultName(CapFault fault)
       case CapFault::AlignmentViolation: return "alignment violation";
       case CapFault::PageFault: return "page fault";
       case CapFault::VmmapPermViolation: return "vmmap-permission violation";
+      case CapFault::MemoryExhausted: return "memory exhausted";
+      case CapFault::SwapInFailure: return "swap-in failure";
     }
     return "unknown";
 }

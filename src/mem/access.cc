@@ -118,7 +118,7 @@ MemAccess::read(u64 va, void *buf, u64 len)
         } else {
             f = missData(page, false);
             if (!f)
-                return CapFault::PageFault;
+                return missFault();
         }
         f->read(off, out, chunk);
         va += chunk;
@@ -146,7 +146,7 @@ MemAccess::write(u64 va, const void *buf, u64 len)
         } else {
             f = missData(page, true);
             if (!f)
-                return CapFault::PageFault;
+                return missFault();
             exec = (dtlb[indexOf(page)].prot & PROT_EXEC) != 0;
         }
         if (exec && as)
@@ -175,7 +175,7 @@ MemAccess::fetch(u64 va, void *buf, u64 len)
         } else {
             f = missFetch(page);
             if (!f)
-                return CapFault::PageFault;
+                return missFault();
         }
         f->read(off, out, chunk);
         va += chunk;
@@ -199,7 +199,7 @@ MemAccess::readCap(u64 va)
     } else {
         f = missData(page, false);
         if (!f)
-            return CapFault::PageFault;
+            return missFault();
     }
     return f->readCap(va & pageMask);
 }
@@ -220,7 +220,7 @@ MemAccess::writeCap(u64 va, const Capability &cap)
     } else {
         f = missData(page, true);
         if (!f)
-            return CapFault::PageFault;
+            return missFault();
         exec = (dtlb[indexOf(page)].prot & PROT_EXEC) != 0;
     }
     if (exec && as)

@@ -82,7 +82,8 @@ class MemAccess
     /** @name Checked guest accesses
      * Same MMU semantics as the AddressSpace methods they front:
      * translation + protection check, demand-zero/COW/swap-in on miss,
-     * CapFault::PageFault on failure.  Like AddressSpace::writeBytes,
+     * and the same precise fault causes on failure (PageFault,
+     * MemoryExhausted, SwapInFailure).  Like AddressSpace::writeBytes,
      * write() is not atomic across pages: on a mid-range fault, bytes
      * up to the faulting page boundary have already been stored.
      */
@@ -171,6 +172,13 @@ class MemAccess
     /** Slow path: walk the page table and install an entry. */
     Frame *missData(u64 page_va, bool for_write);
     Frame *missFetch(u64 page_va);
+
+    /** Fault cause after a failed miss: the space knows why its walk
+     *  failed; a detached access path is a plain page fault. */
+    CapFault missFault() const
+    {
+        return as ? as->lastWalkFault() : CapFault::PageFault;
+    }
 
     void countDataHit();
 

@@ -1,0 +1,92 @@
+#include "mem/fault_inject.h"
+
+namespace cheri
+{
+
+void
+FaultInjector::failAfter(FaultPoint point, u64 nth)
+{
+    Arm &a = arms[index(point)];
+    if (nth == 0) {
+        a.mode = Mode::Off;
+        return;
+    }
+    a.mode = Mode::Nth;
+    a.countdown = nth;
+}
+
+void
+FaultInjector::failRandomly(FaultPoint point, u64 period, u64 seed)
+{
+    Arm &a = arms[index(point)];
+    if (period == 0) {
+        a.mode = Mode::Off;
+        return;
+    }
+    a.mode = Mode::Random;
+    a.period = period;
+    // Mix the point index into the seed so arming several points with
+    // one seed still gives them independent schedules.
+    a.lcg = seed * 0x9E3779B97F4A7C15ull + index(point) + 1;
+}
+
+void
+FaultInjector::disarm(FaultPoint point)
+{
+    arms[index(point)].mode = Mode::Off;
+}
+
+void
+FaultInjector::disarmAll()
+{
+    for (Arm &a : arms)
+        a.mode = Mode::Off;
+}
+
+bool
+FaultInjector::shouldFail(FaultPoint point)
+{
+    Arm &a = arms[index(point)];
+    ++a.seen;
+    switch (a.mode) {
+      case Mode::Off:
+        return false;
+      case Mode::Nth:
+        if (--a.countdown > 0)
+            return false;
+        a.mode = Mode::Off; // one-shot
+        ++a.fired;
+        return true;
+      case Mode::Random: {
+        a.lcg = a.lcg * 6364136223846793005ull + 1442695040888963407ull;
+        // Top bits of an LCG are the well-distributed ones.
+        bool fire = (a.lcg >> 33) % a.period == 0;
+        a.fired += fire;
+        return fire;
+      }
+    }
+    return false;
+}
+
+u64
+FaultInjector::events(FaultPoint point) const
+{
+    return arms[index(point)].seen;
+}
+
+u64
+FaultInjector::injected(FaultPoint point) const
+{
+    return arms[index(point)].fired;
+}
+
+u64
+FaultInjector::totalInjected() const
+{
+    u64 n = 0;
+    for (const Arm &a : arms)
+        n += a.fired;
+    return n;
+}
+
+} // namespace cheri

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic fault injection for the memory-pressure choke points.
+ *
+ * Resource-exhaustion paths (allocation failure, swap-device errors)
+ * are the rarest-driven code in a VM system and historically where
+ * capability invariants break.  The injector lets tests and benches
+ * force every one of them on demand, deterministically: each choke
+ * point reports its events through shouldFail(), and an armed point
+ * fires either on the Nth upcoming event (trigger-on-Nth) or on a
+ * seeded pseudo-random schedule that replays identically for the same
+ * seed.  No wall-clock or host randomness is ever consulted.
+ */
+
+#ifndef CHERI_MEM_FAULT_INJECT_H
+#define CHERI_MEM_FAULT_INJECT_H
+
+#include <array>
+
+#include "cap/types.h"
+
+namespace cheri
+{
+
+/** The three choke points the injector can fail. */
+enum class FaultPoint : unsigned
+{
+    /** PhysMem::allocFrame / canAlloc. */
+    FrameAlloc = 0,
+    /** SwapDevice::swapOut. */
+    SwapOut,
+    /** SwapDevice::swapIn. */
+    SwapIn,
+};
+
+constexpr unsigned numFaultPoints = 3;
+
+class FaultInjector
+{
+  public:
+    /** Fail the @p nth upcoming event at @p point (1 = the very next),
+     *  then disarm.  @p nth of 0 disarms. */
+    void failAfter(FaultPoint point, u64 nth);
+
+    /**
+     * Fail roughly one event in @p period at @p point, on a schedule
+     * derived only from @p seed — two injectors armed with the same
+     * (period, seed) fire on exactly the same event numbers.  Stays
+     * armed until disarmed.
+     */
+    void failRandomly(FaultPoint point, u64 period, u64 seed);
+
+    void disarm(FaultPoint point);
+    void disarmAll();
+
+    /**
+     * Report one event at @p point; returns true when the injector
+     * decides this event fails.  Called by the choke points themselves;
+     * counts events even while disarmed so Nth-event arming composes
+     * with prior traffic predictably.
+     */
+    bool shouldFail(FaultPoint point);
+
+    /** Events seen at @p point since construction/reset. */
+    u64 events(FaultPoint point) const;
+
+    /** Failures injected at @p point. */
+    u64 injected(FaultPoint point) const;
+
+    /** Failures injected across all points. */
+    u64 totalInjected() const;
+
+  private:
+    enum class Mode
+    {
+        Off,
+        Nth,
+        Random,
+    };
+
+    struct Arm
+    {
+        Mode mode = Mode::Off;
+        /** Nth mode: events remaining before the one that fails. */
+        u64 countdown = 0;
+        /** Random mode: average events per failure. */
+        u64 period = 0;
+        /** Random mode: LCG state, advanced once per event. */
+        u64 lcg = 0;
+        u64 seen = 0;
+        u64 fired = 0;
+    };
+
+    static unsigned index(FaultPoint p) { return static_cast<unsigned>(p); }
+
+    std::array<Arm, numFaultPoints> arms{};
+};
+
+} // namespace cheri
+
+#endif // CHERI_MEM_FAULT_INJECT_H

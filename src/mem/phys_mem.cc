@@ -62,9 +62,29 @@ Frame::writeCap(u64 off, const Capability &cap)
     caps[g] = cap;
 }
 
-FrameRef
-PhysMem::allocFrame()
+bool
+PhysMem::makeRoom(u64 n, const void *requester)
 {
+    if (capacity == 0 || *live + n <= capacity)
+        return true;
+    if (reclaim) {
+        ++reclaims;
+        reclaim(*live + n - capacity, requester);
+    }
+    return *live + n <= capacity;
+}
+
+FrameRef
+PhysMem::allocFrame(const void *requester)
+{
+    if (injector && injector->shouldFail(FaultPoint::FrameAlloc)) {
+        ++failed;
+        return nullptr;
+    }
+    if (!makeRoom(1, requester)) {
+        ++failed;
+        return nullptr;
+    }
     ++allocated;
     auto counter = live;
     ++*counter;
@@ -72,6 +92,20 @@ PhysMem::allocFrame()
         --*counter;
         delete f;
     });
+}
+
+bool
+PhysMem::canAlloc(u64 n, const void *requester)
+{
+    if (injector && injector->shouldFail(FaultPoint::FrameAlloc)) {
+        ++failed;
+        return false;
+    }
+    if (!makeRoom(n, requester)) {
+        ++failed;
+        return false;
+    }
+    return true;
 }
 
 u64

@@ -23,10 +23,12 @@
 #include <array>
 #include <bitset>
 #include <cstring>
+#include <functional>
 #include <memory>
 
 #include "cap/capability.h"
 #include "cap/types.h"
+#include "mem/fault_inject.h"
 
 namespace cheri
 {
@@ -109,12 +111,47 @@ using FrameRef = std::shared_ptr<Frame>;
  * Frame allocator with simple accounting.  Frames are reference counted:
  * copy-on-write and shared mappings alias the same Frame until a write
  * forces a copy.
+ *
+ * With a capacity configured, the allocator enforces it: an allocation
+ * that would exceed the budget first runs the reclaim hook (the kernel's
+ * eviction pass) and then fails by returning nullptr — callers must turn
+ * that into a guest-visible error, never a host abort.
  */
 class PhysMem
 {
   public:
-    /** Allocate a zeroed frame. */
-    FrameRef allocFrame();
+    /**
+     * Asked to make room for @p wanted frames on behalf of
+     * @p requester (the AddressSpace whose fault is being serviced, or
+     * nullptr); returns frames actually freed.  The hook may evict from
+     * the requester itself — pages pinned by an in-flight fault are
+     * never evictable — but must not destroy it.
+     */
+    using ReclaimHook = std::function<u64(u64 wanted, const void *requester)>;
+
+    /**
+     * Allocate a zeroed frame, or nullptr when the injector fires or
+     * the capacity is exhausted even after reclaim.  @p requester
+     * identifies the address space being serviced so the reclaim hook
+     * can exempt it from destructive measures (OOM kill).
+     */
+    FrameRef allocFrame(const void *requester = nullptr);
+
+    /**
+     * Admission probe for syscalls: true when @p n frames could be
+     * allocated right now, running reclaim if needed.  Consumes one
+     * FrameAlloc injector event, so injected exhaustion surfaces here
+     * exactly like at a real allocation.
+     */
+    bool canAlloc(u64 n, const void *requester = nullptr);
+
+    /** Max live frames; 0 = unlimited. */
+    void setCapacity(u64 frames) { capacity = frames; }
+    u64 frameCapacity() const { return capacity; }
+
+    void setReclaimHook(ReclaimHook hook) { reclaim = std::move(hook); }
+    /** Nullable; checked on every allocation. */
+    void setFaultInjector(FaultInjector *inj) { injector = inj; }
 
     /** Frames currently live (allocated and not yet destroyed). */
     u64 liveFrames() const;
@@ -122,9 +159,23 @@ class PhysMem
     /** Total allocations over the lifetime of the system. */
     u64 totalAllocated() const { return allocated; }
 
+    /** Allocations refused (capacity or injection). */
+    u64 failedAllocs() const { return failed; }
+
+    /** Times the reclaim hook was invoked. */
+    u64 reclaimRequests() const { return reclaims; }
+
   private:
+    /** Run reclaim if needed so @p n more frames fit; true on success. */
+    bool makeRoom(u64 n, const void *requester);
+
     u64 allocated = 0;
     std::shared_ptr<u64> live = std::make_shared<u64>(0);
+    u64 capacity = 0;
+    u64 failed = 0;
+    u64 reclaims = 0;
+    ReclaimHook reclaim;
+    FaultInjector *injector = nullptr;
 };
 
 } // namespace cheri

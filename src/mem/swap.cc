@@ -8,6 +8,14 @@ namespace cheri
 u64
 SwapDevice::swapOut(const Frame &frame)
 {
+    if (injector && injector->shouldFail(FaultPoint::SwapOut)) {
+        ++swapOutFailures;
+        return invalidSlot;
+    }
+    if (budget != 0 && slots.size() >= budget) {
+        ++swapOutFailures;
+        return invalidSlot;
+    }
     Slot slot;
     slot.bytes = frame.bytes();
     if (_policy == SwapPolicy::PreserveTags) {
@@ -22,11 +30,17 @@ SwapDevice::swapOut(const Frame &frame)
     return id;
 }
 
-void
+bool
 SwapDevice::swapIn(u64 slot_id, Frame &frame, const Capability &root)
 {
     auto it = slots.find(slot_id);
     assert(it != slots.end() && "swap-in of unoccupied slot");
+    if (injector && injector->shouldFail(FaultPoint::SwapIn)) {
+        // Modeled I/O error: the slot survives so the fault can be
+        // retried once the condition clears.
+        ++swapInFailures;
+        return false;
+    }
     const Slot &slot = it->second;
     frame.write(0, slot.bytes.data(), pageSize);
     for (const auto &[off, pattern] : slot.tagMeta) {
@@ -37,6 +51,13 @@ SwapDevice::swapIn(u64 slot_id, Frame &frame, const Capability &root)
         // granule untagged rather than escalate.
     }
     slots.erase(it);
+    return true;
+}
+
+void
+SwapDevice::discard(u64 slot_id)
+{
+    discards += slots.erase(slot_id);
 }
 
 u64

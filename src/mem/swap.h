@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "cap/capability.h"
+#include "mem/fault_inject.h"
 #include "mem/phys_mem.h"
 
 namespace cheri
@@ -53,10 +54,14 @@ class SwapDevice
 
     SwapPolicy policy() const { return _policy; }
 
+    /** swapOut's failure value: no slot was written. */
+    static constexpr u64 invalidSlot = ~u64{0};
+
     /**
-     * Write @p frame out, returning the slot id.  Tags never reach the
-     * device's data area; under PreserveTags they are captured in the
-     * slot's metadata instead.
+     * Write @p frame out, returning the slot id — or invalidSlot when
+     * the device is full (slot budget) or the injector fires.  Tags
+     * never reach the device's data area; under PreserveTags they are
+     * captured in the slot's metadata instead.
      */
     u64 swapOut(const Frame &frame);
 
@@ -65,9 +70,24 @@ class SwapDevice
      * as-is (untagged).  Under PreserveTags, each recorded granule is
      * rederived from @p root via CBuildCap; granules whose pattern the
      * root cannot legitimately cover stay untagged (rederivation must
-     * never escalate).  The slot is released.
+     * never escalate).  On success the slot is released and true is
+     * returned; an injected failure leaves the slot (and @p frame's
+     * prior contents) untouched so the access can be retried.
      */
-    void swapIn(u64 slot, Frame &frame, const Capability &root);
+    bool swapIn(u64 slot, Frame &frame, const Capability &root);
+
+    /**
+     * Release @p slot without reading it back — the page it held was
+     * unmapped or its owner exited.  Idempotent for unknown slots.
+     */
+    void discard(u64 slot);
+
+    /** Max occupied slots; 0 = unlimited. */
+    void setSlotBudget(u64 n) { budget = n; }
+    u64 slotBudget() const { return budget; }
+
+    /** Nullable; checked on every swap-out and swap-in. */
+    void setFaultInjector(FaultInjector *inj) { injector = inj; }
 
     /**
      * Revocation support: drop recorded tag metadata in @p slot for
@@ -86,6 +106,15 @@ class SwapDevice
     /** Tagged granules recorded across all swap-outs so far. */
     u64 totalTagsPreserved() const { return tagsPreserved; }
 
+    /** Swap-outs refused (budget or injection). */
+    u64 failedSwapOuts() const { return swapOutFailures; }
+
+    /** Swap-ins refused (injection). */
+    u64 failedSwapIns() const { return swapInFailures; }
+
+    /** Slots released unread via discard(). */
+    u64 totalDiscards() const { return discards; }
+
   private:
     struct Slot
     {
@@ -99,6 +128,11 @@ class SwapDevice
     u64 nextSlot = 0;
     u64 swapOuts = 0;
     u64 tagsPreserved = 0;
+    u64 budget = 0;
+    u64 swapOutFailures = 0;
+    u64 swapInFailures = 0;
+    u64 discards = 0;
+    FaultInjector *injector = nullptr;
 };
 
 } // namespace cheri

@@ -34,6 +34,12 @@ AddressSpace::~AddressSpace()
     // under the process); make sure none keeps a dangling pointer.
     for (MemAccess *l : listeners)
         l->detach();
+    // Swapped-out pages hold device slots the frame destructors know
+    // nothing about; release them or every execve/exit leaks swap.
+    for (auto &[va, pte] : pages) {
+        if (pte.swapped)
+            swap.discard(pte.swapSlot);
+    }
 }
 
 void
@@ -196,8 +202,16 @@ AddressSpace::unmap(u64 start, u64 len)
             mappings.emplace(right.start, right);
         }
     }
-    for (u64 va = start; va < end; va += pageSize)
-        pages.erase(va);
+    for (u64 va = start; va < end; va += pageSize) {
+        auto it = pages.find(va);
+        if (it == pages.end())
+            continue;
+        // A swapped-out page owns a device slot; munmap must release
+        // it or the slot leaks for the lifetime of the system.
+        if (it->second.swapped)
+            swap.discard(it->second.swapSlot);
+        pages.erase(it);
+    }
     return any;
 }
 
@@ -206,14 +220,16 @@ AddressSpace::protect(u64 start, u64 len, u32 prot)
 {
     start = pageTrunc(start);
     len = pageRound(len);
+    // mprotect is atomic: validate the whole range before touching any
+    // PTE, so a hole mid-range leaves every page exactly as it was.
+    for (u64 va = start; va < start + len; va += pageSize) {
+        if (!pages.count(va))
+            return false;
+    }
     // Cached translations embed the old protection; drop them first.
     notifyInvalidateRange(start, len);
-    for (u64 va = start; va < start + len; va += pageSize) {
-        auto it = pages.find(va);
-        if (it == pages.end())
-            return false;
-        it->second.prot = prot;
-    }
+    for (u64 va = start; va < start + len; va += pageSize)
+        pages.find(va)->second.prot = prot;
     for (auto &[mstart, m] : mappings) {
         if (m.start >= start && m.end() <= start + len)
             m.prot = prot;
@@ -282,6 +298,9 @@ AddressSpace::capForRange(u64 start, u64 len, u32 prot,
 AddressSpace::Pte *
 AddressSpace::walk(u64 va, bool for_write)
 {
+    // Any failure below that doesn't refine the cause is a plain page
+    // fault (unmapped / protection).
+    walkFault = CapFault::PageFault;
     if (va < userBase || va >= userTop)
         return nullptr;
     auto it = pages.find(pageTrunc(va));
@@ -291,15 +310,33 @@ AddressSpace::walk(u64 va, bool for_write)
     u32 need = for_write ? PROT_WRITE : PROT_READ;
     if (!(pte.prot & need))
         return nullptr;
+    // Allocation below may reenter this space through the kernel's
+    // reclaim hook.  That is safe: the pages being serviced here are
+    // never evictable at hook time (frame still null, or use_count > 1
+    // for a COW original), and reclaim only mutates Pte fields — it
+    // never inserts or erases page-table nodes.
     if (pte.swapped) {
         // Swap-in: restore bytes and rederive capabilities from this
         // principal's root.
-        pte.frame = phys.allocFrame();
-        swap.swapIn(pte.swapSlot, *pte.frame, root);
+        FrameRef fresh = phys.allocFrame(this);
+        if (!fresh) {
+            walkFault = CapFault::MemoryExhausted;
+            return nullptr;
+        }
+        if (!swap.swapIn(pte.swapSlot, *fresh, root)) {
+            // The slot is retained; the access can be retried.
+            walkFault = CapFault::SwapInFailure;
+            return nullptr;
+        }
+        pte.frame = std::move(fresh);
         pte.swapped = false;
     }
     if (!pte.frame) {
-        pte.frame = phys.allocFrame();
+        pte.frame = phys.allocFrame(this);
+        if (!pte.frame) {
+            walkFault = CapFault::MemoryExhausted;
+            return nullptr;
+        }
         // File-backed mappings fill from the file; anonymous ones are
         // demand-zero.
         const Mapping *m = findMapping(va);
@@ -313,7 +350,11 @@ AddressSpace::walk(u64 va, bool for_write)
     }
     if (for_write && pte.cow) {
         if (pte.frame.use_count() > 1) {
-            FrameRef copy = phys.allocFrame();
+            FrameRef copy = phys.allocFrame(this);
+            if (!copy) {
+                walkFault = CapFault::MemoryExhausted;
+                return nullptr;
+            }
             copy->copyFrom(*pte.frame); // tags preserved across COW
             pte.frame = std::move(copy);
             // The page changed frames: cached read translations still
@@ -322,6 +363,7 @@ AddressSpace::walk(u64 va, bool for_write)
         }
         pte.cow = false;
     }
+    pte.lastUse = ++useClock;
     return &pte;
 }
 
@@ -332,7 +374,7 @@ AddressSpace::readBytes(u64 va, void *buf, u64 len)
     while (len > 0) {
         Pte *pte = walk(va, false);
         if (!pte)
-            return CapFault::PageFault;
+            return walkFault;
         u64 off = va & pageMask;
         u64 chunk = std::min(len, pageSize - off);
         pte->frame->read(off, out, chunk);
@@ -350,7 +392,7 @@ AddressSpace::writeBytes(u64 va, const void *buf, u64 len)
     while (len > 0) {
         Pte *pte = walk(va, true);
         if (!pte)
-            return CapFault::PageFault;
+            return walkFault;
         if (pte->prot & PROT_EXEC)
             notifyCodeWrite();
         u64 off = va & pageMask;
@@ -370,7 +412,7 @@ AddressSpace::readCap(u64 va)
         return CapFault::AlignmentViolation;
     Pte *pte = walk(va, false);
     if (!pte)
-        return CapFault::PageFault;
+        return walkFault;
     return pte->frame->readCap(va & pageMask);
 }
 
@@ -381,7 +423,7 @@ AddressSpace::writeCap(u64 va, const Capability &cap)
         return CapFault::AlignmentViolation;
     Pte *pte = walk(va, true);
     if (!pte)
-        return CapFault::PageFault;
+        return walkFault;
     if (pte->prot & PROT_EXEC)
         notifyCodeWrite();
     pte->frame->writeCap(va & pageMask, cap);
@@ -480,31 +522,78 @@ AddressSpace::swapOutPage(u64 va)
     Pte &pte = it->second;
     if (pte.frame.use_count() > 1)
         return false; // still aliased by a COW sibling; keep resident
+    u64 slot = swap.swapOut(*pte.frame);
+    if (slot == SwapDevice::invalidSlot)
+        return false; // device full or injected failure: stay resident
     // Invalidate before the frame dies: TLBs hold raw Frame pointers
     // without a reference.
     notifyInvalidatePage(pageTrunc(va));
-    pte.swapSlot = swap.swapOut(*pte.frame);
+    pte.swapSlot = slot;
     pte.frame.reset();
     pte.swapped = true;
     return true;
+}
+
+std::vector<u64>
+AddressSpace::evictionOrder(u64 max_pages) const
+{
+    // Least-recently-used first; the walk clock is deterministic, and
+    // VA breaks ties, so the order is reproducible across runs.
+    std::vector<std::pair<u64, u64>> victims; // (lastUse, va)
+    for (const auto &[va, pte] : pages) {
+        if (pte.frame && !pte.shared && pte.frame.use_count() == 1)
+            victims.emplace_back(pte.lastUse, va);
+    }
+    std::sort(victims.begin(), victims.end());
+    if (victims.size() > max_pages)
+        victims.resize(max_pages);
+    std::vector<u64> order;
+    order.reserve(victims.size());
+    for (const auto &[use, va] : victims)
+        order.push_back(va);
+    return order;
 }
 
 u64
 AddressSpace::swapOutResident(u64 max_pages)
 {
     u64 evicted = 0;
-    for (auto &[va, pte] : pages) {
-        if (evicted >= max_pages)
-            break;
-        if (pte.frame && !pte.shared && pte.frame.use_count() == 1) {
-            notifyInvalidatePage(va);
-            pte.swapSlot = swap.swapOut(*pte.frame);
-            pte.frame.reset();
-            pte.swapped = true;
-            ++evicted;
-        }
+    for (u64 va : evictionOrder(max_pages)) {
+        Pte &pte = pages.find(va)->second;
+        u64 slot = swap.swapOut(*pte.frame);
+        if (slot == SwapDevice::invalidSlot)
+            break; // swap full: the caller escalates (OOM kill)
+        notifyInvalidatePage(va);
+        pte.swapSlot = slot;
+        pte.frame.reset();
+        pte.swapped = true;
+        ++evicted;
     }
     return evicted;
+}
+
+u64
+AddressSpace::releaseAll()
+{
+    notifyInvalidateAll();
+    u64 freed = 0;
+    for (auto &[va, pte] : pages) {
+        if (pte.swapped)
+            swap.discard(pte.swapSlot);
+        freed += pte.frame != nullptr;
+    }
+    pages.clear();
+    mappings.clear();
+    return freed;
+}
+
+u64
+AddressSpace::swappedPages() const
+{
+    u64 n = 0;
+    for (const auto &[va, pte] : pages)
+        n += pte.swapped;
+    return n;
 }
 
 u64

@@ -182,8 +182,10 @@ class AddressSpace
     /** @name Checked memory access
      * These perform the MMU side of an access: translation, protection
      * check, demand-zero, COW, swap-in.  Capability-level checks (tag,
-     * bounds, perms) belong to the caller.  All return CapFault::PageFault
-     * on translation failure.
+     * bounds, perms) belong to the caller.  On translation failure they
+     * return the precise cause: PageFault for unmapped/protection,
+     * MemoryExhausted when frame allocation failed under pressure,
+     * SwapInFailure when the swap device refused a page.
      *
      * These are the reference (walk-per-page) implementations; hot-path
      * consumers go through MemAccess (mem/access.h), which caches
@@ -231,11 +233,40 @@ class AddressSpace
 
     /** @name Paging */
     /// @{
-    /** Evict the page containing @p va to swap; false if not resident. */
+    /** Evict the page containing @p va to swap; false if not resident
+     *  (or the swap device refused the page). */
     bool swapOutPage(u64 va);
-    /** Evict up to @p max_pages resident pages; returns count evicted. */
+    /**
+     * Evict up to @p max_pages resident pages, least-recently-used
+     * first (use order is the deterministic walk clock, ties broken by
+     * VA, so eviction order is reproducible run to run).  Stops early
+     * when the swap device refuses a page.  Returns count evicted.
+     */
     u64 swapOutResident(u64 max_pages);
+    /**
+     * The VAs swapOutResident(max_pages) would evict, in order, without
+     * evicting anything — the policy made observable for tests.
+     */
+    std::vector<u64> evictionOrder(u64 max_pages) const;
     /// @}
+
+    /**
+     * Why the most recent walk()/resolvePage() failed: PageFault for
+     * unmapped or protection-denied, MemoryExhausted for allocation
+     * failure, SwapInFailure for a failed swap-in.  Meaningful only
+     * right after a failed access.
+     */
+    CapFault lastWalkFault() const { return walkFault; }
+
+    /**
+     * Drop every resident frame and swap slot this space holds and
+     * clear all mappings — OOM-kill and exit teardown.  Returns frames
+     * released.
+     */
+    u64 releaseAll();
+
+    /** Swapped-out page count (slots this space holds). */
+    u64 swappedPages() const;
 
     /**
      * Revocation sweep support: clear the tag of every capability in
@@ -293,6 +324,8 @@ class AddressSpace
         bool shared = false;
         bool swapped = false;
         u64 swapSlot = 0;
+        /** Walk-clock stamp of the last touch; drives LRU eviction. */
+        u64 lastUse = 0;
     };
 
     /**
@@ -320,6 +353,10 @@ class AddressSpace
     Capability root;
     std::map<u64, Mapping> mappings; // keyed by start
     std::map<u64, Pte> pages;        // keyed by page va
+    /** Deterministic logical clock, bumped per successful walk. */
+    u64 useClock = 0;
+    /** Cause of the most recent walk failure. */
+    CapFault walkFault = CapFault::PageFault;
     /** MemAccess objects caching translations of this space. */
     std::vector<MemAccess *> listeners;
 };

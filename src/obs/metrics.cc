@@ -134,6 +134,7 @@ Metrics::reset()
     _faults.clear();
     faultsDropped = 0;
     faultsByCause = {};
+    mem = {};
     costs.clear();
     deriveCounts = {};
     provenance.clear();
@@ -174,7 +175,7 @@ Metrics::toJson() const
 {
     JsonWriter w;
     w.beginObject();
-    w.key("schema").value(std::string_view("cheri.metrics.v2"));
+    w.key("schema").value(std::string_view("cheri.metrics.v3"));
 
     w.key("syscalls").beginArray();
     for (Abi abi : allAbis) {
@@ -269,6 +270,14 @@ Metrics::toJson() const
         w.endObject();
     }
     w.endArray();
+
+    // Memory-pressure counters (v3 schema addition).
+    w.key("memory").beginObject();
+    w.key("reclaim_passes").value(mem.reclaimPasses);
+    w.key("pages_reclaimed").value(mem.pagesReclaimed);
+    w.key("oom_kills").value(mem.oomKills);
+    w.key("enomem").value(mem.enomemErrors);
+    w.endObject();
 
     w.key("derives").beginObject();
     for (unsigned s = 0; s < numDeriveSources; ++s) {

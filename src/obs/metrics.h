@@ -102,6 +102,15 @@ struct FaultRecord
     bool provenanceKnown = false;
 };
 
+/** Memory-pressure telemetry fed by the kernel's reclaim path. */
+struct PressureCounters
+{
+    u64 reclaimPasses = 0;  ///< reclaimFrames invocations
+    u64 pagesReclaimed = 0; ///< pages swapped out by reclaim passes
+    u64 oomKills = 0;       ///< processes killed for memory
+    u64 enomemErrors = 0;   ///< syscalls failed with ENOMEM
+};
+
 /** Labelled snapshot of a process's cost model and cache counters. */
 struct CostSnapshot
 {
@@ -180,6 +189,19 @@ class Metrics : public TraceSink
     }
     /// @}
 
+    /** @name Memory-pressure telemetry (fed by the kernel) */
+    /// @{
+    void
+    recordReclaim(u64 pages)
+    {
+        ++mem.reclaimPasses;
+        mem.pagesReclaimed += pages;
+    }
+    void recordOomKill() { ++mem.oomKills; }
+    void recordEnomem() { ++mem.enomemErrors; }
+    const PressureCounters &pressure() const { return mem; }
+    /// @}
+
     /** @name Cost-model export */
     /// @{
     void captureCost(std::string label, const CostModel &cost);
@@ -229,8 +251,8 @@ class Metrics : public TraceSink
     std::array<std::array<u64, numTlbCounters>, numAbis> tlb{};
     std::vector<FaultRecord> _faults;
     u64 faultsDropped = 0;
-    std::array<u64, static_cast<unsigned>(CapFault::VmmapPermViolation) + 1>
-        faultsByCause{};
+    std::array<u64, numCapFaults> faultsByCause{};
+    PressureCounters mem;
     std::vector<CostSnapshot> costs;
     std::array<u64, numDeriveSources> deriveCounts{};
     /** (base, length) of tagged capabilities seen at derive sites. */

@@ -220,6 +220,15 @@ Kernel::execve(Process &proc, const SelfObject &program,
                const std::vector<std::string> &envv)
 {
     chargeSyscall(proc, 2);
+    // Admission check before tearing anything down: loading an image
+    // needs frames for text/data/stack, so probe (and if necessary
+    // reclaim toward) one free frame while the old address space is
+    // still intact.  Failing here leaves the caller runnable with a
+    // clean ENOMEM; failing mid-load would not.
+    if (!phys.canAlloc(1, &proc.as())) {
+        failNoMem();
+        return E_NOMEM;
+    }
     // Replace the address space: a fresh abstract principal.
     proc._as = std::make_unique<AddressSpace>(
         phys, swap, newPrincipal(), cfg.capFormat,

@@ -26,6 +26,15 @@ protToPerms(u32 prot)
 Kernel::Kernel(KernelConfig cfg)
     : cfg(cfg), swap(cfg.swapPolicy)
 {
+    phys.setCapacity(cfg.frameCapacity);
+    swap.setSlotBudget(cfg.swapSlotBudget);
+    phys.setFaultInjector(&injector);
+    swap.setFaultInjector(&injector);
+    // Allocation pressure flows back into the kernel: evict LRU pages
+    // across processes, escalating to OOM kill when swap is full.
+    phys.setReclaimHook([this](u64 wanted, const void *requester) {
+        return reclaimFrames(wanted, requester);
+    });
     fs.mkdir("/tmp");
     fs.mkdir("/etc");
     fs.mkdir("/home");
@@ -35,6 +44,78 @@ Kernel::Kernel(KernelConfig cfg)
 }
 
 Kernel::~Kernel() = default;
+
+u64
+Kernel::reclaimFrames(u64 wanted, const void *requester)
+{
+    // LRU pass over every live process.  The requester's own space is
+    // fair game for eviction — pages pinned by its in-flight fault are
+    // not evictable — but exempt from OOM kill below: its page table is
+    // being walked right now.
+    u64 freed = 0;
+    for (auto &[pid, p] : procs) {
+        if (freed >= wanted)
+            break;
+        if (p->exited())
+            continue;
+        freed += p->as().swapOutResident(wanted - freed);
+    }
+    ++pressure.reclaimPasses;
+    pressure.pagesReclaimed += freed;
+    if (mx)
+        mx->recordReclaim(freed);
+    if (freed >= wanted)
+        return freed;
+    // Eviction could not keep up (swap full, or everything left is
+    // shared/pinned): kill the largest process and take its memory.
+    Process *victim = nullptr;
+    u64 victim_size = 0;
+    for (auto &[pid, p] : procs) {
+        if (p->exited() || &p->as() == requester)
+            continue;
+        u64 size = p->as().residentPages() + p->as().swappedPages();
+        if (size > victim_size) {
+            victim_size = size;
+            victim = p.get();
+        }
+    }
+    if (victim) {
+        oomKill(*victim);
+        freed += victim_size;
+    }
+    return freed;
+}
+
+void
+Kernel::oomKill(Process &victim)
+{
+    ++pressure.oomKills;
+    if (mx) {
+        mx->recordOomKill();
+        mx->recordFault(CapFault::MemoryExhausted,
+                        victim.regs().pcc.address(), 0, nullptr,
+                        victim.abi());
+    }
+    DeathInfo di;
+    di.signal = SIG_KILL;
+    di.fault = CapFault::MemoryExhausted;
+    di.detail = "out of memory (oom-killed)";
+    victim.die(di);
+    // Reclaim everything immediately — frames and swap slots — rather
+    // than waiting for the zombie to be reaped.
+    victim.as().releaseAll();
+    if (Process *parent = findProcess(victim.ppid()))
+        parent->raiseSignal(SIG_CHLD);
+}
+
+SysResult
+Kernel::failNoMem()
+{
+    ++pressure.enomemErrors;
+    if (mx)
+        mx->recordEnomem();
+    return SysResult::fail(E_NOMEM);
+}
 
 Process *
 Kernel::spawn(Abi abi, const std::string &name)
@@ -64,6 +145,13 @@ Kernel::setMetrics(obs::Metrics *m)
 Process *
 Kernel::fork(Process &parent)
 {
+    // Admission check before duplicating anything: forkCopy itself only
+    // shares frames (COW), but a child that cannot fault in a single
+    // page is doomed, so fail the fork up front with ENOMEM instead.
+    if (!phys.canAlloc(1, &parent.as())) {
+        failNoMem();
+        return nullptr;
+    }
     u64 pid = nextPid++;
     auto as = parent.as().forkCopy(newPrincipal());
     auto child = std::make_unique<Process>(*this, pid, parent.pid(),
@@ -124,6 +212,10 @@ void
 Kernel::exitProcess(Process &proc, int status)
 {
     proc.exit(status);
+    // Eager teardown: a zombie keeps its pid and exit status for wait4,
+    // but its frames and swap slots go back to the pools immediately so
+    // memory pressure is relieved without waiting for the reap.
+    proc.as().releaseAll();
     if (Process *parent = findProcess(proc.ppid()))
         parent->raiseSignal(SIG_CHLD);
 }
@@ -155,6 +247,8 @@ Kernel::faultProcess(Process &proc, const DeathInfo &info)
                             std::to_string(proc.pid()) + ".core";
     if (VNodeRef node = fs.createFile(core_path))
         writeCoreFile(proc, *node);
+    // Release only after the core dump: writing it reads guest memory.
+    proc.as().releaseAll();
     if (Process *parent = findProcess(proc.ppid()))
         parent->raiseSignal(SIG_CHLD);
 }
@@ -347,11 +441,13 @@ Kernel::sysSbrk(Process &proc, s64 delta)
     }
     // Legacy mips64 keeps a classic brk, backed by a fixed reservation.
     if (proc.brkBase == 0) {
+        if (!phys.canAlloc(1, &proc.as()))
+            return failNoMem();
         u64 reserve = 16 * 1024 * 1024;
         u64 base = proc.as().map(0, reserve, PROT_READ | PROT_WRITE,
                                  MappingKind::Heap, false, false, "brk");
         if (base == 0)
-            return SysResult::fail(E_NOMEM);
+            return failNoMem();
         proc.brkBase = base;
         proc.brkCur = base;
         proc.brkLimit = base + reserve;
@@ -359,8 +455,13 @@ Kernel::sysSbrk(Process &proc, s64 delta)
     u64 old_brk = proc.brkCur;
     if (delta > 0 &&
         proc.brkCur + static_cast<u64>(delta) > proc.brkLimit) {
-        return SysResult::fail(E_NOMEM);
+        return failNoMem();
     }
+    // Growing the break promises demand-zero pages the process will
+    // touch next; probe (and if needed reclaim) one frame now so the
+    // failure is a clean ENOMEM here rather than a fault at first use.
+    if (delta > 0 && !phys.canAlloc(1, &proc.as()))
+        return failNoMem();
     if (delta < 0 &&
         static_cast<u64>(-delta) > proc.brkCur - proc.brkBase) {
         return SysResult::fail(E_INVAL);

@@ -115,6 +115,15 @@ struct KernelConfig
     u64 stackSize = 8 * 1024 * 1024;
     /** Nonzero: randomize mapping placement (per-process slide). */
     u64 aslrSeed = 0;
+    /**
+     * Max live physical frames (0 = unlimited).  Exceeding it runs a
+     * kernel reclaim pass (LRU eviction across processes, then OOM
+     * kill); keep it above ~32 so a process image can always load.
+     */
+    u64 frameCapacity = 0;
+    /** Max occupied swap slots (0 = unlimited).  A full device turns
+     *  reclaim into OOM kill. */
+    u64 swapSlotBudget = 0;
 };
 
 class Kernel
@@ -123,10 +132,25 @@ class Kernel
     explicit Kernel(KernelConfig cfg = {});
     ~Kernel();
 
+    /** Memory-pressure accounting (mirrored into Metrics when one is
+     *  attached). */
+    struct MemPressureStats
+    {
+        u64 reclaimPasses = 0;
+        u64 pagesReclaimed = 0;
+        u64 oomKills = 0;
+        /** Syscall-level E_NOMEM failures caused by memory pressure. */
+        u64 enomemErrors = 0;
+    };
+
     /** @name Subsystems */
     /// @{
     PhysMem &physMem() { return phys; }
     SwapDevice &swapDevice() { return swap; }
+    /** Deterministic failure injection for the frame-allocation,
+     *  swap-out, and swap-in choke points. */
+    FaultInjector &faultInjector() { return injector; }
+    const MemPressureStats &memPressure() const { return pressure; }
     Vfs &vfs() { return fs; }
     Rtld &rtld() { return linker; }
     const KernelConfig &config() const { return cfg; }
@@ -381,6 +405,19 @@ class Kernel
     int checkUserPtr(Process &proc, const UserPtr &ptr, u64 len,
                      u32 perms);
 
+    /** @name Memory-pressure machinery
+     * reclaimFrames is PhysMem's reclaim hook: evict LRU pages across
+     * all processes; if that cannot free @p wanted frames (swap full or
+     * nothing evictable), OOM-kill the largest process other than the
+     * requester's.  Returns frames freed.
+     */
+    /// @{
+    u64 reclaimFrames(u64 wanted, const void *requester);
+    void oomKill(Process &victim);
+    /** Count a pressure-induced E_NOMEM and return it as a SysResult. */
+    SysResult failNoMem();
+    /// @}
+
     /** Charge @p n_ptr_args syscall overhead to the process. */
     void chargeSyscall(Process &proc, u64 n_ptr_args);
 
@@ -392,6 +429,8 @@ class Kernel
     KernelConfig cfg;
     PhysMem phys;
     SwapDevice swap;
+    FaultInjector injector;
+    MemPressureStats pressure;
     Vfs fs;
     Rtld linker;
     TraceSink *traceSink = nullptr;

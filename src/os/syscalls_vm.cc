@@ -32,6 +32,11 @@ Kernel::sysMmap(Process &proc, const UserPtr &addr, u64 len, u32 prot,
     chargeSyscall(proc, 1);
     if (len == 0)
         return SysResult::fail(E_INVAL);
+    // Admission check: pages are demand-zero, but a mapping whose first
+    // fault cannot be serviced is useless; probe (possibly reclaiming)
+    // one frame now so exhaustion surfaces here as a clean ENOMEM.
+    if (!phys.canAlloc(1, &proc.as()))
+        return failNoMem();
     const bool cheri = proc.abi() == Abi::CheriAbi;
     const bool fixed = flags & MAP_FIXED;
     const bool hint_tagged = cheri && addr.isCap && addr.cap.tag();
@@ -196,8 +201,14 @@ Kernel::sysShmget(Process &proc, u64 key, u64 size)
         return SysResult::fail(E_INVAL);
     ShmSegment seg;
     seg.size = pageRound(size);
-    for (u64 off = 0; off < seg.size; off += pageSize)
-        seg.frames.push_back(phys.allocFrame());
+    // Shared segments are populated eagerly, so each frame allocation
+    // can hit the capacity limit (or the fault injector) individually.
+    for (u64 off = 0; off < seg.size; off += pageSize) {
+        FrameRef f = phys.allocFrame(&proc.as());
+        if (!f)
+            return failNoMem();
+        seg.frames.push_back(std::move(f));
+    }
     int id = nextShmId++;
     shmSegments.emplace(id, std::move(seg));
     return SysResult::ok(static_cast<u64>(id));

@@ -316,5 +316,240 @@ TEST_F(MemTest, RepresentablePaddingForLargeMappings)
     EXPECT_TRUE(compress::boundsExactlyRepresentable(0, padded));
 }
 
+// --- swap-slot lifecycle -------------------------------------------------
+
+TEST_F(MemTest, UnmapWhileSwappedDiscardsSlot)
+{
+    u64 va = mapAnon(2 * pageSize);
+    u8 b = 1;
+    ASSERT_FALSE(as.writeBytes(va, &b, 1).has_value());
+    ASSERT_FALSE(as.writeBytes(va + pageSize, &b, 1).has_value());
+    ASSERT_TRUE(as.swapOutPage(va));
+    ASSERT_TRUE(as.swapOutPage(va + pageSize));
+    EXPECT_EQ(swap.usedSlots(), 2u);
+    ASSERT_TRUE(as.unmap(va, 2 * pageSize));
+    EXPECT_EQ(swap.usedSlots(), 0u)
+        << "munmap of swapped pages must release their slots";
+    EXPECT_EQ(swap.totalDiscards(), 2u);
+}
+
+TEST_F(MemTest, DestructorDiscardsSwappedSlots)
+{
+    {
+        AddressSpace dying(phys, swap, 7);
+        u64 va = dying.map(0, pageSize, PROT_READ | PROT_WRITE,
+                           MappingKind::Data);
+        u8 b = 9;
+        ASSERT_FALSE(dying.writeBytes(va, &b, 1).has_value());
+        ASSERT_TRUE(dying.swapOutPage(va));
+        EXPECT_EQ(swap.usedSlots(), 1u);
+    }
+    EXPECT_EQ(swap.usedSlots(), 0u)
+        << "an address space's death must not leak swap slots";
+}
+
+TEST_F(MemTest, ReleaseAllFreesFramesAndSlots)
+{
+    u64 before = phys.liveFrames();
+    u64 va = mapAnon(4 * pageSize);
+    u8 b = 3;
+    for (u64 p = 0; p < 4; ++p)
+        ASSERT_FALSE(
+            as.writeBytes(va + p * pageSize, &b, 1).has_value());
+    ASSERT_TRUE(as.swapOutPage(va));
+    EXPECT_EQ(swap.usedSlots(), 1u);
+    EXPECT_EQ(as.residentPages(), 3u);
+    as.releaseAll();
+    EXPECT_EQ(phys.liveFrames(), before);
+    EXPECT_EQ(swap.usedSlots(), 0u);
+    EXPECT_EQ(as.residentPages(), 0u);
+    EXPECT_EQ(as.swappedPages(), 0u);
+}
+
+// --- atomic mprotect -----------------------------------------------------
+
+TEST_F(MemTest, ProtectIsAtomicOverPartialRange)
+{
+    u64 va = as.map(0x40000000, 2 * pageSize, PROT_READ | PROT_WRITE,
+                    MappingKind::Data, true);
+    ASSERT_NE(va, 0u);
+    ASSERT_TRUE(as.unmap(va + pageSize, pageSize)); // hole at page 1
+    // Range covers mapped + hole: must fail without touching page 0.
+    EXPECT_FALSE(as.protect(va, 2 * pageSize, PROT_READ));
+    u64 v = 5;
+    EXPECT_FALSE(as.writeBytes(va, &v, 8).has_value())
+        << "failed mprotect must leave earlier pages writable";
+}
+
+// --- LRU eviction --------------------------------------------------------
+
+TEST_F(MemTest, EvictionOrderIsLeastRecentlyUsedFirst)
+{
+    u64 va = mapAnon(4 * pageSize);
+    u8 b = 1;
+    // Touch pages 0..3, then re-touch 0 and 2: LRU order is 1, 3, 0, 2.
+    for (u64 p = 0; p < 4; ++p)
+        ASSERT_FALSE(
+            as.writeBytes(va + p * pageSize, &b, 1).has_value());
+    ASSERT_FALSE(as.writeBytes(va, &b, 1).has_value());
+    ASSERT_FALSE(as.writeBytes(va + 2 * pageSize, &b, 1).has_value());
+    std::vector<u64> order = as.evictionOrder(4);
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], va + pageSize);
+    EXPECT_EQ(order[1], va + 3 * pageSize);
+    EXPECT_EQ(order[2], va);
+    EXPECT_EQ(order[3], va + 2 * pageSize);
+    // swapOutResident(2) must evict exactly the two coldest pages.
+    EXPECT_EQ(as.swapOutResident(2), 2u);
+    EXPECT_EQ(as.residentPages(), 2u);
+    u64 got = 0;
+    // Pages 0 and 2 are still resident (no swap-in needed).
+    EXPECT_EQ(swap.usedSlots(), 2u);
+    ASSERT_FALSE(as.readBytes(va, &got, 1).has_value());
+    EXPECT_EQ(swap.usedSlots(), 2u);
+}
+
+TEST_F(MemTest, EvictionOrderReproducibleAcrossRuns)
+{
+    // Two address spaces driven identically must evict identically.
+    auto drive = [this](AddressSpace &s) {
+        u64 va = s.map(0x50000000, 6 * pageSize,
+                       PROT_READ | PROT_WRITE, MappingKind::Data, true);
+        u8 b = 1;
+        for (u64 p : {3u, 0u, 5u, 1u, 4u, 2u, 0u, 5u})
+            EXPECT_FALSE(
+                s.writeBytes(va + p * pageSize, &b, 1).has_value());
+        return s.evictionOrder(6);
+    };
+    AddressSpace a(phys, swap, 11), b2(phys, swap, 12);
+    EXPECT_EQ(drive(a), drive(b2));
+}
+
+// --- capacity and budget enforcement -------------------------------------
+
+TEST_F(MemTest, FrameCapacityEnforced)
+{
+    PhysMem small;
+    small.setCapacity(2);
+    auto f1 = small.allocFrame();
+    auto f2 = small.allocFrame();
+    ASSERT_TRUE(f1 && f2);
+    EXPECT_EQ(small.allocFrame(), nullptr)
+        << "allocation beyond capacity without a reclaim hook must fail";
+    EXPECT_EQ(small.failedAllocs(), 1u);
+    f1.reset();
+    EXPECT_NE(small.allocFrame(), nullptr);
+}
+
+TEST_F(MemTest, ReclaimHookRunsOnPressure)
+{
+    PhysMem small;
+    small.setCapacity(2);
+    std::vector<FrameRef> held;
+    held.push_back(small.allocFrame());
+    held.push_back(small.allocFrame());
+    u64 asked = 0;
+    small.setReclaimHook([&](u64 wanted, const void *) {
+        asked += wanted;
+        held.clear(); // free everything
+        return u64{2};
+    });
+    FrameRef f = small.allocFrame();
+    EXPECT_NE(f, nullptr) << "reclaim made room, alloc must succeed";
+    EXPECT_EQ(asked, 1u);
+    EXPECT_EQ(small.reclaimRequests(), 1u);
+}
+
+TEST_F(MemTest, SlotBudgetEnforced)
+{
+    SwapDevice tight;
+    tight.setSlotBudget(1);
+    auto f = phys.allocFrame();
+    u64 s1 = tight.swapOut(*f);
+    ASSERT_NE(s1, SwapDevice::invalidSlot);
+    EXPECT_EQ(tight.swapOut(*f), SwapDevice::invalidSlot)
+        << "swap-out past the slot budget must fail cleanly";
+    EXPECT_EQ(tight.failedSwapOuts(), 1u);
+    tight.discard(s1);
+    EXPECT_NE(tight.swapOut(*f), SwapDevice::invalidSlot);
+}
+
+// --- deterministic fault injection ---------------------------------------
+
+TEST_F(MemTest, FaultInjectorFailsOnNthEvent)
+{
+    FaultInjector inj;
+    inj.failAfter(FaultPoint::FrameAlloc, 3);
+    EXPECT_FALSE(inj.shouldFail(FaultPoint::FrameAlloc));
+    EXPECT_FALSE(inj.shouldFail(FaultPoint::FrameAlloc));
+    EXPECT_TRUE(inj.shouldFail(FaultPoint::FrameAlloc));
+    // One-shot: disarms after firing.
+    EXPECT_FALSE(inj.shouldFail(FaultPoint::FrameAlloc));
+    EXPECT_EQ(inj.injected(FaultPoint::FrameAlloc), 1u);
+    EXPECT_EQ(inj.events(FaultPoint::FrameAlloc), 4u);
+}
+
+TEST_F(MemTest, FaultInjectorPointsAreIndependent)
+{
+    FaultInjector inj;
+    inj.failAfter(FaultPoint::SwapIn, 1);
+    EXPECT_FALSE(inj.shouldFail(FaultPoint::FrameAlloc));
+    EXPECT_FALSE(inj.shouldFail(FaultPoint::SwapOut));
+    EXPECT_TRUE(inj.shouldFail(FaultPoint::SwapIn));
+}
+
+TEST_F(MemTest, FaultInjectorSeededReplayIsDeterministic)
+{
+    auto run = [](u64 seed) {
+        FaultInjector inj;
+        inj.failRandomly(FaultPoint::SwapOut, 5, seed);
+        std::vector<bool> fired;
+        for (int i = 0; i < 64; ++i)
+            fired.push_back(inj.shouldFail(FaultPoint::SwapOut));
+        return fired;
+    };
+    EXPECT_EQ(run(42), run(42)) << "same seed must replay identically";
+    EXPECT_NE(run(42), run(43));
+}
+
+TEST_F(MemTest, InjectedSwapInFailureKeepsSlotForRetry)
+{
+    FaultInjector inj;
+    swap.setFaultInjector(&inj);
+    u64 va = mapAnon(pageSize);
+    u64 magic = 0xDEAD;
+    ASSERT_FALSE(as.writeBytes(va, &magic, 8).has_value());
+    ASSERT_TRUE(as.swapOutPage(va));
+    inj.failAfter(FaultPoint::SwapIn, 1);
+    u64 got = 0;
+    CapCheck err = as.readBytes(va, &got, 8);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(*err, CapFault::SwapInFailure);
+    EXPECT_EQ(as.lastWalkFault(), CapFault::SwapInFailure);
+    EXPECT_EQ(swap.usedSlots(), 1u)
+        << "a failed swap-in must retain the slot for retry";
+    // Retry with the injector quiet: the page comes back intact.
+    ASSERT_FALSE(as.readBytes(va, &got, 8).has_value());
+    EXPECT_EQ(got, magic);
+    EXPECT_EQ(swap.usedSlots(), 0u);
+    swap.setFaultInjector(nullptr);
+}
+
+TEST_F(MemTest, ExhaustedDemandZeroRaisesMemoryExhausted)
+{
+    FaultInjector inj;
+    phys.setFaultInjector(&inj);
+    u64 va = mapAnon(pageSize);
+    inj.failAfter(FaultPoint::FrameAlloc, 1);
+    u64 got = 0;
+    CapCheck err = as.readBytes(va, &got, 8);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(*err, CapFault::MemoryExhausted);
+    EXPECT_EQ(as.lastWalkFault(), CapFault::MemoryExhausted);
+    // With the injector quiet the same access succeeds.
+    EXPECT_FALSE(as.readBytes(va, &got, 8).has_value());
+    phys.setFaultInjector(nullptr);
+}
+
 } // namespace
 } // namespace cheri

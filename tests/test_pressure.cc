@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Resource-exhaustion tests: ENOMEM from mmap/brk/fork/execve under
+ * injected or real frame exhaustion, guest-visible faults from failed
+ * swap-ins, LRU reclaim keeping constrained workloads alive, OOM-kill
+ * of the largest process when swap fills, and swap-slot hygiene across
+ * munmap, execve, and process exit.
+ *
+ * The constrained-workload budgets honour CHERI_TEST_FRAME_BUDGET and
+ * CHERI_TEST_SLOT_BUDGET so CI can re-run the suite under different
+ * memory pressure without a rebuild.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "test_util.h"
+
+namespace cheri
+{
+namespace
+{
+
+using test::GuestSystem;
+
+u64
+envOr(const char *name, u64 dflt)
+{
+    const char *v = std::getenv(name);
+    return v ? std::strtoull(v, nullptr, 0) : dflt;
+}
+
+class PressureTest : public ::testing::Test
+{
+  protected:
+    GuestSystem sys{Abi::CheriAbi};
+    GuestContext &ctx() { return *sys.ctx; }
+    Process &proc() { return *sys.proc; }
+    Kernel &kern() { return sys.kern; }
+    FaultInjector &inj() { return sys.kern.faultInjector(); }
+};
+
+// --- clean ENOMEM from the syscall layer ---------------------------------
+
+TEST_F(PressureTest, MmapFailsEnomemOnInjectedExhaustion)
+{
+    inj().failAfter(FaultPoint::FrameAlloc, 1);
+    UserPtr out;
+    SysResult r = kern().sysMmap(proc(), UserPtr::null(), pageSize,
+                                 PROT_READ | PROT_WRITE,
+                                 MAP_ANON | MAP_PRIVATE, &out);
+    EXPECT_EQ(r.error, E_NOMEM);
+    EXPECT_EQ(kern().memPressure().enomemErrors, 1u);
+    // Injector is one-shot: the retry succeeds.
+    r = kern().sysMmap(proc(), UserPtr::null(), pageSize,
+                       PROT_READ | PROT_WRITE, MAP_ANON | MAP_PRIVATE,
+                       &out);
+    EXPECT_EQ(r.error, E_OK);
+}
+
+TEST(PressureBrk, BrkFailsEnomemOnInjectedExhaustion)
+{
+    GuestSystem sys(Abi::Mips64); // sbrk is mips64-only
+    sys.kern.faultInjector().failAfter(FaultPoint::FrameAlloc, 1);
+    EXPECT_EQ(sys.kern.sysSbrk(*sys.proc, 4096).error, E_NOMEM);
+    EXPECT_EQ(sys.kern.memPressure().enomemErrors, 1u);
+    EXPECT_EQ(sys.kern.sysSbrk(*sys.proc, 4096).error, E_OK);
+}
+
+TEST_F(PressureTest, ForkFailsEnomemOnInjectedExhaustion)
+{
+    inj().failAfter(FaultPoint::FrameAlloc, 1);
+    EXPECT_EQ(kern().fork(proc()), nullptr);
+    EXPECT_EQ(kern().memPressure().enomemErrors, 1u);
+    Process *child = kern().fork(proc());
+    ASSERT_NE(child, nullptr);
+    kern().exitProcess(*child, 0);
+    EXPECT_EQ(kern().wait4(proc(), child->pid()).error, E_OK);
+}
+
+TEST_F(PressureTest, ExecveFailsEnomemAndLeavesProcessRunnable)
+{
+    inj().failAfter(FaultPoint::FrameAlloc, 1);
+    EXPECT_EQ(kern().execve(proc(), sys.prog, {"testprog"}, {}),
+              E_NOMEM);
+    // The old image must be untouched: the process keeps running.
+    EXPECT_GE(ctx().getpid(), 0);
+}
+
+// --- guest-visible faults, never host aborts -----------------------------
+
+TEST_F(PressureTest, CopyinSwapInFailureIsEfaultAndRetries)
+{
+    GuestPtr buf = ctx().mmap(pageSize);
+    const char msg[] = "survives the swap";
+    ctx().write(buf, msg, sizeof(msg));
+    ASSERT_TRUE(proc().as().swapOutPage(buf.addr() & ~(pageSize - 1)));
+    u64 slots = kern().swapDevice().usedSlots();
+    ASSERT_GE(slots, 1u);
+
+    inj().failAfter(FaultPoint::SwapIn, 1);
+    char out[sizeof(msg)] = {};
+    EXPECT_EQ(kern().copyin(proc(), ctx().toUser(buf), out, sizeof(msg)),
+              E_FAULT);
+    EXPECT_EQ(kern().swapDevice().usedSlots(), slots)
+        << "failed swap-in must keep the slot for retry";
+    ASSERT_EQ(kern().copyin(proc(), ctx().toUser(buf), out, sizeof(msg)),
+              E_OK);
+    EXPECT_STREQ(out, msg);
+}
+
+TEST_F(PressureTest, CopyoutSwapInFailureIsEfault)
+{
+    GuestPtr buf = ctx().mmap(pageSize);
+    u8 b = 1;
+    ctx().write(buf, &b, 1);
+    ASSERT_TRUE(proc().as().swapOutPage(buf.addr() & ~(pageSize - 1)));
+    inj().failAfter(FaultPoint::SwapIn, 1);
+    u8 junk[8] = {};
+    EXPECT_EQ(kern().copyout(proc(), junk, ctx().toUser(buf), 8),
+              E_FAULT);
+    EXPECT_EQ(kern().copyout(proc(), junk, ctx().toUser(buf), 8), E_OK);
+}
+
+TEST_F(PressureTest, ExhaustedDemandZeroFaultsInsteadOfAborting)
+{
+    GuestPtr buf = ctx().mmap(pageSize);
+    inj().failAfter(FaultPoint::FrameAlloc, 1);
+    // The first touch of a demand-zero page needs a frame; exhaustion
+    // must surface as a capability trap, not a host-side abort.
+    EXPECT_THROW(ctx().load<u64>(buf), CapTrap);
+    EXPECT_EQ(proc().as().lastWalkFault(), CapFault::MemoryExhausted);
+    EXPECT_EQ(ctx().load<u64>(buf), 0u) << "retry succeeds";
+}
+
+// --- reclaim keeps constrained workloads alive ---------------------------
+
+TEST_F(PressureTest, ReclaimSatisfiesConstrainedWorkload)
+{
+    PhysMem &phys = kern().physMem();
+    SwapDevice &swapdev = kern().swapDevice();
+    u64 booted = phys.liveFrames();
+    u64 frame_budget = envOr("CHERI_TEST_FRAME_BUDGET", booted + 16);
+    // The booted image is the floor: a budget below it would make the
+    // working-set arithmetic meaningless (and starve the fixture).
+    frame_budget = std::max(frame_budget, booted + 8);
+    u64 slot_budget = envOr("CHERI_TEST_SLOT_BUDGET", 512);
+    phys.setCapacity(frame_budget);
+    swapdev.setSlotBudget(slot_budget);
+
+    // Working set of 3x the headroom: only reclaim can service it.
+    u64 pages = 3 * (frame_budget - booted);
+    GuestPtr buf = ctx().mmap(pages * pageSize);
+    for (u64 p = 0; p < pages; ++p) {
+        ctx().store<u64>(buf, static_cast<s64>(p * pageSize), p ^ 0xABu);
+        ASSERT_LE(phys.liveFrames(), frame_budget)
+            << "frame budget breached at page " << p;
+        ASSERT_LE(swapdev.usedSlots(), slot_budget);
+    }
+    for (u64 p = 0; p < pages; ++p) {
+        ASSERT_EQ(ctx().load<u64>(buf, static_cast<s64>(p * pageSize)),
+                  p ^ 0xABu)
+            << "data lost across reclaim at page " << p;
+        ASSERT_LE(phys.liveFrames(), frame_budget);
+    }
+    EXPECT_GT(kern().memPressure().reclaimPasses, 0u);
+    EXPECT_GT(kern().memPressure().pagesReclaimed, 0u);
+    EXPECT_EQ(kern().memPressure().oomKills, 0u)
+        << "a swappable workload must survive without OOM kills";
+}
+
+// --- swap-full OOM kill --------------------------------------------------
+
+TEST_F(PressureTest, SwapFullOomKillsLargestProcess)
+{
+    obs::Metrics m;
+    kern().setMetrics(&m);
+    // A second, bigger process: the designated victim.
+    Process *big = kern().spawn(Abi::CheriAbi, "big");
+    ASSERT_EQ(kern().execve(*big, sys.prog, {"big"}, {}), E_OK);
+    GuestContext bctx(kern(), *big);
+    GuestPtr bbuf = bctx.mmap(24 * pageSize);
+    for (u64 p = 0; p < 24; ++p)
+        bctx.store<u64>(bbuf, static_cast<s64>(p * pageSize), p);
+
+    // Clamp memory almost shut: reclaim can only swap 2 pages, so the
+    // next burst of demand-zero faults must fall back to the OOM killer.
+    kern().physMem().setCapacity(kern().physMem().liveFrames() + 4);
+    kern().swapDevice().setSlotBudget(2);
+
+    GuestPtr buf = ctx().mmap(10 * pageSize);
+    for (u64 p = 0; p < 10; ++p)
+        ctx().store<u64>(buf, static_cast<s64>(p * pageSize), p);
+
+    EXPECT_GE(kern().memPressure().oomKills, 1u);
+    EXPECT_TRUE(big->exited()) << "the largest process is the victim";
+    ASSERT_TRUE(big->death().has_value());
+    EXPECT_EQ(big->death()->signal, SIG_KILL);
+    EXPECT_EQ(big->death()->fault, CapFault::MemoryExhausted);
+    EXPECT_FALSE(proc().exited())
+        << "the requesting process must never be the victim";
+    for (u64 p = 0; p < 10; ++p)
+        EXPECT_EQ(ctx().load<u64>(buf, static_cast<s64>(p * pageSize)),
+                  p);
+    EXPECT_EQ(m.pressure().oomKills, kern().memPressure().oomKills);
+    kern().setMetrics(nullptr);
+}
+
+// --- swap-slot hygiene ---------------------------------------------------
+
+TEST_F(PressureTest, ExitWhileSwappedReturnsSlotsToBaseline)
+{
+    u64 baseline = kern().swapDevice().usedSlots();
+    Process *child = kern().fork(proc());
+    ASSERT_NE(child, nullptr);
+    u64 va = child->as().map(0, 8 * pageSize, PROT_READ | PROT_WRITE,
+                             MappingKind::Data);
+    ASSERT_NE(va, 0u);
+    u8 b = 1;
+    for (u64 p = 0; p < 8; ++p)
+        ASSERT_FALSE(child->as()
+                         .writeBytes(va + p * pageSize, &b, 1)
+                         .has_value());
+    ASSERT_GE(child->as().swapOutResident(8), 1u);
+    ASSERT_GT(kern().swapDevice().usedSlots(), baseline);
+
+    kern().exitProcess(*child, 0);
+    EXPECT_EQ(kern().swapDevice().usedSlots(), baseline)
+        << "exit must release swapped pages eagerly";
+    EXPECT_EQ(kern().wait4(proc(), child->pid()).error, E_OK);
+    EXPECT_EQ(kern().swapDevice().usedSlots(), baseline);
+}
+
+TEST_F(PressureTest, ExecveWhileSwappedReturnsSlotsToBaseline)
+{
+    u64 baseline = kern().swapDevice().usedSlots();
+    GuestPtr buf = ctx().mmap(4 * pageSize);
+    for (u64 p = 0; p < 4; ++p)
+        ctx().store<u8>(buf, static_cast<s64>(p * pageSize), 1);
+    ASSERT_GE(proc().as().swapOutResident(4), 1u);
+    ASSERT_GT(kern().swapDevice().usedSlots(), baseline);
+
+    ASSERT_EQ(kern().execve(proc(), sys.prog, {"testprog"}, {}), E_OK);
+    EXPECT_EQ(kern().swapDevice().usedSlots(), baseline)
+        << "execve must not leak the old image's swap slots";
+}
+
+TEST_F(PressureTest, MunmapWhileSwappedReturnsSlotsToBaseline)
+{
+    u64 baseline = kern().swapDevice().usedSlots();
+    GuestPtr buf = ctx().mmap(2 * pageSize);
+    ctx().store<u8>(buf, 0, 1);
+    ctx().store<u8>(buf, static_cast<s64>(pageSize), 1);
+    u64 page0 = buf.addr() & ~(pageSize - 1);
+    ASSERT_TRUE(proc().as().swapOutPage(page0));
+    ASSERT_TRUE(proc().as().swapOutPage(page0 + pageSize));
+    ASSERT_EQ(kern().swapDevice().usedSlots(), baseline + 2);
+    ASSERT_EQ(ctx().munmap(buf, 2 * pageSize), E_OK);
+    EXPECT_EQ(kern().swapDevice().usedSlots(), baseline);
+}
+
+// --- observability -------------------------------------------------------
+
+TEST_F(PressureTest, MetricsExportMemoryPressureSection)
+{
+    obs::Metrics m;
+    kern().setMetrics(&m);
+    inj().failAfter(FaultPoint::FrameAlloc, 1);
+    UserPtr out;
+    ASSERT_EQ(kern()
+                  .sysMmap(proc(), UserPtr::null(), pageSize,
+                           PROT_READ | PROT_WRITE,
+                           MAP_ANON | MAP_PRIVATE, &out)
+                  .error,
+              E_NOMEM);
+    EXPECT_EQ(m.pressure().enomemErrors, 1u);
+    std::string json = m.toJson();
+    EXPECT_NE(json.find("cheri.metrics.v3"), std::string::npos);
+    EXPECT_NE(json.find("\"memory\""), std::string::npos);
+    EXPECT_NE(json.find("\"enomem\":1"), std::string::npos);
+    m.reset();
+    EXPECT_EQ(m.pressure().enomemErrors, 0u);
+    kern().setMetrics(nullptr);
+}
+
+TEST_F(PressureTest, KernelConfigBudgetsAreWired)
+{
+    KernelConfig cfg;
+    cfg.frameCapacity = 128;
+    cfg.swapSlotBudget = 64;
+    GuestSystem limited(Abi::CheriAbi, cfg);
+    EXPECT_EQ(limited.kern.physMem().frameCapacity(), 128u);
+    EXPECT_EQ(limited.kern.swapDevice().slotBudget(), 64u);
+}
+
+} // namespace
+} // namespace cheri

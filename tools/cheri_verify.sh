@@ -13,7 +13,18 @@ cmake -S "$src_dir" -B "$build_dir" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+# Constrained-memory pass: re-run the pressure and stress suites with
+# deliberately small frame/slot budgets so reclaim and OOM paths are
+# exercised under the sanitizers too.
+CHERI_TEST_FRAME_BUDGET=48 CHERI_TEST_SLOT_BUDGET=128 \
+    ctest --test-dir "$build_dir" --output-on-failure \
+        -R 'Pressure|Stress' -j "$(nproc)"
 # Smoke the unified-access-path bench: --check fails unless the TLB
-# fast path beats the walk path on sequential access.
+# fast path beats the walk path on sequential access AND the
+# constrained-memory phase completes with live frames and used slots
+# never exceeding their budgets.
 "$build_dir/bench/vm_micro" --json --check
+# Tighter-than-default budgets, still feasible: the 4x working set
+# needs at least (pages - frames) slots to complete.
+"$build_dir/bench/vm_micro" --json --check --frames 48 --slots 160
 echo "cheri_verify: all checks passed"
