@@ -1,7 +1,5 @@
 #include "mem/swap.h"
 
-#include <cassert>
-
 namespace cheri
 {
 
@@ -34,7 +32,12 @@ bool
 SwapDevice::swapIn(u64 slot_id, Frame &frame, const Capability &root)
 {
     auto it = slots.find(slot_id);
-    assert(it != slots.end() && "swap-in of unoccupied slot");
+    if (it == slots.end()) {
+        // A missing slot is a device-level failure the guest can see,
+        // never a host abort.
+        ++swapInFailures;
+        return false;
+    }
     if (injector && injector->shouldFail(FaultPoint::SwapIn)) {
         // Modeled I/O error: the slot survives so the fault can be
         // retried once the condition clears.
@@ -50,14 +53,31 @@ SwapDevice::swapIn(u64 slot_id, Frame &frame, const Capability &root)
         // else: the pattern exceeded the root's authority; leave the
         // granule untagged rather than escalate.
     }
-    slots.erase(it);
+    // A fork sibling may still reference the slot; it dies with the
+    // last reference, exactly like a COW frame.
+    if (--it->second.refs == 0)
+        slots.erase(it);
     return true;
 }
 
 void
 SwapDevice::discard(u64 slot_id)
 {
-    discards += slots.erase(slot_id);
+    auto it = slots.find(slot_id);
+    if (it == slots.end())
+        return;
+    if (--it->second.refs == 0) {
+        slots.erase(it);
+        ++discards;
+    }
+}
+
+void
+SwapDevice::retain(u64 slot_id)
+{
+    auto it = slots.find(slot_id);
+    if (it != slots.end())
+        ++it->second.refs;
 }
 
 u64

@@ -70,17 +70,27 @@ class SwapDevice
      * as-is (untagged).  Under PreserveTags, each recorded granule is
      * rederived from @p root via CBuildCap; granules whose pattern the
      * root cannot legitimately cover stay untagged (rederivation must
-     * never escalate).  On success the slot is released and true is
-     * returned; an injected failure leaves the slot (and @p frame's
-     * prior contents) untouched so the access can be retried.
+     * never escalate).  On success one reference is dropped — the slot
+     * is released only when no other space still holds it (fork) — and
+     * true is returned; an injected failure leaves the slot (and
+     * @p frame's prior contents) untouched so the access can be
+     * retried.  An unknown slot is a failure, never a host abort.
      */
     bool swapIn(u64 slot, Frame &frame, const Capability &root);
 
     /**
-     * Release @p slot without reading it back — the page it held was
-     * unmapped or its owner exited.  Idempotent for unknown slots.
+     * Drop one reference to @p slot without reading it back — the page
+     * it held was unmapped or its owner exited.  The slot is released
+     * when the last reference goes.  Idempotent for unknown slots.
      */
     void discard(u64 slot);
+
+    /**
+     * Add a reference to @p slot: fork shares swapped-out pages the
+     * same way COW shares frames, so each space's later swap-in (or
+     * discard) resolves independently.  No-op for unknown slots.
+     */
+    void retain(u64 slot);
 
     /** Max occupied slots; 0 = unlimited. */
     void setSlotBudget(u64 n) { budget = n; }
@@ -121,6 +131,8 @@ class SwapDevice
         std::array<u8, pageSize> bytes;
         /** (granule offset, untagged capability pattern) pairs. */
         std::vector<std::pair<u64, Capability>> tagMeta;
+        /** Spaces referencing this slot (> 1 after fork). */
+        u64 refs = 1;
     };
 
     SwapPolicy _policy;

@@ -454,6 +454,11 @@ AddressSpace::forkCopy(u64 new_principal) const
             cp.cow = true;
             const_cast<Pte &>(pte).cow = true;
         }
+        // A swapped-out page's slot is now referenced by both spaces;
+        // without the extra reference the first swap-in (or unmap/exit
+        // discard) would free the sibling's only copy of the page.
+        if (pte.swapped)
+            swap.retain(pte.swapSlot);
         child->pages[va] = cp;
     }
     // The parent's private pages just became COW: any cached writable
@@ -506,6 +511,10 @@ AddressSpace::installFrame(u64 va, FrameRef frame)
     if (it == pages.end())
         return false;
     notifyInvalidatePage(pageTrunc(va));
+    // The incoming shared frame replaces whatever backed the page; a
+    // swapped-out original still owns a device slot that must go too.
+    if (it->second.swapped)
+        swap.discard(it->second.swapSlot);
     it->second.frame = std::move(frame);
     it->second.shared = true;
     it->second.cow = false;

@@ -80,8 +80,12 @@ Kernel::reclaimFrames(u64 wanted, const void *requester)
         }
     }
     if (victim) {
+        // Count only frames the kill actually returned: the victim's
+        // swapped pages free slots (not frames), and COW/shared frames
+        // survive through their other references.
+        u64 before = phys.liveFrames();
         oomKill(*victim);
-        freed += victim_size;
+        freed += before - phys.liveFrames();
     }
     return freed;
 }

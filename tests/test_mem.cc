@@ -366,6 +366,78 @@ TEST_F(MemTest, ReleaseAllFreesFramesAndSlots)
     EXPECT_EQ(as.swappedPages(), 0u);
 }
 
+TEST_F(MemTest, ForkSharesSwapSlotUntilBothSwapIn)
+{
+    u64 va = mapAnon(pageSize);
+    u64 val = 0x5117;
+    ASSERT_FALSE(as.writeBytes(va, &val, 8).has_value());
+    Capability c = capFor(va, 64);
+    ASSERT_FALSE(as.writeCap(va + 64, c).has_value());
+    ASSERT_TRUE(as.swapOutPage(va));
+    EXPECT_EQ(swap.usedSlots(), 1u);
+    auto child = as.forkCopy(102);
+    // Child swap-in must not free the slot out from under the parent.
+    u64 got = 0;
+    ASSERT_FALSE(child->readBytes(va, &got, 8).has_value());
+    EXPECT_EQ(got, val);
+    EXPECT_EQ(swap.usedSlots(), 1u)
+        << "slot must survive until the fork sibling resolves it too";
+    got = 0;
+    ASSERT_FALSE(as.readBytes(va, &got, 8).has_value());
+    EXPECT_EQ(got, val);
+    EXPECT_EQ(swap.usedSlots(), 0u);
+    // Both sides rederived tags from their own roots...
+    auto pr = as.readCap(va + 64);
+    auto cr = child->readCap(va + 64);
+    ASSERT_TRUE(pr.ok());
+    ASSERT_TRUE(cr.ok());
+    EXPECT_TRUE(pr.value().tag());
+    EXPECT_TRUE(cr.value().tag());
+    // ...into private frames: a post-fork write stays private.
+    u64 child_val = 0xC0C0;
+    ASSERT_FALSE(child->writeBytes(va, &child_val, 8).has_value());
+    ASSERT_FALSE(as.readBytes(va, &got, 8).has_value());
+    EXPECT_EQ(got, val);
+}
+
+TEST_F(MemTest, ForkSiblingExitKeepsSwapSlotAlive)
+{
+    u64 va = mapAnon(pageSize);
+    u64 val = 0xD00D;
+    ASSERT_FALSE(as.writeBytes(va, &val, 8).has_value());
+    ASSERT_TRUE(as.swapOutPage(va));
+    {
+        auto child = as.forkCopy(103);
+        EXPECT_EQ(swap.usedSlots(), 1u);
+    }
+    // The child died holding a reference; the parent's copy survives.
+    EXPECT_EQ(swap.usedSlots(), 1u);
+    u64 got = 0;
+    ASSERT_FALSE(as.readBytes(va, &got, 8).has_value());
+    EXPECT_EQ(got, val);
+    EXPECT_EQ(swap.usedSlots(), 0u);
+}
+
+TEST_F(MemTest, InstallFrameOverSwappedPageReleasesSlot)
+{
+    u64 va = mapAnon(pageSize);
+    u8 b = 4;
+    ASSERT_FALSE(as.writeBytes(va, &b, 1).has_value());
+    ASSERT_TRUE(as.swapOutPage(va));
+    EXPECT_EQ(swap.usedSlots(), 1u);
+    ASSERT_TRUE(as.installFrame(va, phys.allocFrame()));
+    EXPECT_EQ(swap.usedSlots(), 0u)
+        << "shmat over a swapped-out page must not leak its slot";
+}
+
+TEST_F(MemTest, SwapInOfUnknownSlotFailsWithoutAborting)
+{
+    auto frame = phys.allocFrame();
+    u64 before = swap.failedSwapIns();
+    EXPECT_FALSE(swap.swapIn(12345, *frame, as.rederivationRoot()));
+    EXPECT_EQ(swap.failedSwapIns(), before + 1);
+}
+
 // --- atomic mprotect -----------------------------------------------------
 
 TEST_F(MemTest, ProtectIsAtomicOverPartialRange)

@@ -262,6 +262,36 @@ TEST_F(PressureTest, MunmapWhileSwappedReturnsSlotsToBaseline)
     EXPECT_EQ(kern().swapDevice().usedSlots(), baseline);
 }
 
+TEST_F(PressureTest, ForkWhileSwappedSharesSlotsWithoutLoss)
+{
+    u64 baseline = kern().swapDevice().usedSlots();
+    GuestPtr buf = ctx().mmap(4 * pageSize);
+    for (u64 p = 0; p < 4; ++p)
+        ctx().store<u64>(buf, static_cast<s64>(p * pageSize), p + 7);
+    // Evict the parent's pages before forking — exactly the state the
+    // fork admission probe's reclaim pass can leave the parent in right
+    // before forkCopy duplicates its page table.
+    u64 page0 = buf.addr() & ~(pageSize - 1);
+    for (u64 p = 0; p < 4; ++p)
+        ASSERT_TRUE(proc().as().swapOutPage(page0 + p * pageSize));
+    ASSERT_EQ(kern().swapDevice().usedSlots(), baseline + 4);
+
+    Process *child = kern().fork(proc());
+    ASSERT_NE(child, nullptr);
+    GuestContext cctx(kern(), *child);
+    // Whichever side faults first must not erase the other's copy.
+    for (u64 p = 0; p < 4; ++p)
+        EXPECT_EQ(cctx.load<u64>(buf, static_cast<s64>(p * pageSize)),
+                  p + 7);
+    for (u64 p = 0; p < 4; ++p)
+        EXPECT_EQ(ctx().load<u64>(buf, static_cast<s64>(p * pageSize)),
+                  p + 7);
+    kern().exitProcess(*child, 0);
+    ASSERT_EQ(kern().wait4(proc(), child->pid()).error, E_OK);
+    EXPECT_EQ(kern().swapDevice().usedSlots(), baseline)
+        << "shared slots must be released once both sides resolve";
+}
+
 // --- observability -------------------------------------------------------
 
 TEST_F(PressureTest, MetricsExportMemoryPressureSection)
