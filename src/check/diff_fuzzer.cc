@@ -1,0 +1,786 @@
+#include "check/diff_fuzzer.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <random>
+
+#include "isa/assembler.h"
+#include "isa/interp.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "os/sys_invoke.h"
+
+namespace cheri::check
+{
+
+namespace
+{
+
+std::string
+fmt(const char *f, ...)
+{
+    char buf[320];
+    va_list ap;
+    va_start(ap, f);
+    std::vsnprintf(buf, sizeof(buf), f, ap);
+    va_end(ap);
+    return buf;
+}
+
+/**
+ * One abstract instruction of a generated guest program.  Memory ops
+ * name a *slot* in the compute data page; lowering picks the
+ * ABI-appropriate addressing mode (legacy via DDC for mips64,
+ * capability-relative via c8 for CheriABI) — the differential point:
+ * the same abstract program must compute the same values either way.
+ */
+struct AbsInsn
+{
+    enum class K
+    {
+        Li,
+        Add,
+        Sub,
+        Mul,
+        Xor,
+        Store,
+        Load,
+        Loop,
+        Getpid,
+    };
+    K k = K::Li;
+    u8 rd = 4, rs = 4, rt = 4;
+    s64 imm = 0;
+};
+
+/** One generated operation; all randomness is consumed at generation
+ *  time so both ABI runs execute the identical sequence. */
+struct GenOp
+{
+    enum class Kind
+    {
+        Mmap,
+        Unmap,
+        Protect,
+        Sbrk,
+        Fork,
+        Signal,
+        Write,
+        Read,
+        Shm,
+        Touch,
+        Evict,
+        Compute,
+    };
+    Kind kind = Kind::Touch;
+    u64 a = 0, b = 0, c = 0;
+    std::vector<u8> payload;
+    std::vector<AbsInsn> prog;
+};
+
+/** Work registers x4..x10; x8 is reserved as the data base. */
+u8
+workReg(std::mt19937_64 &rng)
+{
+    static constexpr u8 regs[] = {4, 5, 6, 7, 9, 10};
+    return regs[rng() % 6];
+}
+
+std::vector<AbsInsn>
+genProgram(std::mt19937_64 &rng)
+{
+    std::vector<AbsInsn> p;
+    u64 n = 3 + rng() % 6;
+    for (u64 i = 0; i < n; ++i) {
+        AbsInsn in;
+        switch (rng() % 5) {
+          case 0:
+            in.k = AbsInsn::K::Li;
+            in.rd = workReg(rng);
+            in.imm = static_cast<s64>(rng() % 100000);
+            break;
+          case 1: in.k = AbsInsn::K::Add; break;
+          case 2: in.k = AbsInsn::K::Sub; break;
+          case 3: in.k = AbsInsn::K::Mul; break;
+          default: in.k = AbsInsn::K::Xor; break;
+        }
+        if (in.k != AbsInsn::K::Li) {
+            in.rd = workReg(rng);
+            in.rs = workReg(rng);
+            in.rt = workReg(rng);
+        }
+        p.push_back(in);
+    }
+    if (rng() % 2) {
+        AbsInsn loop;
+        loop.k = AbsInsn::K::Loop;
+        loop.imm = 2 + static_cast<s64>(rng() % 5);
+        p.push_back(loop);
+    }
+    u64 mem = rng() % 4;
+    for (u64 i = 0; i < mem; ++i) {
+        AbsInsn in;
+        in.k = (rng() % 2) ? AbsInsn::K::Store : AbsInsn::K::Load;
+        in.rd = workReg(rng);
+        in.imm = static_cast<s64>((rng() % (pageSize / 8)) * 8);
+        p.push_back(in);
+    }
+    if (rng() % 3 == 0)
+        p.push_back({AbsInsn::K::Getpid});
+    return p;
+}
+
+/** Lower the abstract program for @p abi.  Loads/stores address the
+ *  data page through x8 (legacy, via DDC) or c8 (capability). */
+isa::Assembler
+lower(const std::vector<AbsInsn> &prog, Abi abi)
+{
+    isa::Assembler a;
+    int loops = 0;
+    for (const AbsInsn &in : prog) {
+        switch (in.k) {
+          case AbsInsn::K::Li: a.li(in.rd, in.imm); break;
+          case AbsInsn::K::Add: a.add(in.rd, in.rs, in.rt); break;
+          case AbsInsn::K::Sub: a.sub(in.rd, in.rs, in.rt); break;
+          case AbsInsn::K::Mul: a.mul(in.rd, in.rs, in.rt); break;
+          case AbsInsn::K::Xor: a.xor_(in.rd, in.rs, in.rt); break;
+          case AbsInsn::K::Store:
+            if (abi == Abi::CheriAbi)
+                a.csd(in.rd, 8, in.imm);
+            else
+                a.sd(in.rd, 8, in.imm);
+            break;
+          case AbsInsn::K::Load:
+            if (abi == Abi::CheriAbi)
+                a.cld(in.rd, 8, in.imm);
+            else
+                a.ld(in.rd, 8, in.imm);
+            break;
+          case AbsInsn::K::Loop: {
+            std::string l = fmt("loop%d", loops++);
+            a.li(7, in.imm).label(l).addi(6, 6, 1).addi(7, 7, -1).bne(
+                7, 0, l);
+            break;
+          }
+          case AbsInsn::K::Getpid:
+            a.syscall(static_cast<s64>(SysNum::Getpid));
+            break;
+        }
+    }
+    a.halt();
+    return a;
+}
+
+std::vector<GenOp>
+generate(u64 case_seed, u64 n_ops)
+{
+    std::mt19937_64 rng(case_seed);
+    std::vector<GenOp> ops;
+    ops.reserve(n_ops);
+    for (u64 i = 0; i < n_ops; ++i) {
+        GenOp op;
+        u64 pick = rng() % 100;
+        using K = GenOp::Kind;
+        if (pick < 14)
+            op.kind = K::Mmap;
+        else if (pick < 24)
+            op.kind = K::Unmap;
+        else if (pick < 32)
+            op.kind = K::Protect;
+        else if (pick < 36)
+            op.kind = K::Sbrk;
+        else if (pick < 42)
+            op.kind = K::Fork;
+        else if (pick < 49)
+            op.kind = K::Signal;
+        else if (pick < 59)
+            op.kind = K::Write;
+        else if (pick < 66)
+            op.kind = K::Read;
+        else if (pick < 71)
+            op.kind = K::Shm;
+        else if (pick < 81)
+            op.kind = K::Touch;
+        else if (pick < 88)
+            op.kind = K::Evict;
+        else
+            op.kind = K::Compute;
+        op.a = rng();
+        op.b = rng();
+        op.c = rng();
+        if (op.kind == K::Write) {
+            op.payload.resize(1 + rng() % 96);
+            for (u8 &byte : op.payload)
+                byte = static_cast<u8>(rng());
+        }
+        if (op.kind == K::Compute)
+            op.prog = genProgram(rng);
+        ops.push_back(std::move(op));
+    }
+    return ops;
+}
+
+/** The program image both ABI runs exec — a minimal SELF object. */
+SelfObject
+fuzzProgram()
+{
+    SelfObject prog;
+    prog.name = "fuzzprog";
+    prog.textSize = 0x2000;
+    prog.data.resize(64, 0);
+    prog.bssSize = 64;
+    prog.symbols = {{"main", 0, 0x100, true}};
+    prog.relocs = {{RelocKind::CapFunction, 0, 0, "main"}};
+    return prog;
+}
+
+/** A pointer at @p va carried the way @p base was (capability or
+ *  integer), so syscalls see ABI-correct pointer arguments. */
+UserPtr
+at(const UserPtr &base, u64 va)
+{
+    if (base.isCap)
+        return UserPtr::fromCap(base.cap.setAddress(va));
+    return UserPtr::fromAddr(va);
+}
+
+/** One tracked guest mapping (compared across ABIs by index, never by
+ *  raw address — layouts may legitimately differ). */
+struct Region
+{
+    u64 va = 0;
+    u64 len = 0;
+    bool shm = false;
+    UserPtr base;
+};
+
+struct ExecResult
+{
+    std::vector<std::string> events;
+    std::vector<u8> output;
+    std::vector<Violation> violations;
+    u64 oracleRuns = 0;
+    u64 syscalls = 0;
+    bool setupFailed = false;
+};
+
+constexpr u64 maxViolationsPerRun = 32;
+constexpr u64 maxRegions = 8;
+
+void
+hashRegion(ExecResult &er, Process &proc, const char *name, u64 va,
+           u64 len)
+{
+    u64 h = 1469598103934665603ULL;
+    std::vector<u8> page(pageSize);
+    for (u64 off = 0; off < len; off += pageSize) {
+        CapCheck r = proc.as().readBytes(va + off, page.data(), pageSize);
+        if (r.has_value()) {
+            er.events.push_back(
+                fmt("image %s fault %s", name,
+                    std::string(capFaultName(*r)).c_str()));
+            return;
+        }
+        for (u8 b : page) {
+            h ^= b;
+            h *= 1099511628211ULL;
+        }
+    }
+    er.events.push_back(fmt("image %s %016" PRIx64, name, h));
+}
+
+ExecResult
+execCase(Abi abi, const FuzzOptions &opts, u64 case_seed,
+         const std::vector<GenOp> &ops)
+{
+    ExecResult er;
+    obs::Metrics metrics; // must outlive the kernel
+    KernelConfig cfg;
+    cfg.frameCapacity = opts.frameCapacity;
+    cfg.swapSlotBudget = opts.swapSlotBudget;
+    Kernel kern(cfg);
+    kern.setMetrics(&metrics);
+
+    Process *proc = kern.spawn(abi, "fuzz");
+    SelfObject prog = fuzzProgram();
+    if (kern.execve(*proc, prog, {"fuzz"}, {}) != E_OK) {
+        er.setupFailed = true;
+        er.events.push_back("execve-failed");
+        return er;
+    }
+
+    // Case input file: seed-derived bytes, identical for both runs.
+    {
+        VNodeRef in = kern.vfs().createFile("/fz_in");
+        std::mt19937_64 frng(case_seed ^ 0xf00dULL);
+        in->data.resize(256);
+        for (u8 &b : in->data)
+            b = static_cast<u8>(frng());
+    }
+
+    // Dispatch hook: uniform event capture (sysInvoke-issued and
+    // interpreter-issued syscalls alike) plus the oracle cadence.
+    u64 dispatches = 0;
+    kern.setCheckHook([&](Process &p, u64 code) {
+        ++er.syscalls;
+        ++dispatches;
+        const SyscallInfo *si = syscallInfo(code);
+        const ThreadRegs &r = p.regs();
+        bool err = r.x[regSysErr] != 0;
+        u64 val = r.x[regRetVal];
+        std::string name(si ? si->name : "invalid");
+        if (si && si->num == SysNum::Sbrk) {
+            // Designed divergence: CheriABI excludes sbrk (E_NOSYS)
+            // where mips64 serves it — mask the whole event.
+            er.events.push_back("sbrk masked");
+        } else {
+            bool mask_val = si && si->returnsPtr; // raw addresses
+            er.events.push_back(fmt("%s e%d v%" PRIu64, name.c_str(),
+                                    err ? 1 : 0, mask_val ? 0 : val));
+        }
+        if (opts.checkEvery && dispatches % opts.checkEvery == 0) {
+            Report rep = Invariants::check(kern);
+            ++er.oracleRuns;
+            for (Violation &v : rep.violations) {
+                if (er.violations.size() < maxViolationsPerRun)
+                    er.violations.push_back(std::move(v));
+            }
+        }
+    });
+
+    // Scratch layout: page 0 paths + touch fallback, page 1 write
+    // staging, page 2 read landing, page 3 compute data.
+    auto mk = sysInvoke(kern, *proc, SysNum::Mmap,
+                        {SysArg::p(UserPtr::null()),
+                         SysArg::i(4 * pageSize),
+                         SysArg::i(PROT_READ | PROT_WRITE),
+                         SysArg::i(MAP_ANON | MAP_PRIVATE)});
+    if (mk.res.failed()) {
+        er.setupFailed = true;
+        er.events.push_back("scratch-mmap-failed");
+        return er;
+    }
+    UserPtr scratch = mk.out;
+    u64 scratch_va = scratch.addr();
+
+    const char out_path[] = "/fz_out";
+    const char in_path[] = "/fz_in";
+    proc->as().writeBytes(scratch_va, out_path, sizeof(out_path));
+    proc->as().writeBytes(scratch_va + 16, in_path, sizeof(in_path));
+
+    auto ro = sysInvoke(kern, *proc, SysNum::Open,
+                        {SysArg::p(at(scratch, scratch_va + 16)),
+                         SysArg::i(O_RDONLY)});
+    int fd_in = ro.res.failed() ? -1 : static_cast<int>(ro.res.value);
+    auto wo = sysInvoke(kern, *proc, SysNum::Open,
+                        {SysArg::p(at(scratch, scratch_va)),
+                         SysArg::i(O_CREAT | O_TRUNC | O_WRONLY)});
+    int fd_out = wo.res.failed() ? -1 : static_cast<int>(wo.res.value);
+
+    // A private RWX page for generated programs (the main text
+    // mapping is read-only to the process).
+    u64 code_va = proc->as().map(0, pageSize,
+                                 PROT_READ | PROT_WRITE | PROT_EXEC,
+                                 MappingKind::Text, false, false,
+                                 "fuzzcode");
+
+    u64 handler_runs = 0;
+    u64 hid = proc->registerHandler(
+        [&handler_runs](Process &, SigFrame &) { ++handler_runs; });
+    kern.sysSigaction(*proc, SIG_USR1,
+                      {SigAction::Kind::Handler, hid});
+
+    if (opts.inject) {
+        FaultInjector &inj = kern.faultInjector();
+        inj.failRandomly(FaultPoint::FrameAlloc, 13,
+                         case_seed ^ 0x1111);
+        inj.failRandomly(FaultPoint::SwapOut, 7, case_seed ^ 0x2222);
+        inj.failRandomly(FaultPoint::SwapIn, 5, case_seed ^ 0x3333);
+    }
+
+    std::vector<Region> regions;
+    u64 children = 0;
+    u64 op_index = 0;
+    for (const GenOp &op : ops) {
+        if (proc->exited()) {
+            er.events.push_back("main-exited");
+            break;
+        }
+        if (opts.plantSlotBug && op_index == ops.size() / 2) {
+            // Acceptance self-test: one stray retain() makes a slot's
+            // device refcount exceed its page-table references.
+            if (kern.swapDevice().usedSlots() == 0) {
+                u8 z = 1;
+                proc->as().writeBytes(scratch_va, &z, 1);
+                proc->as().swapOutPage(scratch_va);
+            }
+            u64 min_slot = ~u64{0};
+            kern.swapDevice().forEachSlot([&](u64 s, u64) {
+                min_slot = std::min(min_slot, s);
+            });
+            if (min_slot != ~u64{0}) {
+                kern.swapDevice().retain(min_slot);
+                er.events.push_back("plant-slot-bug");
+            }
+        }
+        ++op_index;
+
+        using K = GenOp::Kind;
+        switch (op.kind) {
+          case K::Mmap: {
+            u64 len = (1 + op.a % 4) * pageSize;
+            auto rr = sysInvoke(kern, *proc, SysNum::Mmap,
+                                {SysArg::p(UserPtr::null()),
+                                 SysArg::i(len),
+                                 SysArg::i(PROT_READ | PROT_WRITE),
+                                 SysArg::i(MAP_ANON | MAP_PRIVATE)});
+            if (rr.res.failed())
+                break;
+            if (regions.size() < maxRegions) {
+                regions.push_back(
+                    {rr.out.addr(), len, false, rr.out});
+            } else {
+                sysInvoke(kern, *proc, SysNum::Munmap,
+                          {SysArg::p(rr.out), SysArg::i(len)});
+            }
+            break;
+          }
+          case K::Unmap: {
+            if (regions.empty())
+                break;
+            u64 idx = op.a % regions.size();
+            Region r = regions[idx];
+            if (r.shm) {
+                sysInvoke(kern, *proc, SysNum::Shmdt,
+                          {SysArg::p(at(r.base, r.va))});
+            } else {
+                sysInvoke(kern, *proc, SysNum::Munmap,
+                          {SysArg::p(at(r.base, r.va)),
+                           SysArg::i(r.len)});
+            }
+            regions.erase(regions.begin() +
+                          static_cast<std::ptrdiff_t>(idx));
+            break;
+          }
+          case K::Protect: {
+            if (regions.empty())
+                break;
+            Region &r = regions[op.a % regions.size()];
+            u32 prot = (op.b % 2) ? PROT_READ
+                                  : (PROT_READ | PROT_WRITE);
+            sysInvoke(kern, *proc, SysNum::Mprotect,
+                      {SysArg::p(at(r.base, r.va)), SysArg::i(r.len),
+                       SysArg::i(prot)});
+            break;
+          }
+          case K::Sbrk:
+            sysInvoke(kern, *proc, SysNum::Sbrk,
+                      {SysArg::i(op.a % 3 ? pageSize : 0)});
+            break;
+          case K::Fork: {
+            if (children >= 2)
+                break;
+            auto rr = sysInvoke(kern, *proc, SysNum::Fork, {});
+            if (!rr.res.failed())
+                ++children; // child stays alive: COW pressure
+            break;
+          }
+          case K::Signal: {
+            sysInvoke(kern, *proc, SysNum::Kill,
+                      {SysArg::i(proc->pid()), SysArg::i(SIG_USR1)});
+            u64 ran = kern.deliverSignals(*proc);
+            er.events.push_back(fmt("deliver %" PRIu64 " total %" PRIu64,
+                                    ran, handler_runs));
+            break;
+          }
+          case K::Write: {
+            if (fd_out < 0 || op.payload.empty())
+                break;
+            proc->as().writeBytes(scratch_va + pageSize,
+                                  op.payload.data(),
+                                  op.payload.size());
+            sysInvoke(kern, *proc, SysNum::Write,
+                      {SysArg::i(static_cast<u64>(fd_out)),
+                       SysArg::p(at(scratch, scratch_va + pageSize)),
+                       SysArg::i(op.payload.size())});
+            break;
+          }
+          case K::Read: {
+            if (fd_in < 0)
+                break;
+            sysInvoke(kern, *proc, SysNum::Read,
+                      {SysArg::i(static_cast<u64>(fd_in)),
+                       SysArg::p(at(scratch, scratch_va + 2 * pageSize)),
+                       SysArg::i(1 + op.a % 64)});
+            break;
+          }
+          case K::Shm: {
+            if (regions.size() >= maxRegions)
+                break;
+            u64 size = (1 + op.a % 2) * pageSize;
+            auto rg = sysInvoke(kern, *proc, SysNum::Shmget,
+                                {SysArg::i(op.b % 4), SysArg::i(size)});
+            if (rg.res.failed())
+                break;
+            auto ra = sysInvoke(kern, *proc, SysNum::Shmat,
+                                {SysArg::i(rg.res.value),
+                                 SysArg::p(UserPtr::null())});
+            if (!ra.res.failed())
+                regions.push_back({ra.out.addr(), size, true, ra.out});
+            break;
+          }
+          case K::Touch: {
+            u64 ridx = regions.empty() ? ~u64{0}
+                                       : op.a % regions.size();
+            u64 va = ridx == ~u64{0}
+                         ? scratch_va + op.b % (4 * pageSize)
+                         : regions[ridx].va + op.b % regions[ridx].len;
+            u8 byte = static_cast<u8>(op.c);
+            CapCheck w = proc->as().writeBytes(va, &byte, 1);
+            er.events.push_back(
+                fmt("touch r%" PRId64 " %s",
+                    static_cast<s64>(ridx == ~u64{0} ? -1
+                                                     : (s64)ridx),
+                    w.has_value()
+                        ? std::string(capFaultName(*w)).c_str()
+                        : "ok"));
+            break;
+          }
+          case K::Evict: {
+            u64 n = proc->as().swapOutResident(1 + op.a % 4);
+            er.events.push_back(fmt("evict %" PRIu64, n));
+            break;
+          }
+          case K::Compute: {
+            isa::Assembler a = lower(op.prog, abi);
+            bool loaded = true;
+            try {
+                a.writeTo(proc->as(), code_va);
+            } catch (const std::exception &) {
+                // Injected translation failure while loading the
+                // image — deterministic, so log-and-skip keeps the
+                // runs comparable.
+                loaded = false;
+            }
+            if (!loaded) {
+                er.events.push_back("compute load-failed");
+                break;
+            }
+            ThreadRegs &regs = proc->regs();
+            u64 data_va = scratch_va + 3 * pageSize;
+            regs.c[8] = proc->as()
+                            .capForRange(data_va, pageSize,
+                                         PROT_READ | PROT_WRITE, false)
+                            .setAddress(data_va);
+            regs.x[8] = data_va;
+            for (unsigned i = 4; i <= 10; ++i) {
+                if (i != 8)
+                    regs.x[i] = 0;
+            }
+            isa::Interpreter interp(*proc);
+            isa::installDefaultSyscallHook(interp, kern);
+            if (abi == Abi::CheriAbi) {
+                interp.setEntry(proc->as()
+                                    .capForRange(code_va, pageSize,
+                                                 PROT_READ | PROT_EXEC,
+                                                 false)
+                                    .setAddress(code_va));
+            } else {
+                interp.setEntry(Capability::fromAddress(code_va));
+            }
+            isa::InterpResult res = interp.run(4096);
+            std::string ev = fmt(
+                "compute st%d fault %s steps %" PRIu64,
+                static_cast<int>(res.status),
+                std::string(capFaultName(res.fault)).c_str(),
+                res.steps);
+            for (unsigned i = 4; i <= 10; ++i) {
+                if (i != 8)
+                    ev += fmt(" x%u=%" PRIu64, i, regs.x[i]);
+            }
+            er.events.push_back(ev);
+            break;
+          }
+        }
+    }
+
+    // Final state capture: injector off so imaging itself cannot fail
+    // for injected reasons.
+    kern.faultInjector().disarmAll();
+
+    if (opts.checkEvery) {
+        Report rep = Invariants::check(kern);
+        ++er.oracleRuns;
+        for (Violation &v : rep.violations) {
+            if (er.violations.size() < maxViolationsPerRun)
+                er.violations.push_back(std::move(v));
+        }
+    }
+
+    if (VNodeRef out = kern.vfs().lookup("/fz_out"))
+        er.output = out->data;
+
+    for (u64 i = 0; i < regions.size(); ++i) {
+        hashRegion(er, *proc, fmt("r%" PRIu64, i).c_str(),
+                   regions[i].va, regions[i].len);
+    }
+    hashRegion(er, *proc, "scratch", scratch_va, 4 * pageSize);
+
+    kern.forEachProcess([&](const Process &p) {
+        er.events.push_back(
+            fmt("proc %" PRIu64 " exited%d status%d death %s", p.pid(),
+                p.exited() ? 1 : 0, p.exitStatus(),
+                p.death()
+                    ? std::string(capFaultName(p.death()->fault))
+                          .c_str()
+                    : "-"));
+    });
+    er.events.push_back(fmt("handlers %" PRIu64, handler_runs));
+
+    // The hook closure references stack locals; detach before unwind.
+    kern.setCheckHook(nullptr);
+    return er;
+}
+
+} // namespace
+
+CaseReport
+DiffFuzzer::runCase(u64 index)
+{
+    CaseReport cr;
+    cr.index = index;
+    cr.caseSeed = opts.seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+    std::vector<GenOp> ops = generate(cr.caseSeed, opts.opsPerCase);
+
+    ExecResult legacy = execCase(Abi::Mips64, opts, cr.caseSeed, ops);
+    ExecResult cheri = execCase(Abi::CheriAbi, opts, cr.caseSeed, ops);
+
+    cr.syscalls = legacy.syscalls + cheri.syscalls;
+    cr.oracleRuns = legacy.oracleRuns + cheri.oracleRuns;
+    for (Violation &v : legacy.violations) {
+        v.detail = "mips64: " + v.detail;
+        cr.violations.push_back(std::move(v));
+    }
+    for (Violation &v : cheri.violations) {
+        v.detail = "cheriabi: " + v.detail;
+        cr.violations.push_back(std::move(v));
+    }
+
+    // Under fault injection the two ABI runs make different numbers of
+    // frame allocations and swap operations before reaching the same
+    // op, so a period-N schedule fires at different points in each
+    // timeline and event streams diverge benignly.  The invariant
+    // oracle is the sound check there; the differential comparison is
+    // only meaningful on uninjected runs.
+    if (!opts.inject) {
+        constexpr u64 maxDivergences = 8;
+        u64 n = std::max(legacy.events.size(), cheri.events.size());
+        for (u64 i = 0;
+             i < n && cr.divergences.size() < maxDivergences; ++i) {
+            const std::string &a =
+                i < legacy.events.size() ? legacy.events[i]
+                                         : "<missing>";
+            const std::string &b =
+                i < cheri.events.size() ? cheri.events[i] : "<missing>";
+            if (a != b) {
+                cr.divergences.push_back(fmt(
+                    "event %" PRIu64 ": mips64 '%s' vs cheriabi '%s'",
+                    i, a.c_str(), b.c_str()));
+            }
+        }
+        if (legacy.output != cheri.output &&
+            cr.divergences.size() < maxDivergences) {
+            cr.divergences.push_back(
+                fmt("output bytes differ: mips64 %zu bytes, cheriabi "
+                    "%zu bytes",
+                    legacy.output.size(), cheri.output.size()));
+        }
+    }
+    return cr;
+}
+
+FuzzReport
+DiffFuzzer::run()
+{
+    FuzzReport rep;
+    rep.seed = opts.seed;
+    rep.opsPerCase = opts.opsPerCase;
+    for (u64 i = 0; i < opts.cases; ++i) {
+        CaseReport cr = runCase(i);
+        ++rep.casesRun;
+        rep.syscalls += cr.syscalls;
+        rep.oracleRuns += cr.oracleRuns;
+        if (cr.diverged())
+            ++rep.divergentCases;
+        rep.violationCount += cr.violations.size();
+        if (cr.failed() && rep.failures.size() < FuzzReport::maxFailures)
+            rep.failures.push_back(std::move(cr));
+        if (mx)
+            mx->recordFuzzCase(cr.diverged());
+    }
+    return rep;
+}
+
+std::string
+FuzzReport::summary() const
+{
+    std::string out =
+        fmt("abi_fuzz: seed %" PRIu64 ", %" PRIu64 " cases, %" PRIu64
+            " syscalls, %" PRIu64 " oracle runs: %" PRIu64
+            " divergent cases, %" PRIu64 " oracle violations\n",
+            seed, casesRun, syscalls, oracleRuns, divergentCases,
+            violationCount);
+    for (const CaseReport &c : failures) {
+        out += fmt("case %" PRIu64 " (case seed 0x%" PRIx64 "):\n",
+                   c.index, c.caseSeed);
+        for (const std::string &d : c.divergences)
+            out += "  divergence: " + d + "\n";
+        for (const Violation &v : c.violations)
+            out += "  violation [" + v.rule + "]: " + v.detail + "\n";
+        out += fmt("  reproduce: abi_fuzz --seed %" PRIu64
+                   " --cases %" PRIu64 " --ops-per-case %" PRIu64 "\n",
+                   seed, c.index + 1, opsPerCase);
+    }
+    return out;
+}
+
+std::string
+FuzzReport::toJson() const
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("schema").value(std::string_view("cheri.abi_fuzz.v1"));
+    w.key("seed").value(seed);
+    w.key("ops_per_case").value(opsPerCase);
+    w.key("cases_run").value(casesRun);
+    w.key("syscalls").value(syscalls);
+    w.key("oracle_runs").value(oracleRuns);
+    w.key("divergent_cases").value(divergentCases);
+    w.key("oracle_violations").value(violationCount);
+    w.key("ok").value(ok());
+    w.key("failures").beginArray();
+    for (const CaseReport &c : failures) {
+        w.beginObject();
+        w.key("case").value(c.index);
+        w.key("case_seed").value(c.caseSeed);
+        w.key("divergences").beginArray();
+        for (const std::string &d : c.divergences)
+            w.value(std::string_view(d));
+        w.endArray();
+        w.key("violations").beginArray();
+        for (const Violation &v : c.violations) {
+            w.beginObject();
+            w.key("rule").value(std::string_view(v.rule));
+            w.key("detail").value(std::string_view(v.detail));
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace cheri::check

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Differential ABI fuzzer.
+ *
+ * CheriABI's compatibility claim (paper §6) is that the pure-capability
+ * ABI is a drop-in replacement for the legacy one: the same program,
+ * run under mips64 and under CheriABI, produces the same results.  The
+ * DiffFuzzer turns that claim into an executable property: a seeded
+ * generator (std::mt19937_64 — never wall-clock) emits random guest
+ * programs via the Assembler plus random syscall sequences (mmap,
+ * munmap, mprotect, sbrk, fork, signal, read, write, shmget/shmat,
+ * plus direct page touches and evictions), runs each case twice — once
+ * per ABI, in a fresh kernel each — and compares:
+ *
+ *  - the syscall event stream (number, error flag, ABI-invariant
+ *    result value) captured at the dispatch choke point;
+ *  - bytes written to the case's output file;
+ *  - the final memory image of every tracked region;
+ *  - interpreted-program outcomes (registers, halt/fault status);
+ *  - the final process table (pids, exit status, death causes).
+ *
+ * Values that legitimately differ between ABIs are masked rather than
+ * compared: raw mapping addresses (layouts may differ; regions are
+ * compared by index) and sbrk results (CheriABI excludes sbrk by
+ * design — mips64 succeeds where CheriABI returns E_NOSYS).
+ *
+ * The invariant oracle (invariants.h) is wired into both kernels via
+ * Kernel::setCheckHook and runs at every check-every'th syscall
+ * boundary; any violation fails the case with a seed-reproducible
+ * report.  Optional FaultInjector schedules (--inject) arm all three
+ * choke points with case-seed-derived periods, identically in both
+ * runs.  Because the two ABIs reach a given op after different numbers
+ * of allocations, a periodic schedule fires at different points in each
+ * timeline, so injected runs skip the differential comparison and rely
+ * on the oracle alone.
+ */
+
+#ifndef CHERI_CHECK_DIFF_FUZZER_H
+#define CHERI_CHECK_DIFF_FUZZER_H
+
+#include <string>
+#include <vector>
+
+#include "check/invariants.h"
+
+namespace cheri::obs
+{
+class Metrics;
+}
+
+namespace cheri::check
+{
+
+struct FuzzOptions
+{
+    u64 seed = 1;
+    u64 cases = 100;
+    u64 opsPerCase = 32;
+    /** Arm the FaultInjector on FrameAlloc/SwapOut/SwapIn with
+     *  case-seed-derived periods. */
+    bool inject = false;
+    /** Run the oracle every Nth syscall (0 = oracle off). */
+    u64 checkEvery = 1;
+    /** Deliberately corrupt a swap-slot refcount mid-case — the
+     *  oracle-detection self-test from the acceptance criteria. */
+    bool plantSlotBug = false;
+    /** Kernel memory budgets (0 = unlimited), e.g. from
+     *  CHERI_TEST_FRAME_BUDGET / CHERI_TEST_SLOT_BUDGET. */
+    u64 frameCapacity = 0;
+    u64 swapSlotBudget = 0;
+};
+
+/** Outcome of one differential case. */
+struct CaseReport
+{
+    u64 index = 0;
+    u64 caseSeed = 0;
+    /** Human-readable mismatches between the two ABI runs. */
+    std::vector<std::string> divergences;
+    /** Oracle violations from either run. */
+    std::vector<Violation> violations;
+    u64 syscalls = 0;
+    u64 oracleRuns = 0;
+
+    bool diverged() const { return !divergences.empty(); }
+    bool failed() const { return diverged() || !violations.empty(); }
+};
+
+/** Aggregate outcome of a fuzzing run. */
+struct FuzzReport
+{
+    u64 seed = 0;
+    u64 opsPerCase = 0;
+    u64 casesRun = 0;
+    u64 syscalls = 0;
+    u64 oracleRuns = 0;
+    u64 divergentCases = 0;
+    u64 violationCount = 0;
+    /** Failing cases, capped at maxFailures (counters keep counting). */
+    std::vector<CaseReport> failures;
+    static constexpr u64 maxFailures = 16;
+
+    bool ok() const { return divergentCases == 0 && violationCount == 0; }
+    /** Human-readable summary with a reproduction command per failing
+     *  case. */
+    std::string summary() const;
+    std::string toJson() const;
+};
+
+class DiffFuzzer
+{
+  public:
+    explicit DiffFuzzer(FuzzOptions opts) : opts(opts) {}
+
+    /** Aggregate fuzzer telemetry here (nullable). */
+    void setMetrics(obs::Metrics *m) { mx = m; }
+
+    /** Run all cases. */
+    FuzzReport run();
+
+    /** Run case @p index alone (seed-addressable reproduction). */
+    CaseReport runCase(u64 index);
+
+  private:
+    FuzzOptions opts;
+    obs::Metrics *mx = nullptr;
+};
+
+} // namespace cheri::check
+
+#endif // CHERI_CHECK_DIFF_FUZZER_H

@@ -1,0 +1,312 @@
+#include "check/invariants.h"
+
+#include <array>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cap/capability.h"
+#include "obs/metrics.h"
+#include "os/kernel.h"
+
+namespace cheri::check
+{
+
+namespace
+{
+
+std::string
+fmt(const char *f, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, f);
+    std::vsnprintf(buf, sizeof(buf), f, ap);
+    va_end(ap);
+    return buf;
+}
+
+/** Per-frame holders seen while sweeping the page tables. */
+struct FrameUse
+{
+    u64 pteUsers = 0;
+    u64 shmHolds = 0;
+    /** PTE users not marked COW or shared (must be <= 1 per frame). */
+    u64 exclusiveUsers = 0;
+    /** shared_ptr use count observed at one of the holders. */
+    long observedRefs = 0;
+};
+
+/** Sealing authorities cover otype space, not the address space; they
+ *  are exempt from address-space containment. */
+bool
+isSealer(const Capability &cap)
+{
+    return (cap.perms() & (PERM_SEAL | PERM_UNSEAL)) != 0;
+}
+
+/**
+ * Rule 1: the capability's bounds must survive CHERI-Concentrate
+ * re-decompression exactly — a tagged capability whose bounds are not
+ * representable could never have been produced by the architecture.
+ */
+bool
+representable(const Capability &cap)
+{
+    if (cap.top() > u128{~u64{0}})
+        return true; // whole-address-space root; always representable
+    return compress::boundsExactlyRepresentable(cap.base(), cap.length(),
+                                                cap.format());
+}
+
+/** Rules 1+2 for a register-file capability (bounds only: register
+ *  files legitimately hold e.g. execute-permission code caps). */
+void
+checkRegCap(Report &r, const Process &proc, const char *where,
+            const Capability &cap, const Capability &root)
+{
+    if (!cap.tag())
+        return;
+    ++r.capsChecked;
+    if (!representable(cap)) {
+        r.violations.push_back(
+            {"cap-representability",
+             fmt("pid %" PRIu64 " %s: %s", proc.pid(), where,
+                 cap.toString().c_str())});
+    }
+    if (isSealer(cap))
+        return;
+    if (cap.base() < root.base() || cap.top() > root.top()) {
+        r.violations.push_back(
+            {"cap-containment",
+             fmt("pid %" PRIu64 " %s: %s outside root %s", proc.pid(),
+                 where, cap.toString().c_str(),
+                 root.toString().c_str())});
+    }
+}
+
+void
+checkRegs(Report &r, const Process &proc, const char *ctx,
+          const ThreadRegs &regs, const Capability &root)
+{
+    checkRegCap(r, proc, fmt("%s pcc", ctx).c_str(), regs.pcc, root);
+    checkRegCap(r, proc, fmt("%s ddc", ctx).c_str(), regs.ddc, root);
+    for (unsigned i = 0; i < numCapRegs; ++i) {
+        checkRegCap(r, proc, fmt("%s c%u", ctx, i).c_str(), regs.c[i],
+                    root);
+    }
+}
+
+/** Rules 1-3 for every tagged capability resident in @p proc's
+ *  memory — including signal frames, which live on the stack. */
+void
+checkMemoryCaps(Report &r, const Process &proc)
+{
+    const AddressSpace &as = proc.as();
+    const Capability &root = as.rederivationRoot();
+    as.forEachTaggedCap([&](u64 va, const Capability &cap) {
+        ++r.capsChecked;
+        if (!representable(cap)) {
+            r.violations.push_back(
+                {"cap-representability",
+                 fmt("pid %" PRIu64 " mem @0x%" PRIx64 ": %s",
+                     proc.pid(), va, cap.toString().c_str())});
+            return;
+        }
+        if (isSealer(cap))
+            return;
+        bool contained = cap.base() >= root.base() &&
+                         cap.top() <= root.top() &&
+                         (cap.perms() & ~root.perms()) == 0;
+        if (!contained) {
+            r.violations.push_back(
+                {"cap-containment",
+                 fmt("pid %" PRIu64 " mem @0x%" PRIx64
+                     ": %s outside root",
+                     proc.pid(), va, cap.toString().c_str())});
+            return;
+        }
+        if (cap.sealed())
+            return; // CBuildCap round-trips unsealed patterns only
+        auto rebuilt = Capability::build(root, cap.withoutTag());
+        if (!rebuilt.ok() || !(rebuilt.value() == cap)) {
+            r.violations.push_back(
+                {"cap-derivation",
+                 fmt("pid %" PRIu64 " mem @0x%" PRIx64
+                     ": %s not rederivable from root",
+                     proc.pid(), va, cap.toString().c_str())});
+        }
+    });
+}
+
+} // namespace
+
+std::string
+Report::toString() const
+{
+    std::string out;
+    for (const Violation &v : violations) {
+        out += v.rule;
+        out += ": ";
+        out += v.detail;
+        out += "\n";
+    }
+    if (violations.empty())
+        out = "ok\n";
+    return out;
+}
+
+Report
+Invariants::check(Kernel &kern)
+{
+    Report r;
+
+    std::unordered_map<const Frame *, FrameUse> frames;
+    std::unordered_map<u64, u64> slotRefs; // slot -> PTEs naming it
+
+    kern.forEachProcess([&](const Process &proc) {
+        ++r.processes;
+        const Capability &root = proc.as().rederivationRoot();
+
+        // Capability state: current register file, switched-out thread
+        // contexts, and the startup capability slots (Figure 1).
+        checkRegs(r, proc, "regs", proc.regs(), root);
+        proc.forEachThread([&](const ThreadRecord &t) {
+            checkRegs(r, proc, fmt("tid %" PRIu64, t.tid).c_str(),
+                      t.saved, root);
+            checkRegCap(r, proc, fmt("tid %" PRIu64 " stack", t.tid).c_str(),
+                        t.stackCap, root);
+        });
+        checkRegCap(r, proc, "stackCap", proc.stackCap, root);
+        checkRegCap(r, proc, "argvCap", proc.argvCap, root);
+        checkRegCap(r, proc, "envvCap", proc.envvCap, root);
+        checkRegCap(r, proc, "auxvCap", proc.auxvCap, root);
+        checkRegCap(r, proc, "trampolineCap", proc.trampolineCap, root);
+
+        checkMemoryCaps(r, proc);
+
+        // Page tables: frame ownership and swap references.
+        proc.as().forEachPte([&](const AddressSpace::PteView &pte) {
+            ++r.pagesChecked;
+            if (pte.frame && pte.swapped) {
+                r.violations.push_back(
+                    {"pte-resident-and-swapped",
+                     fmt("pid %" PRIu64 " va 0x%" PRIx64
+                         " holds both a frame and slot %" PRIu64,
+                         proc.pid(), pte.va, pte.swapSlot)});
+            }
+            if (pte.frame) {
+                FrameUse &u = frames[pte.frame];
+                ++u.pteUsers;
+                if (!pte.cow && !pte.shared)
+                    ++u.exclusiveUsers;
+                u.observedRefs = pte.frameRefs;
+            } else if (pte.swapped) {
+                ++slotRefs[pte.swapSlot];
+            }
+        });
+    });
+
+    // SysV segments pin their frames independently of any mapping.
+    kern.forEachShmFrame([&](const FrameRef &f) {
+        FrameUse &u = frames[f.get()];
+        ++u.shmHolds;
+        u.observedRefs = f.use_count();
+    });
+
+    // Rule 4: frame ownership.
+    for (const auto &[frame, use] : frames) {
+        ++r.framesChecked;
+        u64 holders = use.pteUsers + use.shmHolds;
+        if (holders > 1 && use.exclusiveUsers > 0) {
+            r.violations.push_back(
+                {"frame-aliased-exclusively",
+                 fmt("frame %p: %" PRIu64 " holders but %" PRIu64
+                     " non-COW non-shared PTEs",
+                     static_cast<const void *>(frame), holders,
+                     use.exclusiveUsers)});
+        }
+        if (use.observedRefs != static_cast<long>(holders)) {
+            r.violations.push_back(
+                {"frame-refcount",
+                 fmt("frame %p: use_count %ld but %" PRIu64
+                     " holders visible",
+                     static_cast<const void *>(frame), use.observedRefs,
+                     holders)});
+        }
+    }
+    if (frames.size() != kern.physMem().liveFrames()) {
+        r.violations.push_back(
+            {"frame-live-count",
+             fmt("page tables + shm reference %zu frames, PhysMem "
+                 "reports %" PRIu64 " live",
+                 frames.size(), kern.physMem().liveFrames())});
+    }
+
+    // Rule 5: swap accounting, from both directions.
+    const SwapDevice &swap = kern.swapDevice();
+    for (const auto &[slot, refs] : slotRefs) {
+        ++r.slotsChecked;
+        u64 devRefs = swap.slotRefs(slot);
+        if (devRefs != refs) {
+            r.violations.push_back(
+                {"slot-refcount",
+                 fmt("slot %" PRIu64 ": device refcount %" PRIu64
+                     " but %" PRIu64 " PTEs reference it",
+                     slot, devRefs, refs)});
+        }
+    }
+    swap.forEachSlot([&](u64 slot, u64 refs) {
+        if (slotRefs.find(slot) == slotRefs.end()) {
+            r.violations.push_back(
+                {"slot-leaked",
+                 fmt("slot %" PRIu64 " occupied (refs %" PRIu64
+                     ") but no PTE references it",
+                     slot, refs)});
+        }
+    });
+
+    // Rule 6: the Metrics mirror must agree with the kernel's own
+    // accounting, and cause counters with the recorded fault log.
+    if (obs::Metrics *m = kern.metrics()) {
+        const obs::PressureCounters &mp = m->pressure();
+        const Kernel::MemPressureStats &kp = kern.memPressure();
+        if (mp.reclaimPasses != kp.reclaimPasses ||
+            mp.pagesReclaimed != kp.pagesReclaimed ||
+            mp.oomKills != kp.oomKills ||
+            mp.enomemErrors != kp.enomemErrors) {
+            r.violations.push_back(
+                {"metrics-pressure-mirror",
+                 fmt("metrics (%" PRIu64 "/%" PRIu64 "/%" PRIu64
+                     "/%" PRIu64 ") != kernel (%" PRIu64 "/%" PRIu64
+                     "/%" PRIu64 "/%" PRIu64 ")",
+                     mp.reclaimPasses, mp.pagesReclaimed, mp.oomKills,
+                     mp.enomemErrors, kp.reclaimPasses,
+                     kp.pagesReclaimed, kp.oomKills, kp.enomemErrors)});
+        }
+        std::array<u64, numCapFaults> logged{};
+        for (const obs::FaultRecord &f : m->faults())
+            ++logged[static_cast<unsigned>(f.cause)];
+        for (unsigned c = 0; c < numCapFaults; ++c) {
+            // The record log is capped; counters must dominate it.
+            if (m->faultCount(static_cast<CapFault>(c)) < logged[c]) {
+                r.violations.push_back(
+                    {"metrics-fault-mirror",
+                     fmt("cause %s: counter %" PRIu64
+                         " < %" PRIu64 " recorded faults",
+                         std::string(
+                             capFaultName(static_cast<CapFault>(c)))
+                             .c_str(),
+                         m->faultCount(static_cast<CapFault>(c)),
+                         logged[c])});
+            }
+        }
+        m->recordOracleRun(r.violations.size());
+    }
+
+    return r;
+}
+
+} // namespace cheri::check

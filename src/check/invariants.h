@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Whole-system invariant oracle.
+ *
+ * Invariants::check recomputes, from first principles, the global
+ * properties the kernel is supposed to maintain across any interleaving
+ * of syscalls, faults, COW traffic, and paging, and reports every
+ * discrepancy.  It is designed to be invoked at any syscall or trap
+ * boundary (see Kernel::setCheckHook) — the points where the system is
+ * quiescent — and is read-only: it never walks page tables (which would
+ * service faults and perturb LRU state), only inspects them.
+ *
+ * The invariant list (also documented in DESIGN.md, "Checking layer"):
+ *
+ *  1. Capability representability: every tagged capability — in
+ *     registers, thread contexts, startup slots, and tagged memory —
+ *     has bounds that CHERI-Concentrate re-decompression reproduces
+ *     exactly for its format.
+ *  2. Capability containment: every tagged data capability lies within
+ *     its process's rederivation root in bounds and (for memory caps)
+ *     permissions.  Sealing authorities (PERM_SEAL/PERM_UNSEAL) are
+ *     exempt: they cover otype space, not the address space.
+ *  3. Monotonic derivation: every tagged, unsealed memory capability
+ *     can be rebuilt verbatim from the process root via CBuildCap —
+ *     i.e. it could have been legitimately derived.
+ *  4. Frame ownership: a frame referenced by more than one holder
+ *     (PTE or SysV segment) is so only via COW or deliberate sharing;
+ *     shared_ptr use counts equal the holders the oracle can see; the
+ *     set of distinct frames equals PhysMem's live-frame count; no PTE
+ *     is simultaneously resident and swapped.
+ *  5. Swap accounting: each occupied slot's refcount equals the number
+ *     of PTEs naming it (no leaks, no dangling slot references), so
+ *     device occupancy equals the page tables' swapped-page footprint.
+ *  6. Metrics mirror: when a Metrics registry is attached, its
+ *     memory-pressure counters equal the kernel's own, and per-cause
+ *     fault counters are consistent with the recorded fault log.
+ *
+ * Documented deviation: a tagged capability may refer to a range that
+ * is no longer *mapped* — CheriABI provides spatial, not temporal,
+ * safety (revocation is an explicit sweep), so dangling capabilities
+ * are legal and the oracle checks root dominance, not liveness.
+ */
+
+#ifndef CHERI_CHECK_INVARIANTS_H
+#define CHERI_CHECK_INVARIANTS_H
+
+#include <string>
+#include <vector>
+
+#include "cap/types.h"
+
+namespace cheri
+{
+class Kernel;
+}
+
+namespace cheri::check
+{
+
+/** One invariant breach: which rule, and the evidence. */
+struct Violation
+{
+    /** Stable rule identifier, e.g. "cap-containment". */
+    std::string rule;
+    /** Human-readable evidence (process, address, counts). */
+    std::string detail;
+};
+
+/** Outcome of one oracle pass. */
+struct Report
+{
+    std::vector<Violation> violations;
+
+    /** @name Coverage counters (what the pass actually examined) */
+    /// @{
+    u64 processes = 0;
+    u64 capsChecked = 0;
+    u64 pagesChecked = 0;
+    u64 framesChecked = 0;
+    u64 slotsChecked = 0;
+    /// @}
+
+    bool ok() const { return violations.empty(); }
+
+    /** Multi-line rendering: one "rule: detail" line per violation. */
+    std::string toString() const;
+};
+
+class Invariants
+{
+  public:
+    /**
+     * Run every check against @p kern's current state.  Records one
+     * oracle run (with the violation count) in the kernel's Metrics
+     * registry when one is attached.
+     */
+    static Report check(Kernel &kern);
+};
+
+} // namespace cheri::check
+
+#endif // CHERI_CHECK_INVARIANTS_H

@@ -110,6 +110,29 @@ class SwapDevice
     /** Slots currently occupied. */
     u64 usedSlots() const { return slots.size(); }
 
+    /** @name Checking-layer introspection (src/check)
+     * Read-only views of the slot table so the invariant oracle can
+     * compare device refcounts against the page-table ground truth
+     * (each slot's refs must equal the number of PTEs naming it).
+     */
+    /// @{
+    /** Reference count of @p slot; 0 when the slot is unoccupied. */
+    u64
+    slotRefs(u64 slot) const
+    {
+        auto it = slots.find(slot);
+        return it == slots.end() ? 0 : it->second.refs;
+    }
+
+    /** Visit every occupied slot as (slot id, refcount). */
+    void
+    forEachSlot(const std::function<void(u64, u64)> &fn) const
+    {
+        for (const auto &[id, s] : slots)
+            fn(id, s.refs);
+    }
+    /// @}
+
     /** Total swap-out operations performed. */
     u64 totalSwapOuts() const { return swapOuts; }
 

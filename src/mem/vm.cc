@@ -652,6 +652,24 @@ AddressSpace::residentPages() const
 }
 
 void
+AddressSpace::forEachPte(
+    const std::function<void(const PteView &)> &fn) const
+{
+    for (const auto &[va, pte] : pages) {
+        PteView v;
+        v.va = va;
+        v.prot = pte.prot;
+        v.cow = pte.cow;
+        v.shared = pte.shared;
+        v.swapped = pte.swapped;
+        v.swapSlot = pte.swapped ? pte.swapSlot : 0;
+        v.frame = pte.frame.get();
+        v.frameRefs = pte.frame ? pte.frame.use_count() : 0;
+        fn(v);
+    }
+}
+
+void
 AddressSpace::forEachTaggedCap(
     const std::function<void(u64, const Capability &)> &fn) const
 {

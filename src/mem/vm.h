@@ -283,6 +283,29 @@ class AddressSpace
     /** Resident (frame-backed) page count. */
     u64 residentPages() const;
 
+    /**
+     * Read-only view of one page-table entry for the checking layer
+     * (src/check): enough state to recompute frame ownership and
+     * swap-slot refcounts from the page tables without walking (and
+     * therefore without perturbing LRU state or servicing faults).
+     */
+    struct PteView
+    {
+        u64 va = 0;
+        u32 prot = PROT_NONE;
+        bool cow = false;
+        bool shared = false;
+        bool swapped = false;
+        u64 swapSlot = 0;
+        /** Backing frame; null when not resident. */
+        const Frame *frame = nullptr;
+        /** shared_ptr owner count of the frame (0 when not resident). */
+        long frameRefs = 0;
+    };
+
+    /** Visit every page-table entry without touching walk state. */
+    void forEachPte(const std::function<void(const PteView &)> &fn) const;
+
     /** Total tagged granules across resident pages (trace support). */
     u64 taggedGranules() const;
 

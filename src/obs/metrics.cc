@@ -135,6 +135,7 @@ Metrics::reset()
     faultsDropped = 0;
     faultsByCause = {};
     mem = {};
+    chk = {};
     costs.clear();
     deriveCounts = {};
     provenance.clear();
@@ -175,7 +176,7 @@ Metrics::toJson() const
 {
     JsonWriter w;
     w.beginObject();
-    w.key("schema").value(std::string_view("cheri.metrics.v3"));
+    w.key("schema").value(std::string_view("cheri.metrics.v4"));
 
     w.key("syscalls").beginArray();
     for (Abi abi : allAbis) {
@@ -277,6 +278,14 @@ Metrics::toJson() const
     w.key("pages_reclaimed").value(mem.pagesReclaimed);
     w.key("oom_kills").value(mem.oomKills);
     w.key("enomem").value(mem.enomemErrors);
+    w.endObject();
+
+    // Checking-layer counters (v4 schema addition).
+    w.key("check").beginObject();
+    w.key("oracle_runs").value(chk.oracleRuns);
+    w.key("oracle_violations").value(chk.oracleViolations);
+    w.key("fuzz_cases").value(chk.fuzzCases);
+    w.key("fuzz_divergences").value(chk.fuzzDivergences);
     w.endObject();
 
     w.key("derives").beginObject();

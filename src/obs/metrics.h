@@ -111,6 +111,16 @@ struct PressureCounters
     u64 enomemErrors = 0;   ///< syscalls failed with ENOMEM
 };
 
+/** Checking-layer telemetry (src/check): oracle runs and fuzzer
+ *  progress, exported in the "check" section of the v4 schema. */
+struct CheckCounters
+{
+    u64 oracleRuns = 0;       ///< Invariants::check invocations
+    u64 oracleViolations = 0; ///< violations across all runs
+    u64 fuzzCases = 0;        ///< differential cases executed
+    u64 fuzzDivergences = 0;  ///< cases whose ABI runs diverged
+};
+
 /** Labelled snapshot of a process's cost model and cache counters. */
 struct CostSnapshot
 {
@@ -202,6 +212,24 @@ class Metrics : public TraceSink
     const PressureCounters &pressure() const { return mem; }
     /// @}
 
+    /** @name Checking-layer telemetry (fed by src/check) */
+    /// @{
+    void
+    recordOracleRun(u64 violations)
+    {
+        ++chk.oracleRuns;
+        chk.oracleViolations += violations;
+    }
+    void
+    recordFuzzCase(bool diverged)
+    {
+        ++chk.fuzzCases;
+        if (diverged)
+            ++chk.fuzzDivergences;
+    }
+    const CheckCounters &check() const { return chk; }
+    /// @}
+
     /** @name Cost-model export */
     /// @{
     void captureCost(std::string label, const CostModel &cost);
@@ -253,6 +281,7 @@ class Metrics : public TraceSink
     u64 faultsDropped = 0;
     std::array<u64, numCapFaults> faultsByCause{};
     PressureCounters mem;
+    CheckCounters chk;
     std::vector<CostSnapshot> costs;
     std::array<u64, numDeriveSources> deriveCounts{};
     /** (base, length) of tagged capabilities seen at derive sites. */

@@ -204,6 +204,12 @@ Kernel::dispatch(Process &proc, u64 code)
                           proc.cost().cycles() - cycles0, res.failed());
         mx->clearCurrentSyscall();
     }
+
+    // Checking layer: the syscall boundary is where whole-system
+    // invariants must hold, so the oracle hook runs after the result
+    // has been fully materialized in the register file.
+    if (checkHook)
+        checkHook(proc, code);
     return res;
 }
 

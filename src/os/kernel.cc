@@ -196,6 +196,22 @@ Kernel::findProcess(u64 pid)
     return it == procs.end() ? nullptr : it->second.get();
 }
 
+void
+Kernel::forEachProcess(const std::function<void(const Process &)> &fn) const
+{
+    for (const auto &[pid, p] : procs)
+        fn(*p);
+}
+
+void
+Kernel::forEachShmFrame(
+    const std::function<void(const FrameRef &)> &fn) const
+{
+    for (const auto &[id, seg] : shmSegments)
+        for (const auto &frame : seg.frames)
+            fn(frame);
+}
+
 SysResult
 Kernel::wait4(Process &parent, u64 pid)
 {

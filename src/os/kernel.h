@@ -18,6 +18,7 @@
 #define CHERI_OS_KERNEL_H
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -393,6 +394,24 @@ class Kernel
     /** Fresh abstract principal id (never reused). */
     u64 newPrincipal() { return nextPrincipal++; }
 
+    /** @name Checking-layer hooks (src/check)
+     * forEachProcess and forEachShmFrame expose the kernel's ownership
+     * ground truth — live processes and the frames pinned by System V
+     * segments — so the invariant oracle can recompute frame and
+     * swap-slot accounting from first principles.  The check hook
+     * (nullable) runs at the end of every dispatch(): the syscall
+     * boundary, where the system is quiescent and global invariants
+     * must hold.
+     */
+    /// @{
+    void forEachProcess(
+        const std::function<void(const Process &)> &fn) const;
+    void forEachShmFrame(
+        const std::function<void(const FrameRef &)> &fn) const;
+    using CheckHook = std::function<void(Process &proc, u64 code)>;
+    void setCheckHook(CheckHook hook) { checkHook = std::move(hook); }
+    /// @}
+
   private:
     struct ShmSegment
     {
@@ -423,8 +442,13 @@ class Kernel
 
     void setupStack(Process &proc, const std::vector<std::string> &argv,
                     const std::vector<std::string> &envv);
-    void pushSigFrame(Process &proc, SigFrame &frame);
-    void popSigFrame(Process &proc, const SigFrame &frame);
+    /** Spill/restore the register file to/from a signal frame on the
+     *  user stack.  Fallible: the stack page's swap-in or demand-zero
+     *  frame allocation can fail under pressure, in which case the
+     *  process takes a counted guest fault (never a host abort) and
+     *  these return false with the process dead. */
+    bool pushSigFrame(Process &proc, SigFrame &frame);
+    bool popSigFrame(Process &proc, const SigFrame &frame);
 
     KernelConfig cfg;
     PhysMem phys;
@@ -435,6 +459,7 @@ class Kernel
     Rtld linker;
     TraceSink *traceSink = nullptr;
     obs::Metrics *mx = nullptr;
+    CheckHook checkHook;
     std::map<u64, std::unique_ptr<Process>> procs;
     std::map<int, ShmSegment> shmSegments;
     std::map<u64, std::vector<KEvent>> kqueues; // by pid

@@ -13,6 +13,7 @@
 #ifndef CHERI_OS_PROCESS_H
 #define CHERI_OS_PROCESS_H
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -89,6 +90,16 @@ class Process
     u64 currentTid() const { return curThread; }
     u64 threadCount() const;
     ThreadRecord *threadById(u64 tid);
+    /** Visit every thread record (live and exited) read-only — the
+     *  checking layer audits saved register files of switched-out
+     *  threads, which hold tagged capabilities the kernel must have
+     *  preserved intact. */
+    void
+    forEachThread(const std::function<void(const ThreadRecord &)> &fn) const
+    {
+        for (const auto &t : threads)
+            fn(t);
+    }
     /// @}
 
     /** Per-process execution cost counters (per-ABI). */

@@ -13,7 +13,7 @@
 
 #include "os/kernel.h"
 
-#include <cassert>
+#include "obs/metrics.h"
 
 namespace cheri
 {
@@ -36,6 +36,27 @@ defaultTerminates(int sig)
 
 /** Frame slots: signo, faultAddr, cause, then pcc, ddc, c[0..31]. */
 constexpr u64 numFrameCaps = 2 + numCapRegs;
+
+/** A signal frame that cannot be spilled or restored (the stack page's
+ *  swap-in failed, or frame allocation was exhausted) is a guest fault,
+ *  never a host abort: record it and kill the process with the precise
+ *  cause.  Delivery dies directly rather than re-entering the SIG_PROT
+ *  path — a recursive delivery would need the same unwritable stack. */
+void
+sigFrameFault(obs::Metrics *mx, Process &proc, int sig, u64 va,
+              CapFault cause, const char *what)
+{
+    if (mx) {
+        mx->recordFault(cause, proc.regs().pcc.address(), va, nullptr,
+                        proc.abi());
+    }
+    DeathInfo di;
+    di.signal = sig ? sig : SIG_PROT;
+    di.fault = cause;
+    di.faultAddr = va;
+    di.detail = what;
+    proc.die(di);
+}
 
 } // namespace
 
@@ -81,7 +102,7 @@ Kernel::sysSigprocmask(Process &proc, u64 block, u64 unblock)
     return SysResult::ok();
 }
 
-void
+bool
 Kernel::pushSigFrame(Process &proc, SigFrame &frame)
 {
     const bool cheri = proc.abi() == Abi::CheriAbi;
@@ -95,26 +116,30 @@ Kernel::pushSigFrame(Process &proc, SigFrame &frame)
 
     u64 hdr[3] = {static_cast<u64>(frame.signo), frame.faultAddr,
                   static_cast<u64>(frame.faultCause)};
-    mustSucceed(proc.mem().write(va, hdr, sizeof(hdr)));
+    CapCheck err = proc.mem().write(va, hdr, sizeof(hdr));
 
-    auto store_slot = [&](u64 idx, const Capability &cap) {
+    auto store_slot = [&](u64 idx, const Capability &cap) -> CapCheck {
         u64 at = va + header + idx * slot;
-        if (cheri) {
-            mustSucceed(proc.mem().writeCap(at, cap));
-        } else {
-            u64 a = cap.address();
-            mustSucceed(proc.mem().write(at, &a, 8));
-        }
+        if (cheri)
+            return proc.mem().writeCap(at, cap);
+        u64 a = cap.address();
+        return proc.mem().write(at, &a, 8);
     };
     const ThreadRegs &regs = proc.regs();
-    store_slot(0, regs.pcc);
-    store_slot(1, regs.ddc);
-    for (unsigned i = 0; i < numCapRegs; ++i)
-        store_slot(2 + i, regs.c[i]);
-    if (!cheri) {
+    if (!err)
+        err = store_slot(0, regs.pcc);
+    if (!err)
+        err = store_slot(1, regs.ddc);
+    for (unsigned i = 0; i < numCapRegs && !err; ++i)
+        err = store_slot(2 + i, regs.c[i]);
+    if (!cheri && !err) {
         u64 xbase = va + header + numFrameCaps * 8;
-        mustSucceed(proc.mem().write(xbase, regs.x.data(),
-                                     numCapRegs * 8));
+        err = proc.mem().write(xbase, regs.x.data(), numCapRegs * 8);
+    }
+    if (err) {
+        sigFrameFault(mx, proc, frame.signo, va, *err,
+                      "signal frame spill failed");
+        return false;
     }
     frame.saved = regs;
     // Cost: trap entry plus spilling the (ABI-width) register file.
@@ -125,9 +150,10 @@ Kernel::pushSigFrame(Process &proc, SigFrame &frame)
     // through the tightly bounded trampoline capability.
     proc.regs().stack() = proc.regs().stack().setAddress(va);
     proc.regs().c[regLink] = proc.trampolineCap;
+    return true;
 }
 
-void
+bool
 Kernel::popSigFrame(Process &proc, const SigFrame &frame)
 {
     const bool cheri = proc.abi() == Abi::CheriAbi;
@@ -136,15 +162,25 @@ Kernel::popSigFrame(Process &proc, const SigFrame &frame)
     u64 va = frame.frameVa;
     ThreadRegs regs = proc.regs();
 
+    CapFault fail = CapFault::None;
     auto load_slot = [&](u64 idx) -> Capability {
         u64 at = va + header + idx * slot;
         if (cheri) {
             Result<Capability> r = proc.mem().readCap(at);
-            assert(r.ok());
+            if (!r.ok()) {
+                if (fail == CapFault::None)
+                    fail = r.fault();
+                return Capability();
+            }
             return r.value();
         }
         u64 a = 0;
-        mustSucceed(proc.mem().read(at, &a, 8));
+        CapCheck chk = proc.mem().read(at, &a, 8);
+        if (chk) {
+            if (fail == CapFault::None)
+                fail = *chk;
+            return Capability();
+        }
         return Capability::fromAddress(a);
     };
     if (cheri) {
@@ -157,15 +193,24 @@ Kernel::popSigFrame(Process &proc, const SigFrame &frame)
         regs.pcc = frame.saved.pcc;
         regs.ddc = frame.saved.ddc;
     }
-    for (unsigned i = 0; i < numCapRegs; ++i)
+    for (unsigned i = 0; i < numCapRegs && fail == CapFault::None; ++i)
         regs.c[i] = load_slot(2 + i);
-    if (!cheri) {
-        u64 xbase = va + header + numFrameCaps * 8;
-        mustSucceed(proc.mem().read(xbase, regs.x.data(),
-                                    numCapRegs * 8));
+    if (!cheri && fail == CapFault::None) {
+        CapCheck chk = proc.mem().read(va + header + numFrameCaps * 8,
+                                       regs.x.data(), numCapRegs * 8);
+        if (chk)
+            fail = *chk;
+    }
+    if (fail != CapFault::None) {
+        // Registers stay untouched: a half-restored file would be
+        // unobservable anyway, the process is dead on return.
+        sigFrameFault(mx, proc, frame.signo, va, fail,
+                      "signal frame restore failed");
+        return false;
     }
     proc.regs() = regs;
     proc.cost().copyLoop(va, 0x7f0000000, header + numFrameCaps * slot);
+    return true;
 }
 
 u64
@@ -195,9 +240,11 @@ Kernel::deliverSignals(Process &proc)
                 continue;
             SigFrame frame;
             frame.signo = sig;
-            pushSigFrame(proc, frame);
+            if (!pushSigFrame(proc, frame))
+                break; // spill faulted; the process is dead
             (*fn)(proc, frame);
-            popSigFrame(proc, frame);
+            if (!popSigFrame(proc, frame))
+                break;
             ++delivered;
             break;
           }

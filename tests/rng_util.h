@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared helpers for seeded randomized tests.
+ *
+ * Every randomized test in the suite draws its std::mt19937_64 seed
+ * from a test parameter or the environment — never the clock — so any
+ * failure is reproducible from the log.  Two pieces are standardized
+ * here:
+ *
+ *  - seedsFromEnv(): parameterize a test's seed corpus via an env var
+ *    holding a comma-separated list, e.g.
+ *
+ *        CHERI_TEST_STRESS_SEEDS=3,17,9001 ctest -R Stress
+ *
+ *    Each seed becomes its own ctest case through
+ *    INSTANTIATE_TEST_SUITE_P + ValuesIn, so CI can widen or pin the
+ *    corpus without a rebuild.  Without the variable the default
+ *    corpus is 0..count-1, matching the historical Range() corpora.
+ *
+ *  - CHERI_TRACE_SEED(): SCOPED_TRACE the seed (and the reproduction
+ *    recipe when the corpus is env-driven) so every assertion failure
+ *    inside the test body prints how to re-run exactly that case.
+ */
+
+#ifndef CHERI_TESTS_RNG_UTIL_H
+#define CHERI_TESTS_RNG_UTIL_H
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace cheri::test
+{
+
+/** Parse @p var as a comma-separated seed list; empty or unset yields
+ *  the default corpus {0, 1, ..., dflt_count-1}. */
+inline std::vector<unsigned>
+seedsFromEnv(const char *var, unsigned dflt_count)
+{
+    std::vector<unsigned> seeds;
+    if (const char *v = std::getenv(var); v && *v) {
+        const char *p = v;
+        while (*p) {
+            char *end = nullptr;
+            unsigned long s = std::strtoul(p, &end, 0);
+            if (end == p)
+                break; // malformed tail: keep what parsed cleanly
+            seeds.push_back(static_cast<unsigned>(s));
+            p = *end == ',' ? end + 1 : end;
+        }
+    }
+    if (seeds.empty()) {
+        for (unsigned i = 0; i < dflt_count; ++i)
+            seeds.push_back(i);
+    }
+    return seeds;
+}
+
+/** Failure annotation: the seed, plus the env-var recipe to re-run
+ *  just this case when @p env_var is non-null. */
+inline std::string
+seedTraceMessage(unsigned long long seed, const char *env_var)
+{
+    std::string msg = "rng seed " + std::to_string(seed);
+    if (env_var && *env_var) {
+        msg += " (reproduce: ";
+        msg += env_var;
+        msg += "=" + std::to_string(seed) + ")";
+    }
+    return msg;
+}
+
+} // namespace cheri::test
+
+/** SCOPED_TRACE the seed for the enclosing scope; @p env_var (nullable)
+ *  names the variable that pins the seed corpus. */
+#define CHERI_TRACE_SEED(seed, env_var) \
+    SCOPED_TRACE(::cheri::test::seedTraceMessage((seed), (env_var)))
+
+#endif // CHERI_TESTS_RNG_UTIL_H

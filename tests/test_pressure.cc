@@ -15,8 +15,10 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <random>
 
 #include "obs/metrics.h"
+#include "rng_util.h"
 #include "test_util.h"
 
 namespace cheri
@@ -292,6 +294,159 @@ TEST_F(PressureTest, ForkWhileSwappedSharesSlotsWithoutLoss)
         << "shared slots must be released once both sides resolve";
 }
 
+// PR 3 regression, now with the failure path exercised: fork shares
+// swap slots by refcount, and a child's *failed* swap-in must leave the
+// shared slot fully intact for both sides to retry.
+TEST_F(PressureTest, ForkWhileSwappedSlotSharingSurvivesSwapInFault)
+{
+    u64 baseline = kern().swapDevice().usedSlots();
+    GuestPtr buf = ctx().mmap(2 * pageSize);
+    ctx().store<u64>(buf, 0, 41);
+    ctx().store<u64>(buf, static_cast<s64>(pageSize), 42);
+    u64 page0 = buf.addr() & ~(pageSize - 1);
+    ASSERT_TRUE(proc().as().swapOutPage(page0));
+    ASSERT_TRUE(proc().as().swapOutPage(page0 + pageSize));
+    ASSERT_EQ(kern().swapDevice().usedSlots(), baseline + 2);
+
+    Process *child = kern().fork(proc());
+    ASSERT_NE(child, nullptr);
+    auto countShared = [&] {
+        u64 n = 0;
+        kern().swapDevice().forEachSlot([&](u64, u64 refs) {
+            if (refs == 2)
+                ++n;
+        });
+        return n;
+    };
+    EXPECT_EQ(countShared(), 2u)
+        << "fork must share the slots (refcount 2), not steal them";
+
+    GuestContext cctx(kern(), *child);
+    inj().failAfter(FaultPoint::SwapIn, 1);
+    EXPECT_THROW(cctx.load<u64>(buf), CapTrap);
+    EXPECT_EQ(child->as().lastWalkFault(), CapFault::SwapInFailure);
+    EXPECT_EQ(countShared(), 2u)
+        << "a failed swap-in must not drop either side's slot reference";
+
+    EXPECT_EQ(cctx.load<u64>(buf), 41u);
+    EXPECT_EQ(cctx.load<u64>(buf, static_cast<s64>(pageSize)), 42u);
+    EXPECT_EQ(ctx().load<u64>(buf), 41u);
+    EXPECT_EQ(ctx().load<u64>(buf, static_cast<s64>(pageSize)), 42u);
+    kern().exitProcess(*child, 0);
+    ASSERT_EQ(kern().wait4(proc(), child->pid()).error, E_OK);
+    EXPECT_EQ(kern().swapDevice().usedSlots(), baseline);
+}
+
+// PR 3 regression: installFrame (the shmat mechanism) over a page that
+// is currently swapped out must release the orphaned device slot.
+TEST_F(PressureTest, InstallFrameOverSwappedPageReleasesItsSlot)
+{
+    u64 baseline = kern().swapDevice().usedSlots();
+    GuestPtr buf = ctx().mmap(pageSize);
+    ctx().store<u64>(buf, 0, 7);
+    u64 page0 = buf.addr() & ~(pageSize - 1);
+    ASSERT_TRUE(proc().as().swapOutPage(page0));
+    ASSERT_EQ(kern().swapDevice().usedSlots(), baseline + 1);
+
+    FrameRef shared = kern().physMem().allocFrame();
+    ASSERT_TRUE(shared);
+    ASSERT_TRUE(proc().as().installFrame(page0, shared));
+    EXPECT_EQ(kern().swapDevice().usedSlots(), baseline)
+        << "the replaced page's swap slot must not leak";
+    // The page now reads through the shared frame (demand-zero).
+    EXPECT_EQ(ctx().load<u64>(buf), 0u);
+}
+
+// Satellite of the fallible-signal-frame change: a handler whose frame
+// spill lands on a swapped-out stack page whose swap-in fails must
+// produce a counted guest fault and kill the process — never reach the
+// handler, never abort the host.
+TEST_F(PressureTest, SignalFrameSpillSwapInFailureIsCountedGuestFault)
+{
+    obs::Metrics m;
+    kern().setMetrics(&m);
+    bool handler_ran = false;
+    u64 hid = proc().registerHandler(
+        [&](Process &, SigFrame &) { handler_ran = true; });
+    kern().sysSigaction(proc(), SIG_USR1,
+                        {SigAction::Kind::Handler, hid});
+
+    // The frame lands just below the stack pointer; evict every page it
+    // can touch so the spill's first write needs a swap-in.
+    u64 sp = proc().regs().stack().address();
+    u64 lo = (sp - 1024) & ~(pageSize - 1);
+    u64 evicted = 0;
+    for (u64 va = lo; va < sp; va += pageSize)
+        evicted += proc().as().swapOutPage(va) ? 1 : 0;
+    ASSERT_GE(evicted, 1u);
+
+    inj().failAfter(FaultPoint::SwapIn, 1);
+    proc().raiseSignal(SIG_USR1);
+    EXPECT_EQ(kern().deliverSignals(proc()), 0u);
+
+    EXPECT_FALSE(handler_ran)
+        << "the handler must not run on a frame that could not spill";
+    ASSERT_TRUE(proc().exited());
+    ASSERT_TRUE(proc().death().has_value());
+    EXPECT_EQ(proc().death()->fault, CapFault::SwapInFailure);
+    EXPECT_EQ(proc().death()->signal, SIG_USR1);
+    EXPECT_GE(m.faultCount(CapFault::SwapInFailure), 1u)
+        << "the spill failure must be a *counted* guest fault";
+    kern().setMetrics(nullptr);
+}
+
+// --- randomized slot accounting (seeded; corpus via env) -----------------
+
+class PressureRandom : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PressureRandom, RandomSwapTrafficKeepsSlotAccounting)
+{
+    CHERI_TRACE_SEED(GetParam(), "CHERI_TEST_PRESSURE_SEEDS");
+    std::mt19937_64 rng(GetParam());
+    GuestSystem sys(Abi::CheriAbi);
+    GuestContext &ctx = *sys.ctx;
+    u64 baseline = sys.kern.swapDevice().usedSlots();
+
+    const u64 pages = 8;
+    GuestPtr buf = ctx.mmap(pages * pageSize);
+    u64 page0 = buf.addr() & ~(pageSize - 1);
+    std::vector<u64> shadow(pages, 0);
+    for (int step = 0; step < 200; ++step) {
+        u64 p = rng() % pages;
+        switch (rng() % 3) {
+          case 0: {
+            u64 v = rng();
+            ctx.store<u64>(buf, static_cast<s64>(p * pageSize), v);
+            shadow[p] = v;
+            break;
+          }
+          case 1:
+            sys.proc->as().swapOutPage(page0 + p * pageSize);
+            break;
+          case 2:
+            ASSERT_EQ(ctx.load<u64>(buf,
+                                    static_cast<s64>(p * pageSize)),
+                      shadow[p]);
+            break;
+        }
+        // Every device slot must be referenced by exactly the PTEs
+        // that name it — a slot can never outlive or outnumber them.
+        ASSERT_LE(sys.kern.swapDevice().usedSlots(), baseline + pages);
+    }
+    for (u64 p = 0; p < pages; ++p)
+        ASSERT_EQ(ctx.load<u64>(buf, static_cast<s64>(p * pageSize)),
+                  shadow[p]);
+    ASSERT_EQ(ctx.munmap(buf, pages * pageSize), E_OK);
+    EXPECT_EQ(sys.kern.swapDevice().usedSlots(), baseline);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, PressureRandom,
+    ::testing::ValuesIn(
+        test::seedsFromEnv("CHERI_TEST_PRESSURE_SEEDS", 4)));
+
 // --- observability -------------------------------------------------------
 
 TEST_F(PressureTest, MetricsExportMemoryPressureSection)
@@ -308,7 +463,7 @@ TEST_F(PressureTest, MetricsExportMemoryPressureSection)
               E_NOMEM);
     EXPECT_EQ(m.pressure().enomemErrors, 1u);
     std::string json = m.toJson();
-    EXPECT_NE(json.find("cheri.metrics.v3"), std::string::npos);
+    EXPECT_NE(json.find("cheri.metrics.v4"), std::string::npos);
     EXPECT_NE(json.find("\"memory\""), std::string::npos);
     EXPECT_NE(json.find("\"enomem\":1"), std::string::npos);
     m.reset();

@@ -12,6 +12,7 @@
 #include <random>
 
 #include "libc/malloc.h"
+#include "rng_util.h"
 #include "test_util.h"
 
 namespace cheri
@@ -31,6 +32,7 @@ class VmStress : public ::testing::TestWithParam<unsigned>
 
 TEST_P(VmStress, RandomOpsMatchReferenceModel)
 {
+    CHERI_TRACE_SEED(GetParam(), "CHERI_TEST_STRESS_SEEDS");
     std::mt19937_64 rng(GetParam());
     PhysMem phys;
     SwapDevice swap;
@@ -141,7 +143,12 @@ TEST_P(VmStress, RandomOpsMatchReferenceModel)
     }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, VmStress, ::testing::Range(0u, 8u));
+// The seed corpus defaults to 0..7 and is overridable without a
+// rebuild: CHERI_TEST_STRESS_SEEDS=3,17,9001 makes each listed seed
+// its own ctest case.
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, VmStress,
+    ::testing::ValuesIn(test::seedsFromEnv("CHERI_TEST_STRESS_SEEDS", 8)));
 
 // ---------------------------------------------------------------------
 // Allocator stress vs shadow contents
@@ -153,6 +160,7 @@ class MallocStress : public ::testing::TestWithParam<unsigned>
 
 TEST_P(MallocStress, RandomLifecyclesKeepContentsAndBounds)
 {
+    CHERI_TRACE_SEED(GetParam(), "CHERI_TEST_STRESS_SEEDS");
     std::mt19937_64 rng(GetParam());
     GuestSystem sys(Abi::CheriAbi);
     GuestContext &ctx = *sys.ctx;
@@ -241,7 +249,9 @@ TEST_P(MallocStress, RandomLifecyclesKeepContentsAndBounds)
         verify(s);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, MallocStress, ::testing::Range(0u, 6u));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, MallocStress,
+    ::testing::ValuesIn(test::seedsFromEnv("CHERI_TEST_STRESS_SEEDS", 6)));
 
 // ---------------------------------------------------------------------
 // Cross-feature interactions

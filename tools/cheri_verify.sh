@@ -27,4 +27,12 @@ CHERI_TEST_FRAME_BUDGET=48 CHERI_TEST_SLOT_BUDGET=128 \
 # Tighter-than-default budgets, still feasible: the 4x working set
 # needs at least (pages - frames) slots to complete.
 "$build_dir/bench/vm_micro" --json --check --frames 48 --slots 160
+# Differential ABI fuzzer + invariant oracle (src/check): a fixed-seed
+# corpus must show zero mips64/CheriABI divergences and zero oracle
+# violations, checked at every syscall boundary — first unconstrained,
+# then under small frame/slot budgets so the reclaim and swap paths are
+# exercised under the oracle too (abi_fuzz reads the budget env vars).
+"$build_dir/tools/abi_fuzz" --seed 1 --cases 50 --check-every 1
+CHERI_TEST_FRAME_BUDGET=48 CHERI_TEST_SLOT_BUDGET=128 \
+    "$build_dir/tools/abi_fuzz" --seed 1 --cases 50 --check-every 1
 echo "cheri_verify: all checks passed"
