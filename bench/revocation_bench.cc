@@ -1,77 +1,145 @@
 /**
  * @file
- * Temporal-safety prototype bench (paper section 6, "Temporal
- * safety"): the cost of quarantine + revocation sweeps as a function
- * of heap size, and the tag-preserving swap ablation.
+ * Revocation ablation bench (paper section 6, "Temporal safety").
+ *
+ * Three sweep strategies over the same workload — an arena where only
+ * a small fraction of pages ever took a capability store:
+ *
+ *  - full:        revoke2(SYNC|FORCE_FULL) — scan every content page,
+ *                 the CHERIvoke baseline;
+ *  - cap-dirty:   revoke2(SYNC) — scan only pages the VM layer marked
+ *                 cap-dirty at the store choke point;
+ *  - incremental: revoke2(INCREMENTAL) + polls — same page set, but
+ *                 amortized a bounded slice per call.
+ *
+ * --json emits machine-readable results; --check exits nonzero unless
+ * (a) the cap-dirty sweep visits at least 5x fewer granules than the
+ * full scan (the workload keeps under 20% of pages dirty), (b) every
+ * incremental slice stays within the configured page budget and the
+ * epoch still closes, and (c) all three strategies revoke exactly the
+ * planted capabilities.
+ *
+ * The tag-preserving-swap ablation from the original bench is kept at
+ * the end (human-readable output only).
  */
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
 
 #include "bench_util.h"
 #include "libc/revoke.h"
+#include "obs/json.h"
+#include "os/kernel.h"
 
 using namespace cheri;
 
 namespace
 {
 
-struct SweepPoint
+struct ModeResult
 {
-    u64 residentKiB;
-    u64 sweepCycles;
-    u64 revoked;
+    std::string mode;
+    u64 arenaPages = 0;
+    u64 dirtyPages = 0;
+    u64 contentPages = 0;
+    u64 pagesScanned = 0;
+    u64 pagesSkippedClean = 0;
+    u64 granulesVisited = 0;
+    u64 tagsRevoked = 0;
+    u64 cycles = 0;
+    u64 slices = 0;
+    u64 maxSlicePages = 0;
+    u64 sliceBudget = 0;
+    bool closed = false;
 };
 
-SweepPoint
-measureSweep(u64 live_bytes)
+ModeResult
+runMode(const char *mode, u64 arena_pages, u64 dirty_every,
+        u64 slice_budget)
 {
-    Kernel kern;
+    ModeResult r;
+    r.mode = mode;
+    r.arenaPages = arena_pages;
+    r.sliceBudget = slice_budget;
+
+    KernelConfig cfg;
+    cfg.revokeSliceBudget = slice_budget;
+    Kernel kern(cfg);
     SelfObject prog;
     prog.name = "revoke";
     Process *proc = kern.spawn(Abi::CheriAbi, "revoke");
     if (kern.execve(*proc, prog, {"revoke"}, {}) != E_OK)
         throw std::runtime_error("execve failed");
-    GuestContext ctx(kern, *proc);
-    RevokingMalloc heap(ctx, ~u64{0}); // manual sweeps only
-    // Populate a live heap laced with pointers, then free a slice.
-    std::vector<GuestPtr> rows;
-    for (u64 got = 0; got < live_bytes; got += 256) {
-        GuestPtr row = heap.malloc(256 - 16);
-        ctx.storePtr(row, 0, row); // self-pointer: tagged granule
-        rows.push_back(row);
+
+    // Arena: every page faulted in with plain data, but only every
+    // dirty_every-th page takes a capability store — through the
+    // MemAccess choke point, so exactly those pages become cap-dirty.
+    u64 len = arena_pages * pageSize;
+    u64 va = proc->as().map(0, len, PROT_READ | PROT_WRITE,
+                            MappingKind::Data, false, false, "arena");
+    if (va == 0)
+        throw std::runtime_error("arena map failed");
+    Capability arena =
+        proc->as().capForRange(va, len, PROT_READ | PROT_WRITE, false);
+    std::vector<std::pair<u64, u64>> quarantine;
+    for (u64 i = 0; i < arena_pages; ++i) {
+        u64 pva = va + i * pageSize;
+        u64 fill = pva * 2654435761u;
+        if (proc->as().writeBytes(pva, &fill, 8).has_value())
+            throw std::runtime_error("arena touch failed");
+        if (i % dirty_every == 0) {
+            auto bounded = arena.setAddress(pva).setBounds(64);
+            if (!bounded.ok() ||
+                proc->mem().writeCap(pva, bounded.value()).has_value())
+                throw std::runtime_error("arena cap store failed");
+            quarantine.emplace_back(pva, pva + pageSize);
+            ++r.dirtyPages;
+        }
     }
-    for (u64 i = 0; i < rows.size(); i += 8)
-        heap.free(rows[i]);
-    u64 before = proc->cost().cycles();
-    u64 revoked = heap.forceSweep();
-    SweepPoint p;
-    p.residentKiB = proc->as().residentPages() * pageSize / 1024;
-    p.sweepCycles = proc->cost().cycles() - before;
-    p.revoked = revoked;
-    return p;
+    r.contentPages = proc->as().contentPages();
+
+    u64 cycles0 = proc->cost().cycles();
+    if (!std::strcmp(mode, "incremental")) {
+        u64 before = kern.revocationStats().pagesScanned;
+        SysResult res =
+            kern.sysRevoke2(*proc, quarantine, REVOKE_INCREMENTAL);
+        u64 after = kern.revocationStats().pagesScanned;
+        r.maxSlicePages = after - before;
+        r.slices = 1;
+        // Poll-to-close: each call is one bounded slice, the shape a
+        // guest sees when the dispatch pump drains the epoch for it.
+        while (!res.failed() && res.value != 0 &&
+               r.slices < 4 * arena_pages + 64) {
+            before = after;
+            res = kern.sysRevoke2(*proc, {}, REVOKE_INCREMENTAL);
+            after = kern.revocationStats().pagesScanned;
+            r.maxSlicePages = std::max(r.maxSlicePages, after - before);
+            ++r.slices;
+        }
+        r.closed = !res.failed() && res.value == 0;
+        r.tagsRevoked = kern.revocationEpoch(proc->pid()).revoked;
+    } else {
+        u32 flags = REVOKE_SYNC;
+        if (!std::strcmp(mode, "full"))
+            flags |= REVOKE_FORCE_FULL;
+        SysResult res = kern.sysRevoke2(*proc, quarantine, flags);
+        r.closed = !res.failed();
+        r.tagsRevoked = res.failed() ? 0 : res.value;
+        r.slices = 1;
+        r.maxSlicePages = kern.revocationStats().pagesScanned;
+    }
+    r.cycles = proc->cost().cycles() - cycles0;
+    const Kernel::RevocationStats &st = kern.revocationStats();
+    r.pagesScanned = st.pagesScanned;
+    r.pagesSkippedClean = st.pagesSkippedClean;
+    r.granulesVisited = st.granulesVisited;
+    return r;
 }
 
-} // namespace
-
-int
-main()
+void
+swapAblation()
 {
-    bench::banner("Revocation sweep cost vs heap size");
-    std::printf("%12s %14s %10s %16s\n", "resident KiB", "sweep cycles",
-                "revoked", "cycles/KiB");
-    for (u64 live : {u64{64} << 10, u64{256} << 10, u64{1} << 20,
-                     u64{4} << 20}) {
-        SweepPoint p = measureSweep(live);
-        std::printf("%12lu %14lu %10lu %16.0f\n",
-                    static_cast<unsigned long>(p.residentKiB),
-                    static_cast<unsigned long>(p.sweepCycles),
-                    static_cast<unsigned long>(p.revoked),
-                    static_cast<double>(p.sweepCycles) /
-                        static_cast<double>(p.residentKiB));
-    }
-    bench::note("\nShape: sweep cost scales linearly with resident "
-                "memory (every\ncapability granule is loaded and "
-                "checked), amortized by the\nquarantine budget — the "
-                "CHERIvoke design the paper's future work\npoints at.");
-
     bench::banner("Ablation: tag-preserving swap vs naive swap");
     for (SwapPolicy policy :
          {SwapPolicy::PreserveTags, SwapPolicy::Naive}) {
@@ -110,5 +178,132 @@ main()
                         ? ""
                         : "   <- every swapped pointer died");
     }
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    bool check = false;
+    u64 slice_budget = 8;
+    u64 dirty_every = 8; // 12.5% of arena pages take cap stores
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--json"))
+            json = true;
+        else if (!std::strcmp(argv[i], "--check"))
+            check = true;
+        else if (!std::strcmp(argv[i], "--slice-budget") && i + 1 < argc)
+            slice_budget = std::strtoull(argv[++i], nullptr, 0);
+    }
+
+    constexpr const char *modes[] = {"full", "capdirty", "incremental"};
+    std::vector<ModeResult> results;
+    for (u64 arena : {u64{64}, u64{256}, u64{1024}}) {
+        for (const char *mode : modes)
+            results.push_back(
+                runMode(mode, arena, dirty_every, slice_budget));
+    }
+
+    if (json) {
+        obs::JsonWriter w;
+        w.beginObject();
+        w.key("schema").value(
+            std::string_view("cheri.revocation_bench.v1"));
+        w.key("slice_budget").value(slice_budget);
+        w.key("dirty_every").value(dirty_every);
+        w.key("runs").beginArray();
+        for (const ModeResult &r : results) {
+            w.beginObject();
+            w.key("mode").value(std::string_view(r.mode));
+            w.key("arena_pages").value(r.arenaPages);
+            w.key("dirty_pages").value(r.dirtyPages);
+            w.key("content_pages").value(r.contentPages);
+            w.key("pages_scanned").value(r.pagesScanned);
+            w.key("pages_skipped_clean").value(r.pagesSkippedClean);
+            w.key("granules_visited").value(r.granulesVisited);
+            w.key("tags_revoked").value(r.tagsRevoked);
+            w.key("cycles").value(r.cycles);
+            w.key("slices").value(r.slices);
+            w.key("max_slice_pages").value(r.maxSlicePages);
+            w.key("closed").value(r.closed);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        std::printf("%s\n", w.str().c_str());
+    } else {
+        bench::banner(
+            "Revocation ablation: full vs cap-dirty vs incremental");
+        std::printf("%6s %-12s %8s %8s %9s %10s %8s %7s %6s\n", "arena",
+                    "mode", "scanned", "skipped", "granules", "cycles",
+                    "revoked", "slices", "max/sl");
+        for (const ModeResult &r : results) {
+            std::printf("%6lu %-12s %8lu %8lu %9lu %10lu %8lu %7lu %6lu\n",
+                        static_cast<unsigned long>(r.arenaPages),
+                        r.mode.c_str(),
+                        static_cast<unsigned long>(r.pagesScanned),
+                        static_cast<unsigned long>(r.pagesSkippedClean),
+                        static_cast<unsigned long>(r.granulesVisited),
+                        static_cast<unsigned long>(r.cycles),
+                        static_cast<unsigned long>(r.tagsRevoked),
+                        static_cast<unsigned long>(r.slices),
+                        static_cast<unsigned long>(r.maxSlicePages));
+        }
+        bench::note(
+            "\nShape: full scans every content page; cap-dirty pays "
+            "only for\npages that ever took a capability store (the "
+            "sticky PTE bit);\nincremental covers the same pages a "
+            "bounded slice per call, so\nno single dispatch stalls on "
+            "the whole sweep.");
+        swapAblation();
+    }
+
+    if (!check)
+        return 0;
+    int failures = 0;
+    auto expect = [&](bool ok, const char *what, const ModeResult &r) {
+        if (ok)
+            return;
+        ++failures;
+        std::fprintf(stderr,
+                     "revocation_bench: CHECK FAILED: %s (mode %s, "
+                     "arena %lu)\n",
+                     what, r.mode.c_str(),
+                     static_cast<unsigned long>(r.arenaPages));
+    };
+    for (size_t i = 0; i < results.size(); i += 3) {
+        const ModeResult &full = results[i];
+        const ModeResult &dirty = results[i + 1];
+        const ModeResult &incr = results[i + 2];
+        expect(full.closed && dirty.closed && incr.closed,
+               "every strategy must close its epoch", full);
+        // The headline claim: with <20% of pages cap-dirty, skipping
+        // provably-clean pages saves >=5x of the granule traffic.
+        expect(full.granulesVisited >= 5 * dirty.granulesVisited &&
+                   dirty.granulesVisited > 0,
+               "cap-dirty sweep must visit >=5x fewer granules", dirty);
+        expect(dirty.pagesSkippedClean > 0,
+               "cap-dirty sweep must skip clean pages", dirty);
+        // Soundness: all three strategies revoke exactly the planted
+        // capabilities (one per dirty arena page).
+        expect(full.tagsRevoked == full.dirtyPages,
+               "full scan must revoke exactly the planted caps", full);
+        expect(dirty.tagsRevoked == full.tagsRevoked,
+               "cap-dirty sweep must revoke what the full scan does",
+               dirty);
+        expect(incr.tagsRevoked == full.tagsRevoked,
+               "incremental sweep must revoke what the full scan does",
+               incr);
+        // The amortization bound: no single call scans more than the
+        // configured budget.
+        expect(incr.maxSlicePages <= incr.sliceBudget,
+               "incremental slice exceeded its page budget", incr);
+        expect(incr.slices > 1,
+               "incremental run must take multiple slices", incr);
+    }
+    if (failures == 0)
+        std::printf("revocation_bench: all checks passed\n");
+    return failures == 0 ? 0 : 1;
 }

@@ -72,6 +72,7 @@ struct GenOp
         Touch,
         Evict,
         Compute,
+        Revoke,
     };
     Kind kind = Kind::Touch;
     u64 a = 0, b = 0, c = 0;
@@ -204,8 +205,10 @@ generate(u64 case_seed, u64 n_ops)
             op.kind = K::Touch;
         else if (pick < 88)
             op.kind = K::Evict;
-        else
+        else if (pick < 94)
             op.kind = K::Compute;
+        else
+            op.kind = K::Revoke;
         op.a = rng();
         op.b = rng();
         op.c = rng();
@@ -334,6 +337,14 @@ execCase(Abi abi, const FuzzOptions &opts, u64 case_seed,
             // Designed divergence: CheriABI excludes sbrk (E_NOSYS)
             // where mips64 serves it — mask the whole event.
             er.events.push_back("sbrk masked");
+        } else if (si && si->num == SysNum::Revoke2) {
+            // Designed divergence: revocation sweeps scan cap-dirty
+            // pages and tagged granules, which exist only under
+            // CheriABI — page counts, revoked counts, and even busy
+            // errors (epochs stay open longer with real work queued)
+            // legitimately differ, so mask the whole event.  The
+            // invariant oracle (rule 7) is the sound check here.
+            er.events.push_back("revoke2 masked");
         } else {
             bool mask_val = si && si->returnsPtr; // raw addresses
             er.events.push_back(fmt("%s e%d v%" PRIu64, name.c_str(),
@@ -600,6 +611,35 @@ execCase(Abi abi, const FuzzOptions &opts, u64 case_seed,
                     ev += fmt(" x%u=%" PRIu64, i, regs.x[i]);
             }
             er.events.push_back(ev);
+            break;
+          }
+          case K::Revoke: {
+            // Quarantine-shaped ranges: mostly never-allocated high
+            // addresses (exercising the skip-clean fast path), with an
+            // occasional live region (exercising real tag clearing and
+            // the oracle's closed-epoch absence rule).
+            std::vector<std::pair<u64, u64>> ranges;
+            u64 lo = 0x7000000000 + (op.a % 8) * 0x10000;
+            ranges.emplace_back(lo, lo + (1 + op.b % 4) * pageSize);
+            if (op.c % 2 && !regions.empty()) {
+                const Region &r = regions[op.c % regions.size()];
+                ranges.emplace_back(r.va, r.va + r.len);
+            }
+            u32 flags = (op.c % 3 == 0) ? REVOKE_INCREMENTAL
+                                        : REVOKE_SYNC;
+            if (op.b % 4 == 0)
+                flags |= REVOKE_FORCE_FULL;
+            u64 stage_va = scratch_va + 2 * pageSize + 512;
+            proc->as().writeBytes(stage_va, ranges.data(),
+                                  ranges.size() * 16);
+            sysInvoke(kern, *proc, SysNum::Revoke2,
+                      {SysArg::p(at(scratch, stage_va)),
+                       SysArg::i(ranges.size()), SysArg::i(flags)});
+            // Scrub the staging bytes: live-region ranges contain
+            // ABI-specific mapping addresses, which must not leak into
+            // the scratch image comparison.
+            u8 zeros[16 * 8] = {};
+            proc->as().writeBytes(stage_va, zeros, ranges.size() * 16);
             break;
           }
         }

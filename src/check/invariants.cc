@@ -207,6 +207,67 @@ Invariants::check(Kernel &kern)
                 ++slotRefs[pte.swapSlot];
             }
         });
+
+        // Rule 7: a revocation epoch that closed at this exact
+        // quiescent point promises absence — no tagged capability into
+        // its ranges anywhere the kernel can see.  Only the closing
+        // dispatch is checked: afterwards the guest may legitimately
+        // re-derive into the (now reusable) ranges.
+        const RevocationEpoch *ep = kern.findRevocationEpoch(proc.pid());
+        if (ep && !ep->open && ep->closeSeq != 0 &&
+            ep->closeSeq == kern.dispatchCount() &&
+            !ep->closedRanges.empty()) {
+            auto survivor = [&](const char *where, u64 at,
+                               const Capability &cap) {
+                if (!cap.tag() ||
+                    !capInSortedRanges(cap, ep->closedRanges))
+                    return;
+                r.violations.push_back(
+                    {"revoked-cap-survives",
+                     fmt("pid %" PRIu64 " %s @0x%" PRIx64
+                         ": %s survived closed epoch %" PRIu64,
+                         proc.pid(), where, at, cap.toString().c_str(),
+                         ep->id)});
+            };
+            proc.as().forEachTaggedCap(
+                [&](u64 va, const Capability &cap) {
+                    survivor("mem", va, cap);
+                });
+            proc.as().forEachPte([&](const AddressSpace::PteView &pte) {
+                if (!pte.swapped)
+                    return;
+                kern.swapDevice().forEachTaggedInSlot(
+                    pte.swapSlot,
+                    [&](u64 off, const Capability &pattern) {
+                        survivor("swap", pte.va + off, pattern);
+                    });
+            });
+            auto sweepRegs = [&](const char *where,
+                                 const ThreadRegs &regs) {
+                survivor(where, regs.pcc.address(), regs.pcc);
+                survivor(where, regs.ddc.address(), regs.ddc);
+                for (const Capability &c : regs.c)
+                    survivor(where, c.address(), c);
+            };
+            sweepRegs("regs", proc.regs());
+            proc.forEachThread([&](const ThreadRecord &t) {
+                sweepRegs("thread-saved", t.saved);
+                survivor("thread-stack", t.stackCap.address(),
+                         t.stackCap);
+            });
+            for (const SigFrame *frame : proc.liveSigFrames)
+                sweepRegs("sigframe", frame->saved);
+            survivor("stackCap", proc.stackCap.address(), proc.stackCap);
+            survivor("argvCap", proc.argvCap.address(), proc.argvCap);
+            survivor("envvCap", proc.envvCap.address(), proc.envvCap);
+            survivor("auxvCap", proc.auxvCap.address(), proc.auxvCap);
+            survivor("trampolineCap", proc.trampolineCap.address(),
+                     proc.trampolineCap);
+            kern.forEachKeventUdata(
+                proc.pid(), [&](const Capability &udata) {
+                    survivor("kevent-udata", udata.address(), udata);
+                });
+        }
     });
 
     // SysV segments pin their frames independently of any mapping.
@@ -285,6 +346,29 @@ Invariants::check(Kernel &kern)
                      mp.reclaimPasses, mp.pagesReclaimed, mp.oomKills,
                      mp.enomemErrors, kp.reclaimPasses,
                      kp.pagesReclaimed, kp.oomKills, kp.enomemErrors)});
+        }
+        const obs::RevocationCounters &mr = m->revocation();
+        const Kernel::RevocationStats &kr = kern.revocationStats();
+        if (mr.epochsOpened != kr.epochsOpened ||
+            mr.epochsClosed != kr.epochsClosed ||
+            mr.epochsAborted != kr.epochsAborted ||
+            mr.pagesScanned != kr.pagesScanned ||
+            mr.pagesSkippedClean != kr.pagesSkippedClean ||
+            mr.granulesVisited != kr.granulesVisited ||
+            mr.tagsRevoked != kr.tagsRevoked ||
+            mr.incrementalSlices != kr.incrementalSlices ||
+            mr.syncSweeps != kr.syncSweeps ||
+            mr.cyclesInEpochs != kr.cyclesInEpochs) {
+            r.violations.push_back(
+                {"metrics-revocation-mirror",
+                 fmt("metrics epochs %" PRIu64 "/%" PRIu64 "/%" PRIu64
+                     " pages %" PRIu64 " tags %" PRIu64
+                     " != kernel %" PRIu64 "/%" PRIu64 "/%" PRIu64
+                     " pages %" PRIu64 " tags %" PRIu64,
+                     mr.epochsOpened, mr.epochsClosed, mr.epochsAborted,
+                     mr.pagesScanned, mr.tagsRevoked, kr.epochsOpened,
+                     kr.epochsClosed, kr.epochsAborted, kr.pagesScanned,
+                     kr.tagsRevoked)});
         }
         std::array<u64, numCapFaults> logged{};
         for (const obs::FaultRecord &f : m->faults())

@@ -32,13 +32,23 @@
  *     of PTEs naming it (no leaks, no dangling slot references), so
  *     device occupancy equals the page tables' swapped-page footprint.
  *  6. Metrics mirror: when a Metrics registry is attached, its
- *     memory-pressure counters equal the kernel's own, and per-cause
- *     fault counters are consistent with the recorded fault log.
+ *     memory-pressure and revocation counters equal the kernel's own,
+ *     and per-cause fault counters are consistent with the recorded
+ *     fault log.
+ *  7. Revocation completeness: when a revocation epoch closed at this
+ *     exact quiescent point (closeSeq equals the dispatch clock), no
+ *     tagged capability into its revoked ranges survives anywhere the
+ *     kernel can see — tagged memory, swapped-out tag metadata, the
+ *     register file, saved thread contexts, live signal frames,
+ *     startup capability slots, or kevent udata.
  *
  * Documented deviation: a tagged capability may refer to a range that
  * is no longer *mapped* — CheriABI provides spatial, not temporal,
  * safety (revocation is an explicit sweep), so dangling capabilities
  * are legal and the oracle checks root dominance, not liveness.
+ * Rule 7 is the temporal-safety counterpart: only a *closed* epoch
+ * promises absence, and only at the dispatch boundary where it closed
+ * (afterwards the guest may legitimately re-derive into freed ranges).
  */
 
 #ifndef CHERI_CHECK_INVARIANTS_H

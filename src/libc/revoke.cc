@@ -22,36 +22,121 @@ RevokingMalloc::free(const GuestPtr &p)
     u64 size = heap.allocSize(p);
     if (size == 0)
         return false; // not a live allocation start
-    // Quarantine: the storage stays owned (and poisonous) until the
-    // next sweep proves no capability to it survives.
+    // Quarantine: the storage stays owned (and poisonous) until an
+    // epoch covering it closes.
     u64 span = ctx.isCheri() ? p.cap.length() : size;
-    quarantine.push_back({p.addr(), span});
-    quarantineBytes += span;
-    if (quarantineBytes > budget)
-        forceSweep();
+    pending.push_back({p.addr(), span});
+    pendingBytes += span;
+    if (pendingBytes <= budget)
+        return true;
+    // Over budget.  Never sweep inline: advance the in-flight epoch a
+    // slice if there is one, else kick a fresh incremental epoch over
+    // the pending generation.
+    if (inFlightActive) {
+        poll();
+        return true;
+    }
+    SysResult res = openEpochOverPending(REVOKE_INCREMENTAL);
+    if (res.failed())
+        return true; // e.g. E_BUSY: someone else's epoch; retry later
+    if (res.value == 0) {
+        // Tiny heap: the first slice already finished the epoch.
+        _tagsRevoked +=
+            ctx.kernel().revocationEpoch(ctx.proc().pid()).revoked;
+        releaseInFlight();
+    }
+    return true;
+}
+
+SysResult
+RevokingMalloc::openEpochOverPending(u32 flags)
+{
+    std::vector<std::pair<u64, u64>> ranges;
+    ranges.reserve(pending.size());
+    for (const Range &r : pending)
+        ranges.emplace_back(r.base, r.base + r.size);
+    SysResult res = ctx.kernel().sysRevoke2(ctx.proc(), ranges, flags);
+    // E_INTR means the epoch opened but a SYNC drive was interrupted:
+    // the generation is committed to the epoch either way.
+    if (res.failed() && res.error != E_INTR)
+        return res;
+    ++_sweeps;
+    inFlight = std::move(pending);
+    pending.clear();
+    inFlightBytes = pendingBytes;
+    pendingBytes = 0;
+    inFlightActive = true;
+    return res;
+}
+
+void
+RevokingMalloc::releaseInFlight()
+{
+    // Only now is the storage safe to reuse: the epoch proved no
+    // capability into it survives anywhere.
+    for (const Range &r : inFlight)
+        heap.free(GuestPtr(Capability::fromAddress(r.base)));
+    inFlight.clear();
+    inFlightBytes = 0;
+    inFlightActive = false;
+}
+
+bool
+RevokingMalloc::poll()
+{
+    if (!inFlightActive)
+        return true;
+    SysResult res =
+        ctx.kernel().sysRevoke2(ctx.proc(), {}, REVOKE_INCREMENTAL);
+    if (res.failed())
+        return false;
+    if (res.value != 0)
+        return false; // pages still queued
+    _tagsRevoked += ctx.kernel().revocationEpoch(ctx.proc().pid()).revoked;
+    releaseInFlight();
     return true;
 }
 
 u64
 RevokingMalloc::forceSweep()
 {
-    if (quarantine.empty())
-        return 0;
-    ++_sweeps;
-    // One pass over the address space for the whole quarantine set —
-    // the property that makes quarantine amortization work.
-    std::vector<std::pair<u64, u64>> ranges;
-    ranges.reserve(quarantine.size());
-    for (const Range &r : quarantine)
-        ranges.emplace_back(r.base, r.base + r.size);
-    SysResult res = ctx.kernel().sysRevokeSet(ctx.proc(), ranges);
-    u64 revoked = res.failed() ? 0 : res.value;
-    _tagsRevoked += revoked;
-    // Only now is the storage safe to reuse.
-    for (const Range &r : quarantine)
-        heap.free(GuestPtr(Capability::fromAddress(r.base)));
-    quarantine.clear();
-    quarantineBytes = 0;
+    u64 revoked = 0;
+    // A failing swap device interrupts a SYNC drive with E_INTR (the
+    // epoch stays open, nothing is lost); bound the retries so a
+    // permanently dead device cannot hang the caller.
+    int attempts = 0;
+    constexpr int maxAttempts = 64;
+    while (inFlightActive || !pending.empty()) {
+        if (++attempts > maxAttempts)
+            break;
+        if (inFlightActive) {
+            SysResult res =
+                ctx.kernel().sysRevoke2(ctx.proc(), {}, REVOKE_SYNC);
+            if (!res.failed()) {
+                revoked += res.value;
+                _tagsRevoked += res.value;
+                releaseInFlight();
+            } else if (res.error != E_INTR) {
+                break;
+            }
+            continue;
+        }
+        SysResult res = openEpochOverPending(REVOKE_SYNC);
+        if (!res.failed()) {
+            revoked += res.value;
+            _tagsRevoked += res.value;
+            releaseInFlight();
+        } else if (res.error == E_BUSY) {
+            // A foreign epoch is open against this process; drain it
+            // so ours can run.
+            SysResult drain =
+                ctx.kernel().sysRevoke2(ctx.proc(), {}, REVOKE_SYNC);
+            if (drain.failed() && drain.error != E_INTR)
+                break;
+        } else if (res.error != E_INTR) {
+            break;
+        }
+    }
     return revoked;
 }
 

@@ -9,19 +9,23 @@
  * CHERIvoke/Cornucopia).  This prototype implements that design:
  *
  *  - free() does not reuse memory; it moves the allocation into a
- *    quarantine;
- *  - when quarantined bytes exceed a budget, a *revocation sweep*
- *    scans every tagged granule in the address space — resident pages,
- *    swapped-out pages (via the swap tag metadata), and the thread's
- *    capability registers — and clears the tag of every capability
- *    whose base points into quarantined memory;
- *  - only after the sweep is quarantined memory handed back for reuse,
- *    so no stale capability to it can exist.
+ *    *pending* quarantine generation;
+ *  - when pending bytes exceed a budget, the generation is handed to
+ *    the kernel as an INCREMENTAL revocation epoch (revoke2) — free()
+ *    never blocks on a full sweep; the kernel amortizes the scan a
+ *    bounded slice at a time across subsequent syscalls, and further
+ *    frees accumulate in a fresh pending generation meanwhile;
+ *  - only when the epoch closes (every cap-dirty page scanned, plus
+ *    registers, saved thread contexts, live signal frames, and kevent
+ *    udata) is that generation's storage handed back for reuse, so no
+ *    stale capability to it can exist;
+ *  - forceSweep() drains everything synchronously (REVOKE_SYNC),
+ *    retrying the bounded number of times a failing swap device can
+ *    interrupt the drive.
  *
- * The sweep interface lives on the kernel (Kernel::sysRevoke), exactly
+ * The sweep interface lives on the kernel (Kernel::sysRevoke2), exactly
  * the "new interface" the paper says is required because user pointers
- * may be held in kernel structures for extended durations — the sweep
- * covers the kevent udata store for the same reason.
+ * may be held in kernel structures for extended durations.
  */
 
 #ifndef CHERI_LIBC_REVOKE_H
@@ -38,8 +42,8 @@ class RevokingMalloc
 {
   public:
     /**
-     * @param quarantine_budget bytes of quarantined memory tolerated
-     *        before a sweep is forced
+     * @param quarantine_budget bytes of pending quarantine tolerated
+     *        before an incremental epoch is kicked off
      */
     RevokingMalloc(GuestContext &ctx, u64 quarantine_budget = 64 * 1024);
 
@@ -48,18 +52,33 @@ class RevokingMalloc
 
     /**
      * Quarantine the allocation.  The storage is not reusable — and
-     * the caller's capability not dead — until the next sweep.
+     * the caller's capability not dead — until an epoch covering it
+     * closes.  Never runs a full sweep inline: over budget it opens
+     * (or advances) an incremental epoch and returns.
      */
     bool free(const GuestPtr &p);
 
-    /** Run a revocation sweep now; returns tags cleared. */
+    /**
+     * Drain all quarantined memory now: drive any in-flight epoch to
+     * close synchronously, then sweep the pending generation too.
+     * Returns tags cleared.
+     */
     u64 forceSweep();
+
+    /**
+     * Advance an in-flight epoch by one kernel slice; release its
+     * generation if it closed.  Returns true when no epoch remains in
+     * flight (idle or just closed).
+     */
+    bool poll();
 
     /** @name Statistics */
     /// @{
+    /** Revocation epochs opened on this heap's behalf. */
     u64 sweeps() const { return _sweeps; }
     u64 tagsRevoked() const { return _tagsRevoked; }
-    u64 quarantinedBytes() const { return quarantineBytes; }
+    u64 quarantinedBytes() const { return pendingBytes + inFlightBytes; }
+    bool sweepInFlight() const { return inFlightActive; }
     u64 liveAllocations() const { return heap.liveAllocations(); }
     /// @}
 
@@ -70,11 +89,23 @@ class RevokingMalloc
         u64 size;
     };
 
+    /** Hand the pending generation to the kernel as an epoch with
+     *  @p flags; on success pending becomes the in-flight generation.
+     *  Returns the syscall result. */
+    SysResult openEpochOverPending(u32 flags);
+    /** The in-flight epoch closed: its storage is safe to reuse. */
+    void releaseInFlight();
+
     GuestContext &ctx;
     GuestMalloc heap;
     u64 budget;
-    std::vector<Range> quarantine;
-    u64 quarantineBytes = 0;
+    /** Frees accumulated since the last epoch was opened. */
+    std::vector<Range> pending;
+    /** The generation the open epoch is revoking. */
+    std::vector<Range> inFlight;
+    u64 pendingBytes = 0;
+    u64 inFlightBytes = 0;
+    bool inFlightActive = false;
     u64 _sweeps = 0;
     u64 _tagsRevoked = 0;
 };

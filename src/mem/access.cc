@@ -61,7 +61,7 @@ MemAccess::countFetchHit()
 }
 
 Frame *
-MemAccess::missData(u64 page_va, bool for_write)
+MemAccess::missData(u64 page_va, bool for_write, bool cap_store)
 {
     ++st.dataMisses;
     if (counters)
@@ -71,13 +71,14 @@ MemAccess::missData(u64 page_va, bool for_write)
     if (!as)
         return nullptr;
     PageView view;
-    if (!as->resolvePage(page_va, for_write, &view))
+    if (!as->resolvePage(page_va, for_write, &view, cap_store))
         return nullptr;
     Entry &e = dtlb[indexOf(page_va)];
     e.pageVa = page_va;
     e.frame = view.frame;
     e.prot = view.prot;
     e.writable = (view.prot & PROT_WRITE) != 0 && !view.cow;
+    e.capWritable = e.writable && view.capDirty;
     return view.frame;
 }
 
@@ -213,12 +214,15 @@ MemAccess::writeCap(u64 va, const Capability &cap)
     Entry &e = dtlb[indexOf(page)];
     Frame *f;
     bool exec;
-    if (e.pageVa == page && e.writable) {
+    // The fast path requires cached *capability*-store permission,
+    // which exists only for pages already cap-dirty; a cap-clean page
+    // always misses so the walk can set its dirty bit.
+    if (e.pageVa == page && e.capWritable) {
         f = e.frame;
         exec = (e.prot & PROT_EXEC) != 0;
         countDataHit();
     } else {
-        f = missData(page, true);
+        f = missData(page, true, true);
         if (!f)
             return missFault();
         exec = (dtlb[indexOf(page)].prot & PROT_EXEC) != 0;

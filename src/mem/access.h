@@ -160,6 +160,13 @@ class MemAccess
          *  AND not copy-on-write, so writes through the fast path can
          *  never dodge a pending COW copy. */
         bool writable = false;
+        /** Cached capability-store permission: set only when the page
+         *  is writable-cacheable AND already cap-dirty.  The first
+         *  capability store to a cap-clean page therefore always takes
+         *  the walk path, where the dirty bit is set — the same
+         *  mechanism the COW rule above uses (PR 2), extended to
+         *  revocation's dirty tracking. */
+        bool capWritable = false;
     };
 
     static constexpr u64 invalidVa = ~u64{0};
@@ -169,8 +176,9 @@ class MemAccess
         return (page_va / pageSize) & (tlbSize - 1);
     }
 
-    /** Slow path: walk the page table and install an entry. */
-    Frame *missData(u64 page_va, bool for_write);
+    /** Slow path: walk the page table and install an entry.  With
+     *  @p cap_store the walk marks the page cap-dirty. */
+    Frame *missData(u64 page_va, bool for_write, bool cap_store = false);
     Frame *missFetch(u64 page_va);
 
     /** Fault cause after a failed miss: the space knows why its walk

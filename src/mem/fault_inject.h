@@ -22,7 +22,7 @@
 namespace cheri
 {
 
-/** The three choke points the injector can fail. */
+/** The choke points the injector can fail. */
 enum class FaultPoint : unsigned
 {
     /** PhysMem::allocFrame / canAlloc. */
@@ -31,9 +31,12 @@ enum class FaultPoint : unsigned
     SwapOut,
     /** SwapDevice::swapIn. */
     SwapIn,
+    /** SwapDevice::sweepSlot — the revocation sweep's read of a
+     *  swapped page's tag metadata (a device I/O like any other). */
+    SweepScan,
 };
 
-constexpr unsigned numFaultPoints = 3;
+constexpr unsigned numFaultPoints = 4;
 
 class FaultInjector
 {

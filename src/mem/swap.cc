@@ -95,4 +95,35 @@ SwapDevice::revokeMatchingInSlot(
     return before - meta.size();
 }
 
+bool
+SwapDevice::sweepSlot(u64 slot_id,
+                      const std::function<bool(const Capability &)> &pred,
+                      u64 *revoked, u64 *remaining)
+{
+    if (injector && injector->shouldFail(FaultPoint::SweepScan)) {
+        // Modeled I/O error reading the metadata back: the slot is
+        // untouched, the sweep scheduler retries the page later.
+        ++sweepScanFailures;
+        return false;
+    }
+    auto it = slots.find(slot_id);
+    if (it == slots.end()) {
+        if (revoked)
+            *revoked = 0;
+        if (remaining)
+            *remaining = 0;
+        return true;
+    }
+    auto &meta = it->second.tagMeta;
+    u64 before = meta.size();
+    std::erase_if(meta, [&](const std::pair<u64, Capability> &e) {
+        return pred(e.second);
+    });
+    if (revoked)
+        *revoked = before - meta.size();
+    if (remaining)
+        *remaining = meta.size();
+    return true;
+}
+
 } // namespace cheri

@@ -107,6 +107,44 @@ class SwapDevice
     u64 revokeMatchingInSlot(
         u64 slot, const std::function<bool(const Capability &)> &pred);
 
+    /**
+     * Epoch-sweep variant of revokeMatchingInSlot: the sweep must read
+     * the slot's metadata back from the device, so this reports a
+     * SweepScan event to the injector and can fail like any device
+     * read.  On success stores entries dropped in @p revoked and the
+     * tag-metadata entries left in @p remaining (both nullable) and
+     * returns true; on an injected failure the slot is untouched and
+     * the scan can be retried.  An unknown slot scans as empty.
+     */
+    bool sweepSlot(u64 slot,
+                   const std::function<bool(const Capability &)> &pred,
+                   u64 *revoked, u64 *remaining);
+
+    /** Tagged granules recorded in @p slot (0 for unknown slots). */
+    u64
+    slotTagCount(u64 slot) const
+    {
+        auto it = slots.find(slot);
+        return it == slots.end() ? 0 : it->second.tagMeta.size();
+    }
+
+    /** Visit @p slot's tag metadata as (granule offset, pattern) — the
+     *  oracle audits swapped pages without paging them in. */
+    void
+    forEachTaggedInSlot(
+        u64 slot,
+        const std::function<void(u64, const Capability &)> &fn) const
+    {
+        auto it = slots.find(slot);
+        if (it == slots.end())
+            return;
+        for (const auto &[off, pattern] : it->second.tagMeta)
+            fn(off, pattern);
+    }
+
+    /** Sweep-scan reads refused (injection). */
+    u64 failedSweepScans() const { return sweepScanFailures; }
+
     /** Slots currently occupied. */
     u64 usedSlots() const { return slots.size(); }
 
@@ -166,6 +204,7 @@ class SwapDevice
     u64 budget = 0;
     u64 swapOutFailures = 0;
     u64 swapInFailures = 0;
+    u64 sweepScanFailures = 0;
     u64 discards = 0;
     FaultInjector *injector = nullptr;
 };

@@ -85,16 +85,34 @@ AddressSpace::notifyCodeWrite() const
 }
 
 bool
-AddressSpace::resolvePage(u64 va, bool for_write, PageView *out)
+AddressSpace::resolvePage(u64 va, bool for_write, PageView *out,
+                          bool cap_store)
 {
     Pte *pte = walk(va, for_write);
     if (!pte)
         return false;
+    if (cap_store)
+        markCapStore(*pte, pageTrunc(va));
     out->frame = pte->frame.get();
     out->prot = pte->prot;
     out->cow = pte->cow;
     out->shared = pte->shared;
+    out->capDirty = pte->capDirty;
     return true;
+}
+
+void
+AddressSpace::markCapStore(Pte &pte, u64 page_va)
+{
+    pte.capDirty = true;
+    if (activeSweepEpoch != 0 && pte.queuedEpoch != activeSweepEpoch) {
+        // The open epoch has no pending visit to this page — either it
+        // was already scanned (its proof is now stale) or it was mapped
+        // after the worklist was built; the scheduler must (re)visit it
+        // before closing.
+        pte.queuedEpoch = activeSweepEpoch;
+        redirtied.push_back(page_va);
+    }
 }
 
 u64
@@ -426,6 +444,7 @@ AddressSpace::writeCap(u64 va, const Capability &cap)
         return walkFault;
     if (pte->prot & PROT_EXEC)
         notifyCodeWrite();
+    markCapStore(*pte, pageTrunc(va));
     pte->frame->writeCap(va & pageMask, cap);
     return std::nullopt;
 }
@@ -519,6 +538,10 @@ AddressSpace::installFrame(u64 va, FrameRef frame)
     it->second.shared = true;
     it->second.cow = false;
     it->second.swapped = false;
+    // The incoming frame may already carry capabilities stored through
+    // another space's mapping, and future sibling stores are invisible
+    // to this page table: conservatively (and permanently) cap-dirty.
+    it->second.capDirty = true;
     return true;
 }
 
@@ -614,13 +637,80 @@ AddressSpace::revokeCapsMatching(
     // pointer without re-walking (decode caches also flush).
     notifyInvalidateAll();
     u64 revoked = 0;
+    // Direct (non-epoch) sweep: every content page, swap scans not
+    // injectable, so this path keeps its historical cannot-fail
+    // contract.  Proving pages clean along the way is free.
     for (auto &[va, pte] : pages) {
-        if (pte.swapped) {
-            revoked += swap.revokeMatchingInSlot(pte.swapSlot, pred);
-            continue;
+        (void)pte;
+        revoked += sweepPageImpl(va, 0, pred, false).revoked;
+    }
+    return revoked;
+}
+
+u64
+AddressSpace::contentPages() const
+{
+    u64 n = 0;
+    for (const auto &[va, pte] : pages)
+        n += pte.frame != nullptr || pte.swapped;
+    return n;
+}
+
+u64
+AddressSpace::capDirtyPageCount() const
+{
+    u64 n = 0;
+    for (const auto &[va, pte] : pages)
+        n += pte.capDirty;
+    return n;
+}
+
+std::vector<u64>
+AddressSpace::sweepWorklist(bool force_full) const
+{
+    std::vector<u64> work;
+    for (const auto &[va, pte] : pages) {
+        if (force_full ? (pte.frame != nullptr || pte.swapped)
+                       : pte.capDirty) {
+            work.push_back(va);
         }
-        if (!pte.frame)
-            continue;
+    }
+    return work;
+}
+
+AddressSpace::PageSweep
+AddressSpace::sweepPageImpl(
+    u64 va, u64 epoch_id,
+    const std::function<bool(const Capability &)> &pred, bool injectable)
+{
+    PageSweep r;
+    auto it = pages.find(pageTrunc(va));
+    if (it == pages.end()) {
+        // Unmapped since it was queued: nothing can survive there.
+        r.provenClean = true;
+        return r;
+    }
+    Pte &pte = it->second;
+    if (pte.swapped) {
+        // Swapped pages are scanned through their tag metadata without
+        // paging them in; the device read is what can fail.
+        u64 remaining = 0;
+        if (injectable) {
+            if (!swap.sweepSlot(pte.swapSlot, pred, &r.revoked,
+                                &remaining)) {
+                r.deviceFailed = true;
+                return r;
+            }
+        } else {
+            r.revoked = swap.revokeMatchingInSlot(pte.swapSlot, pred);
+            remaining = swap.slotTagCount(pte.swapSlot);
+        }
+        r.granules = granulesPerPage;
+        if (remaining == 0 && !pte.shared) {
+            pte.capDirty = false;
+            r.provenClean = true;
+        }
+    } else if (pte.frame) {
         // Collect first: clearing mutates the tag bitmap under us.
         std::vector<u64> offs;
         pte.frame->forEachTagged([&](u64 off, const Capability &cap) {
@@ -629,9 +719,67 @@ AddressSpace::revokeCapsMatching(
         });
         for (u64 off : offs)
             pte.frame->clearTagAt(off);
-        revoked += offs.size();
+        r.revoked = offs.size();
+        r.granules = granulesPerPage;
+        if (pte.frame->taggedCount() == 0 && !pte.shared) {
+            pte.capDirty = false;
+            r.provenClean = true;
+        }
+        // Once proven clean, a cached cap-store-permitted dTLB entry
+        // would let the next capability store dodge the dirty bit; and
+        // revoked tags must not be served from stale entries either.
+        if (r.provenClean || r.revoked != 0)
+            notifyInvalidatePage(pageTrunc(va));
+    } else {
+        // Demand-zero page: trivially holds no capabilities.
+        if (!pte.shared) {
+            pte.capDirty = false;
+            r.provenClean = true;
+        }
     }
-    return revoked;
+    if (epoch_id != 0 && !r.deviceFailed) {
+        pte.sweptEpoch = epoch_id;
+        // The queued visit is satisfied; a later cap store in the same
+        // epoch re-queues through markCapStore.
+        pte.queuedEpoch = 0;
+    }
+    return r;
+}
+
+AddressSpace::PageSweep
+AddressSpace::sweepPageForRevocation(
+    u64 va, u64 epoch_id,
+    const std::function<bool(const Capability &)> &pred)
+{
+    return sweepPageImpl(va, epoch_id, pred, true);
+}
+
+std::vector<u64>
+AddressSpace::beginSweepEpoch(u64 epoch_id, bool force_full)
+{
+    activeSweepEpoch = epoch_id;
+    redirtied.clear();
+    std::vector<u64> work = sweepWorklist(force_full);
+    // Stamp the initial worklist so markCapStore knows these pages
+    // already have a pending visit and need not be re-queued.
+    for (u64 va : work)
+        pages.find(va)->second.queuedEpoch = epoch_id;
+    return work;
+}
+
+void
+AddressSpace::endSweepEpoch()
+{
+    activeSweepEpoch = 0;
+    redirtied.clear();
+}
+
+std::vector<u64>
+AddressSpace::takeRedirtiedPages()
+{
+    std::vector<u64> out = std::move(redirtied);
+    redirtied.clear();
+    return out;
 }
 
 u64
@@ -663,6 +811,7 @@ AddressSpace::forEachPte(
         v.shared = pte.shared;
         v.swapped = pte.swapped;
         v.swapSlot = pte.swapped ? pte.swapSlot : 0;
+        v.capDirty = pte.capDirty;
         v.frame = pte.frame.get();
         v.frameRefs = pte.frame ? pte.frame.use_count() : 0;
         fn(v);

@@ -97,6 +97,8 @@ struct PageView
     u32 prot = PROT_NONE;
     bool cow = false;
     bool shared = false;
+    /** Page may hold tagged capabilities (see Pte::capDirty). */
+    bool capDirty = false;
 };
 
 class AddressSpace
@@ -280,6 +282,69 @@ class AddressSpace
     /** Convenience: revoke capabilities whose base is in [lo, hi). */
     u64 revokeCapsInRange(u64 lo, u64 hi);
 
+    /** @name Capability-dirty tracking + epoch sweeps (Cornucopia)
+     * Each PTE carries a sticky cap-dirty bit meaning "this page may
+     * hold tagged capabilities": set at the capability-store choke
+     * points (writeCap here and the MemAccess fast path, which only
+     * caches cap-store permission for already-dirty pages), and cleared
+     * only when a sweep proves the page holds zero tagged granules.  A
+     * page the sweep skips therefore provably holds no capabilities at
+     * all, which makes skipping sound for arbitrary revocation ranges.
+     * Shared pages are never proven clean: a sibling mapping can store
+     * capabilities through a translation this space cannot see.
+     */
+    /// @{
+    /** Outcome of sweeping one page for revocation. */
+    struct PageSweep
+    {
+        /** Capability granules examined (0 for a frameless page). */
+        u64 granules = 0;
+        /** Tags cleared / swap tag-metadata entries dropped. */
+        u64 revoked = 0;
+        /** Page proven free of tagged capabilities; cap-dirty cleared. */
+        bool provenClean = false;
+        /** The swap device refused the metadata scan (injected I/O
+         *  error); the page stays dirty and must be retried. */
+        bool deviceFailed = false;
+    };
+
+    /** Mapped pages with content (resident or swapped) — the full-scan
+     *  sweep universe. */
+    u64 contentPages() const;
+
+    /** Pages currently marked cap-dirty. */
+    u64 capDirtyPageCount() const;
+
+    /** Page VAs a sweep must visit: cap-dirty pages only, or every
+     *  content page under @p force_full. */
+    std::vector<u64> sweepWorklist(bool force_full) const;
+
+    /**
+     * Sweep one page: clear every capability matching @p pred (resident
+     * tags or swap tag metadata), prove the page clean when possible,
+     * and stamp it as swept in epoch @p epoch_id (0 = no epoch).  The
+     * swap-metadata scan is fault-injectable (FaultPoint::SweepScan);
+     * on deviceFailed nothing was modified.
+     */
+    PageSweep sweepPageForRevocation(
+        u64 va, u64 epoch_id,
+        const std::function<bool(const Capability &)> &pred);
+
+    /**
+     * Open epoch @p epoch_id (nonzero) and return the initial worklist
+     * (cap-dirty pages, or every content page under @p force_full),
+     * each stamped as queued.  While the epoch is open, a capability
+     * store to any page NOT queued in it — a page already scanned, or
+     * one mapped fresh mid-epoch — is recorded so the sweep scheduler
+     * can scan it before closing.
+     */
+    std::vector<u64> beginSweepEpoch(u64 epoch_id, bool force_full);
+    /** Close the open epoch (aborting also goes through here). */
+    void endSweepEpoch();
+    /** Drain the pages cap-stored after their scan in the open epoch. */
+    std::vector<u64> takeRedirtiedPages();
+    /// @}
+
     /** Resident (frame-backed) page count. */
     u64 residentPages() const;
 
@@ -297,6 +362,9 @@ class AddressSpace
         bool shared = false;
         bool swapped = false;
         u64 swapSlot = 0;
+        /** Page may hold tagged capabilities (see the epoch-sweep
+         *  section above); the oracle audits this against the frame. */
+        bool capDirty = false;
         /** Backing frame; null when not resident. */
         const Frame *frame = nullptr;
         /** shared_ptr owner count of the frame (0 when not resident). */
@@ -330,7 +398,8 @@ class AddressSpace
      * COW resolution, and revocation sweeps.
      */
     /// @{
-    bool resolvePage(u64 va, bool for_write, PageView *out);
+    bool resolvePage(u64 va, bool for_write, PageView *out,
+                     bool cap_store = false);
     void addTlbListener(MemAccess *l);
     void removeTlbListener(MemAccess *l);
     /** A store reached an executable page: decoded-instruction caches
@@ -349,6 +418,18 @@ class AddressSpace
         u64 swapSlot = 0;
         /** Walk-clock stamp of the last touch; drives LRU eviction. */
         u64 lastUse = 0;
+        /** Sticky "may hold tagged capabilities" bit (PGA_CAPSTORE):
+         *  set on every capability store, survives swap-out alongside
+         *  the tag metadata, cleared only by a sweep that proves the
+         *  page clean. */
+        bool capDirty = false;
+        /** Epoch id of the last sweep that scanned this page. */
+        u64 sweptEpoch = 0;
+        /** Epoch id this page is currently queued under.  A cap store
+         *  while an epoch is open (re-)queues the page unless it is
+         *  already queued in that epoch — which also catches pages
+         *  mapped fresh mid-epoch, never queued at open. */
+        u64 queuedEpoch = 0;
     };
 
     /**
@@ -357,6 +438,17 @@ class AddressSpace
      * unmapped or protection denies the access.
      */
     Pte *walk(u64 va, bool for_write);
+
+    /** Capability-store choke point: mark the page cap-dirty and, when
+     *  it was already swept in the open epoch, queue it for re-scan. */
+    void markCapStore(Pte &pte, u64 page_va);
+
+    /** Shared sweep body; @p injectable routes the swap-metadata scan
+     *  through the fault injector (epoch path) or not (direct path). */
+    PageSweep sweepPageImpl(
+        u64 va, u64 epoch_id,
+        const std::function<bool(const Capability &)> &pred,
+        bool injectable);
 
     u64 findFree(u64 hint, u64 len) const;
 
@@ -380,6 +472,10 @@ class AddressSpace
     u64 useClock = 0;
     /** Cause of the most recent walk failure. */
     CapFault walkFault = CapFault::PageFault;
+    /** Nonzero while a revocation epoch is open against this space. */
+    u64 activeSweepEpoch = 0;
+    /** Pages cap-stored after their scan in the open epoch. */
+    std::vector<u64> redirtied;
     /** MemAccess objects caching translations of this space. */
     std::vector<MemAccess *> listeners;
 };

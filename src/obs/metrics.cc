@@ -135,6 +135,7 @@ Metrics::reset()
     faultsDropped = 0;
     faultsByCause = {};
     mem = {};
+    rev = {};
     chk = {};
     costs.clear();
     deriveCounts = {};
@@ -176,7 +177,7 @@ Metrics::toJson() const
 {
     JsonWriter w;
     w.beginObject();
-    w.key("schema").value(std::string_view("cheri.metrics.v4"));
+    w.key("schema").value(std::string_view("cheri.metrics.v5"));
 
     w.key("syscalls").beginArray();
     for (Abi abi : allAbis) {
@@ -278,6 +279,20 @@ Metrics::toJson() const
     w.key("pages_reclaimed").value(mem.pagesReclaimed);
     w.key("oom_kills").value(mem.oomKills);
     w.key("enomem").value(mem.enomemErrors);
+    w.endObject();
+
+    // Revocation-epoch counters (v5 schema addition).
+    w.key("revocation").beginObject();
+    w.key("epochs_opened").value(rev.epochsOpened);
+    w.key("epochs_closed").value(rev.epochsClosed);
+    w.key("epochs_aborted").value(rev.epochsAborted);
+    w.key("pages_scanned").value(rev.pagesScanned);
+    w.key("pages_skipped_clean").value(rev.pagesSkippedClean);
+    w.key("granules_visited").value(rev.granulesVisited);
+    w.key("tags_revoked").value(rev.tagsRevoked);
+    w.key("incremental_slices").value(rev.incrementalSlices);
+    w.key("sync_sweeps").value(rev.syncSweeps);
+    w.key("cycles_in_epochs").value(rev.cyclesInEpochs);
     w.endObject();
 
     // Checking-layer counters (v4 schema addition).

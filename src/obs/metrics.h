@@ -111,6 +111,23 @@ struct PressureCounters
     u64 enomemErrors = 0;   ///< syscalls failed with ENOMEM
 };
 
+/** Revocation telemetry fed by the kernel's epoch machinery: the
+ *  ablation axis is pagesScanned vs pagesSkippedClean (what cap-dirty
+ *  tracking saves) and incrementalSlices (how the work is amortized). */
+struct RevocationCounters
+{
+    u64 epochsOpened = 0;
+    u64 epochsClosed = 0;
+    u64 epochsAborted = 0;   ///< torn down by exit/execve/OOM kill
+    u64 pagesScanned = 0;
+    u64 pagesSkippedClean = 0; ///< content pages skipped as cap-clean
+    u64 granulesVisited = 0;
+    u64 tagsRevoked = 0;
+    u64 incrementalSlices = 0;
+    u64 syncSweeps = 0;
+    u64 cyclesInEpochs = 0; ///< modelled cycles open-to-close
+};
+
 /** Checking-layer telemetry (src/check): oracle runs and fuzzer
  *  progress, exported in the "check" section of the v4 schema. */
 struct CheckCounters
@@ -212,6 +229,36 @@ class Metrics : public TraceSink
     const PressureCounters &pressure() const { return mem; }
     /// @}
 
+    /** @name Revocation telemetry (fed by the kernel's epoch machinery) */
+    /// @{
+    void
+    recordRevokeEpochOpened(u64 skipped_clean)
+    {
+        ++rev.epochsOpened;
+        rev.pagesSkippedClean += skipped_clean;
+    }
+    void
+    recordRevokeSlice(u64 pages, u64 granules, u64 revoked,
+                      bool incremental)
+    {
+        rev.pagesScanned += pages;
+        rev.granulesVisited += granules;
+        rev.tagsRevoked += revoked;
+        if (incremental)
+            ++rev.incrementalSlices;
+    }
+    void
+    recordRevokeEpochClosed(u64 root_revoked, u64 cycles)
+    {
+        ++rev.epochsClosed;
+        rev.tagsRevoked += root_revoked;
+        rev.cyclesInEpochs += cycles;
+    }
+    void recordRevokeEpochAborted() { ++rev.epochsAborted; }
+    void recordRevokeSync() { ++rev.syncSweeps; }
+    const RevocationCounters &revocation() const { return rev; }
+    /// @}
+
     /** @name Checking-layer telemetry (fed by src/check) */
     /// @{
     void
@@ -281,6 +328,7 @@ class Metrics : public TraceSink
     u64 faultsDropped = 0;
     std::array<u64, numCapFaults> faultsByCause{};
     PressureCounters mem;
+    RevocationCounters rev;
     CheckCounters chk;
     std::vector<CostSnapshot> costs;
     std::array<u64, numDeriveSources> deriveCounts{};

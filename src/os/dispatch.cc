@@ -51,6 +51,9 @@ Kernel::dispatch(Process &proc, u64 code)
 {
     const SyscallInfo *info = syscallInfo(code);
     const u64 cycles0 = proc.cost().cycles();
+    // Quiescent-point clock: RevocationEpoch::closeSeq records at which
+    // dispatch an epoch closed, and the oracle keys on it.
+    ++dispatchSeq;
     if (mx)
         mx->setCurrentSyscall(info ? code : 0);
 
@@ -150,9 +153,28 @@ Kernel::dispatch(Process &proc, u64 code)
           case SysNum::Sigprocmask:
             res = sysSigprocmask(proc, argInt(proc, 0), argInt(proc, 1));
             break;
-          case SysNum::Revoke:
-            res = sysRevoke(proc, argInt(proc, 0), argInt(proc, 1));
+          case SysNum::Revoke2: {
+            // revoke2(ranges, nranges, flags): ranges is an array of
+            // {u64 lo; u64 hi} pairs.  nranges == 0 legitimately skips
+            // the copyin (the drain/poll forms pass a null pointer).
+            u64 nranges = argInt(proc, 1);
+            u32 flags = static_cast<u32>(argInt(proc, 2));
+            constexpr u64 maxRanges = 1024;
+            if (nranges > maxRanges) {
+                res = SysResult::fail(E_INVAL);
+                break;
+            }
+            std::vector<std::pair<u64, u64>> ranges(nranges);
+            int err = E_OK;
+            if (nranges != 0) {
+                static_assert(sizeof(std::pair<u64, u64>) == 16);
+                err = copyin(proc, argPtr(proc, 0), ranges.data(),
+                             nranges * 16);
+            }
+            res = err ? SysResult::fail(err)
+                      : sysRevoke2(proc, ranges, flags);
             break;
+          }
           case SysNum::ThrNew: {
             u64 stack = argInt(proc, 0);
             res = stack ? sysThrNew(proc, stack) : sysThrNew(proc);
@@ -198,6 +220,13 @@ Kernel::dispatch(Process &proc, u64 code)
             r.c[regRetVal] = Capability();
         }
     }
+
+    // Incremental revocation pump: absorb one bounded slice of any open
+    // epoch per syscall, amortizing the sweep across dispatches.  Not
+    // for revoke2 itself (it already ran its slice) and not for a
+    // process whose address space is gone.
+    if (!proc.exited() && (!info || info->num != SysNum::Revoke2))
+        pumpRevocation(proc);
 
     if (mx) {
         mx->recordSyscall(info ? code : 0, proc.abi(),

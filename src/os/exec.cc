@@ -229,6 +229,10 @@ Kernel::execve(Process &proc, const SelfObject &program,
         failNoMem();
         return E_NOMEM;
     }
+    // An open revocation epoch belongs to the old address space; abort
+    // it before that space is replaced (its proofs are meaningless for
+    // the fresh principal).
+    abortRevocationEpoch(proc);
     // Replace the address space: a fresh abstract principal.
     proc._as = std::make_unique<AddressSpace>(
         phys, swap, newPrincipal(), cfg.capFormat,

@@ -35,6 +35,7 @@ Kernel::Kernel(KernelConfig cfg)
     phys.setReclaimHook([this](u64 wanted, const void *requester) {
         return reclaimFrames(wanted, requester);
     });
+    registerDefaultRevocationScans(*this);
     fs.mkdir("/tmp");
     fs.mkdir("/etc");
     fs.mkdir("/home");
@@ -105,6 +106,9 @@ Kernel::oomKill(Process &victim)
     di.fault = CapFault::MemoryExhausted;
     di.detail = "out of memory (oom-killed)";
     victim.die(di);
+    // An open revocation epoch dies with the address space it was
+    // sweeping; it never closes (nothing was proven revoked).
+    abortRevocationEpoch(victim);
     // Reclaim everything immediately — frames and swap slots — rather
     // than waiting for the zombie to be reaped.
     victim.as().releaseAll();
@@ -232,6 +236,7 @@ void
 Kernel::exitProcess(Process &proc, int status)
 {
     proc.exit(status);
+    abortRevocationEpoch(proc);
     // Eager teardown: a zombie keeps its pid and exit status for wait4,
     // but its frames and swap slots go back to the pools immediately so
     // memory pressure is relieved without waiting for the reap.
@@ -261,6 +266,7 @@ Kernel::faultProcess(Process &proc, const DeathInfo &info)
         return;
     }
     proc.die(di);
+    abortRevocationEpoch(proc);
     // Post-mortem: dump the capability register file and memory map
     // (paper section 4: register values are stored in core dumps).
     std::string core_path = "/cores/" + proc.name() + "." +
@@ -490,66 +496,26 @@ Kernel::sysSbrk(Process &proc, s64 delta)
     return SysResult::ok(old_brk);
 }
 
-SysResult
-Kernel::sysRevoke(Process &proc, u64 lo, u64 hi)
+void
+Kernel::forEachKeventUdata(u64 pid,
+                           const std::function<void(Capability &)> &fn)
 {
-    if (lo >= hi)
-        return SysResult::fail(E_INVAL);
-    return sysRevokeSet(proc, {{lo, hi}});
+    auto kq = kqueues.find(pid);
+    if (kq == kqueues.end())
+        return;
+    for (KEvent &ev : kq->second)
+        fn(ev.udata);
 }
 
-SysResult
-Kernel::sysRevokeSet(Process &proc,
-                     const std::vector<std::pair<u64, u64>> &ranges)
+void
+Kernel::forEachKeventUdata(
+    u64 pid, const std::function<void(const Capability &)> &fn) const
 {
-    chargeSyscall(proc, 1);
-    if (ranges.empty())
-        return SysResult::ok(0);
-    for (const auto &[lo, hi] : ranges) {
-        if (lo >= hi)
-            return SysResult::fail(E_INVAL);
-    }
-    // Sorted ranges give O(log n) membership per granule — the
-    // in-kernel equivalent of CHERIvoke's shadow bitmap.
-    std::vector<std::pair<u64, u64>> sorted = ranges;
-    std::sort(sorted.begin(), sorted.end());
-    auto in_ranges = [&](const Capability &cap) {
-        u64 base = cap.base();
-        auto it = std::upper_bound(
-            sorted.begin(), sorted.end(), base,
-            [](u64 v, const std::pair<u64, u64> &r) { return v < r.first; });
-        if (it == sorted.begin())
-            return false;
-        --it;
-        return base >= it->first && base < it->second;
-    };
-    // The sweep loads and checks every capability granule of every
-    // page: charge one pass of the resident set.
-    u64 resident = proc.as().residentPages();
-    proc.cost().alu(resident * 4 * granulesPerPage);
-    for (u64 i = 0; i < resident; ++i)
-        proc.cost().copyLoop(0x10000 + i * pageSize,
-                             0xD000000000 + i * 64, 64);
-    u64 revoked = proc.as().revokeCapsMatching(in_ranges);
-    // Capability register file.
-    ThreadRegs &regs = proc.regs();
-    auto sweep_reg = [&](Capability &c) {
-        if (c.tag() && in_ranges(c)) {
-            c = c.withoutTag();
-            ++revoked;
-        }
-    };
-    sweep_reg(regs.pcc);
-    sweep_reg(regs.ddc);
-    for (Capability &c : regs.c)
-        sweep_reg(c);
-    // Kernel-held user pointers (kevent udata).
-    auto kq = kqueues.find(proc.pid());
-    if (kq != kqueues.end()) {
-        for (KEvent &ev : kq->second)
-            sweep_reg(ev.udata);
-    }
-    return SysResult::ok(revoked);
+    auto kq = kqueues.find(pid);
+    if (kq == kqueues.end())
+        return;
+    for (const KEvent &ev : kq->second)
+        fn(ev.udata);
 }
 
 SysResult

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "os/process.h"
+#include "os/revocation.h"
 #include "os/sysnum.h"
 #include "os/user_ptr.h"
 #include "trace/trace.h"
@@ -125,6 +126,9 @@ struct KernelConfig
     /** Max occupied swap slots (0 = unlimited).  A full device turns
      *  reclaim into OOM kill. */
     u64 swapSlotBudget = 0;
+    /** Pages scanned per incremental revocation slice — the bound on
+     *  revocation work any single dispatch() absorbs. */
+    u64 revokeSliceBudget = 8;
 };
 
 class Kernel
@@ -144,6 +148,25 @@ class Kernel
         u64 enomemErrors = 0;
     };
 
+    /** Revocation accounting (mirrored into Metrics when one is
+     *  attached). */
+    struct RevocationStats
+    {
+        u64 epochsOpened = 0;
+        u64 epochsClosed = 0;
+        /** Epochs torn down without closing (exit/execve/OOM kill). */
+        u64 epochsAborted = 0;
+        u64 pagesScanned = 0;
+        /** Content pages an epoch skipped because cap-clean. */
+        u64 pagesSkippedClean = 0;
+        u64 granulesVisited = 0;
+        u64 tagsRevoked = 0;
+        u64 incrementalSlices = 0;
+        u64 syncSweeps = 0;
+        /** Modelled cycles charged inside epochs (open to close). */
+        u64 cyclesInEpochs = 0;
+    };
+
     /** @name Subsystems */
     /// @{
     PhysMem &physMem() { return phys; }
@@ -152,6 +175,7 @@ class Kernel
      *  swap-out, and swap-in choke points. */
     FaultInjector &faultInjector() { return injector; }
     const MemPressureStats &memPressure() const { return pressure; }
+    const RevocationStats &revocationStats() const { return revStats; }
     Vfs &vfs() { return fs; }
     Rtld &rtld() { return linker; }
     const KernelConfig &config() const { return cfg; }
@@ -367,21 +391,59 @@ class Kernel
     SysResult sysGetpid(Process &proc) const;
     SysResult sysGetppid(Process &proc) const;
     /**
-     * Revocation sweep (the "new interface" the paper's temporal-safety
-     * future work calls for): clear every capability whose base lies in
-     * [lo, hi) across the process's address space (resident and
-     * swapped pages), its capability register file, and the kernel
-     * structures holding its pointers (kevent udata).  Returns the
-     * number of tags cleared.
+     * The unified revocation syscall (revoke2): run an epoch-based
+     * sweep over a set of [lo, hi) ranges — resident and swapped pages
+     * (cap-dirty only, unless REVOKE_FORCE_FULL), then every
+     * kernel-held capability store via the RevocationScan registry.
+     *
+     *   REVOKE_SYNC        whole epoch now; result = tags revoked.
+     *                      Empty range set: drain an open epoch.
+     *   REVOKE_INCREMENTAL open + one bounded slice; result = pages
+     *                      still queued (0 = closed).  Empty range
+     *                      set: advance the open epoch one slice.
+     *   REVOKE_FORCE_FULL  scan every content page (composable).
+     *
+     * Exactly one of SYNC/INCREMENTAL must be set.  Opening while an
+     * epoch is already open is E_BUSY; a SYNC drive that cannot make
+     * progress (persistent swap-device failure) returns E_INTR with
+     * the epoch left open for retry.
      */
-    SysResult sysRevoke(Process &proc, u64 lo, u64 hi);
+    SysResult sysRevoke2(Process &proc,
+                         const std::vector<std::pair<u64, u64>> &ranges,
+                         u32 flags);
+
     /**
-     * As sysRevoke, but sweeps once for a whole set of [lo, hi)
-     * ranges — the shape a quarantine-draining allocator needs (one
-     * pass regardless of how fragmented the quarantine is).
+     * Register a kernel capability store with the revocation sweep.
+     * The default scans (thread register files, startup capabilities,
+     * live signal frames, kevent udata) are installed by the
+     * constructor; subsystems added later register here too.
      */
-    SysResult sysRevokeSet(Process &proc,
-                           const std::vector<std::pair<u64, u64>> &ranges);
+    void registerRevocationScan(std::unique_ptr<RevocationScan> scan);
+
+    /** This process's revocation epoch state (created on demand). */
+    RevocationEpoch &revocationEpoch(u64 pid) { return revEpochs[pid]; }
+
+    /** Read-only epoch lookup that never creates state (the oracle). */
+    const RevocationEpoch *
+    findRevocationEpoch(u64 pid) const
+    {
+        auto it = revEpochs.find(pid);
+        return it == revEpochs.end() ? nullptr : &it->second;
+    }
+
+    /** dispatch() invocations so far — the quiescent-point clock the
+     *  oracle compares RevocationEpoch::closeSeq against. */
+    u64 dispatchCount() const { return dispatchSeq; }
+
+    /** Visit every kevent udata capability registered by @p pid —
+     *  mutably (the revocation sweep clears tags in place)... */
+    void forEachKeventUdata(u64 pid,
+                            const std::function<void(Capability &)> &fn);
+    /** ...and read-only (the invariant oracle). */
+    void forEachKeventUdata(
+        u64 pid,
+        const std::function<void(const Capability &)> &fn) const;
+
     /**
      * Allocate a range of @p count object types to the process,
      * returning (via @p out) a sealing authority: a capability with
@@ -440,6 +502,30 @@ class Kernel
     /** Charge @p n_ptr_args syscall overhead to the process. */
     void chargeSyscall(Process &proc, u64 n_ptr_args);
 
+    /** @name Revocation epoch machinery (os/revocation.cc)
+     * openEpoch validates the range set and builds the worklist;
+     * runRevocationSlice scans up to @p max_pages from it (absorbing
+     * re-dirtied pages) and closes the epoch when the worklist drains —
+     * closing is where kernel-held stores are swept, via the
+     * RevocationScan registry.  driveEpochToClose loops slices for the
+     * SYNC path; pumpRevocation is the per-dispatch incremental tick;
+     * abortRevocationEpoch tears down an open epoch when its process's
+     * address space is about to vanish (exit, execve, OOM kill).
+     */
+    /// @{
+    SysResult openEpoch(Process &proc,
+                        std::vector<std::pair<u64, u64>> ranges,
+                        u32 flags);
+    /** Pages scanned this slice (0 = no progress; worklist may still
+     *  be nonempty on persistent device failure). */
+    u64 runRevocationSlice(Process &proc, RevocationEpoch &ep,
+                           u64 max_pages);
+    void closeRevocationEpoch(Process &proc, RevocationEpoch &ep);
+    SysResult driveEpochToClose(Process &proc, RevocationEpoch &ep);
+    void pumpRevocation(Process &proc);
+    void abortRevocationEpoch(Process &proc);
+    /// @}
+
     void setupStack(Process &proc, const std::vector<std::string> &argv,
                     const std::vector<std::string> &envv);
     /** Spill/restore the register file to/from a signal frame on the
@@ -464,6 +550,13 @@ class Kernel
     std::map<int, ShmSegment> shmSegments;
     std::map<u64, std::vector<KEvent>> kqueues; // by pid
     std::vector<std::pair<u64, u64>> attached; // (debugger, target)
+    std::vector<std::unique_ptr<RevocationScan>> revScans;
+    std::map<u64, RevocationEpoch> revEpochs; // by pid
+    RevocationStats revStats;
+    /** Kernel-global epoch id allocator (ids never reused). */
+    u64 nextEpochId = 0;
+    /** dispatch() entries so far. */
+    u64 dispatchSeq = 0;
     u64 nextPid = 1;
     u64 nextPrincipal = 1;
     u64 nextOtype = 1; // otype 0 reserved

@@ -100,6 +100,14 @@ class Process
         for (const auto &t : threads)
             fn(t);
     }
+    /** Mutable variant: the revocation sweep clears tags in the saved
+     *  register files of switched-out threads in place. */
+    void
+    forEachThread(const std::function<void(ThreadRecord &)> &fn)
+    {
+        for (auto &t : threads)
+            fn(t);
+    }
     /// @}
 
     /** Per-process execution cost counters (per-ABI). */
@@ -166,6 +174,16 @@ class Process
     u64 brkBase = 0;
     u64 brkCur = 0;
     u64 brkLimit = 0;
+
+    /**
+     * Signal frames currently spilled on the kernel side of a handler
+     * invocation (innermost last).  While a handler runs, the
+     * *interrupted* context's capabilities live in this kernel copy,
+     * not in the register file — so the revocation sweep must reach
+     * them here or a revoked capability would be resurrected by
+     * sigreturn.
+     */
+    std::vector<SigFrame *> liveSigFrames;
 
     Kernel &kernel() { return kern; }
 

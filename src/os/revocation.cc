@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Epoch-based revocation: the revoke2 syscall, the sweep scheduler,
+ * and the default kernel capability-store scans.
+ *
+ * See os/revocation.h for the model.  The scheduler's soundness
+ * argument, for any page P and revoked range R:
+ *
+ *  - If P was cap-dirty at open, P is on the worklist and will be
+ *    scanned before close (device failures re-queue, never drop).
+ *  - If P was cap-clean at open, P provably held no capabilities at
+ *    all (the dirty bit is sticky — only a proving scan clears it).
+ *  - If a capability is stored to P after its scan (or P is mapped
+ *    mid-epoch), the VM layer's markCapStore re-queues P, and the
+ *    epoch cannot close until the re-scan happens.
+ *  - Register files, saved thread contexts, live signal frames, and
+ *    kevent udata are swept at close, when the guest cannot run, so
+ *    no capability can hop from an unscanned register into an
+ *    already-scanned page.
+ */
+
+#include "os/kernel.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace cheri
+{
+
+bool
+capInSortedRanges(const Capability &cap,
+                  const std::vector<std::pair<u64, u64>> &sorted)
+{
+    u64 base = cap.base();
+    auto it = std::upper_bound(
+        sorted.begin(), sorted.end(), base,
+        [](u64 v, const std::pair<u64, u64> &r) { return v < r.first; });
+    if (it == sorted.begin())
+        return false;
+    --it;
+    return base >= it->first && base < it->second;
+}
+
+namespace
+{
+
+void
+visitRegs(ThreadRegs &regs, const std::function<void(Capability &)> &fn)
+{
+    fn(regs.pcc);
+    fn(regs.ddc);
+    for (Capability &c : regs.c)
+        fn(c);
+}
+
+/** The running thread's register file plus every switched-out
+ *  thread's saved context and stack capability. */
+class ThreadRegScan : public RevocationScan
+{
+  public:
+    std::string_view name() const override { return "thread-regs"; }
+    void
+    forEachCap(Kernel &, Process &proc,
+               const std::function<void(Capability &)> &fn) override
+    {
+        visitRegs(proc.regs(), fn);
+        proc.forEachThread([&](ThreadRecord &t) {
+            visitRegs(t.saved, fn);
+            fn(t.stackCap);
+        });
+    }
+};
+
+/** The execve-installed startup capabilities the kernel keeps for
+ *  fork and introspection. */
+class StartupCapScan : public RevocationScan
+{
+  public:
+    std::string_view name() const override { return "startup-caps"; }
+    void
+    forEachCap(Kernel &, Process &proc,
+               const std::function<void(Capability &)> &fn) override
+    {
+        fn(proc.stackCap);
+        fn(proc.argvCap);
+        fn(proc.envvCap);
+        fn(proc.auxvCap);
+        fn(proc.trampolineCap);
+    }
+};
+
+/** Interrupted contexts spilled for in-flight signal handlers: the
+ *  capabilities sigreturn will restore live here, not in registers. */
+class SigFrameScan : public RevocationScan
+{
+  public:
+    std::string_view name() const override { return "sigframes"; }
+    void
+    forEachCap(Kernel &, Process &proc,
+               const std::function<void(Capability &)> &fn) override
+    {
+        for (SigFrame *frame : proc.liveSigFrames)
+            visitRegs(frame->saved, fn);
+    }
+};
+
+/** kevent udata: user pointers held in kernel structures for extended
+ *  periods (paper section 4). */
+class KeventUdataScan : public RevocationScan
+{
+  public:
+    std::string_view name() const override { return "kevent-udata"; }
+    void
+    forEachCap(Kernel &kern, Process &proc,
+               const std::function<void(Capability &)> &fn) override
+    {
+        kern.forEachKeventUdata(proc.pid(), fn);
+    }
+};
+
+} // namespace
+
+void
+registerDefaultRevocationScans(Kernel &kern)
+{
+    kern.registerRevocationScan(std::make_unique<ThreadRegScan>());
+    kern.registerRevocationScan(std::make_unique<StartupCapScan>());
+    kern.registerRevocationScan(std::make_unique<SigFrameScan>());
+    kern.registerRevocationScan(std::make_unique<KeventUdataScan>());
+}
+
+void
+Kernel::registerRevocationScan(std::unique_ptr<RevocationScan> scan)
+{
+    revScans.push_back(std::move(scan));
+}
+
+SysResult
+Kernel::openEpoch(Process &proc, std::vector<std::pair<u64, u64>> ranges,
+                  u32 flags)
+{
+    for (const auto &[lo, hi] : ranges) {
+        if (lo >= hi)
+            return SysResult::fail(E_INVAL);
+    }
+    // Sorted ranges give O(log n) membership per granule — the
+    // in-kernel equivalent of CHERIvoke's shadow bitmap.
+    std::sort(ranges.begin(), ranges.end());
+    RevocationEpoch &ep = revEpochs[proc.pid()];
+    ep.open = true;
+    ep.id = ++nextEpochId;
+    ep.ranges = std::move(ranges);
+    ep.forceFull = (flags & REVOKE_FORCE_FULL) != 0;
+    ep.incremental = (flags & REVOKE_INCREMENTAL) != 0;
+    ep.revoked = 0;
+    ep.cyclesAtOpen = proc.cost().cycles();
+    u64 content = proc.as().contentPages();
+    std::vector<u64> work = proc.as().beginSweepEpoch(ep.id, ep.forceFull);
+    ep.worklist.assign(work.begin(), work.end());
+    // Every content page not on the worklist was proven capability-free
+    // by an earlier epoch and never cap-stored since: the pages the
+    // dirty-tracking pays for itself by skipping.
+    u64 skipped = ep.forceFull ? 0 : content - work.size();
+    ++revStats.epochsOpened;
+    revStats.pagesSkippedClean += skipped;
+    if (mx)
+        mx->recordRevokeEpochOpened(skipped);
+    return SysResult::ok(0);
+}
+
+u64
+Kernel::runRevocationSlice(Process &proc, RevocationEpoch &ep,
+                           u64 max_pages)
+{
+    if (!ep.open)
+        return 0;
+    auto pred = [&ep](const Capability &cap) {
+        return capInSortedRanges(cap, ep.ranges);
+    };
+    u64 scanned = 0;
+    u64 granules = 0;
+    u64 revoked = 0;
+    while (scanned < max_pages && !ep.worklist.empty()) {
+        u64 va = ep.worklist.front();
+        ep.worklist.pop_front();
+        AddressSpace::PageSweep r =
+            proc.as().sweepPageForRevocation(va, ep.id, pred);
+        if (r.deviceFailed) {
+            // Re-queue behind the rest; end the slice so a persistently
+            // failing device cannot spin inside one dispatch.
+            ep.worklist.push_back(va);
+            break;
+        }
+        ++scanned;
+        granules += r.granules;
+        revoked += r.revoked;
+        if (r.granules != 0) {
+            // The scan loads and checks every capability granule.
+            proc.cost().alu(4 * r.granules);
+            proc.cost().copyLoop(va, 0xD000000000 + scanned * 64, 64);
+        }
+    }
+    // Absorb pages cap-stored after their scan (or mapped mid-epoch).
+    for (u64 va : proc.as().takeRedirtiedPages())
+        ep.worklist.push_back(va);
+    ep.revoked += revoked;
+    revStats.pagesScanned += scanned;
+    revStats.granulesVisited += granules;
+    revStats.tagsRevoked += revoked;
+    if (ep.incremental)
+        ++revStats.incrementalSlices;
+    if (mx)
+        mx->recordRevokeSlice(scanned, granules, revoked, ep.incremental);
+    if (ep.worklist.empty())
+        closeRevocationEpoch(proc, ep);
+    return scanned;
+}
+
+void
+Kernel::closeRevocationEpoch(Process &proc, RevocationEpoch &ep)
+{
+    // Every page is proven scanned; now sweep the capability stores the
+    // page tables cannot see.  The guest cannot run between here and
+    // the epoch being closed, so nothing can re-hide a capability.
+    u64 root_revoked = 0;
+    for (auto &scan : revScans) {
+        scan->forEachCap(*this, proc, [&](Capability &c) {
+            if (c.tag() && capInSortedRanges(c, ep.ranges)) {
+                c = c.withoutTag();
+                ++root_revoked;
+            }
+        });
+    }
+    proc.cost().capManip(4 * revScans.size());
+    ep.revoked += root_revoked;
+    proc.as().endSweepEpoch();
+    ep.open = false;
+    ep.worklist.clear();
+    ep.closedRanges = ep.ranges;
+    ep.closeSeq = dispatchSeq;
+    u64 cycle_delta = proc.cost().cycles() - ep.cyclesAtOpen;
+    ++revStats.epochsClosed;
+    revStats.tagsRevoked += root_revoked;
+    revStats.cyclesInEpochs += cycle_delta;
+    if (mx)
+        mx->recordRevokeEpochClosed(root_revoked, cycle_delta);
+}
+
+SysResult
+Kernel::driveEpochToClose(Process &proc, RevocationEpoch &ep)
+{
+    while (ep.open) {
+        u64 chunk = std::max<u64>(cfg.revokeSliceBudget, 64);
+        u64 scanned = runRevocationSlice(proc, ep, chunk);
+        if (ep.open && scanned == 0) {
+            // Zero progress with work queued: the swap device refused
+            // every read.  Leave the epoch open — the caller retries
+            // (or the incremental pump drains it) once the device
+            // recovers; quarantined memory stays unreusable meanwhile.
+            return SysResult::fail(E_INTR);
+        }
+    }
+    ++revStats.syncSweeps;
+    if (mx)
+        mx->recordRevokeSync();
+    return SysResult::ok(ep.revoked);
+}
+
+void
+Kernel::pumpRevocation(Process &proc)
+{
+    auto it = revEpochs.find(proc.pid());
+    if (it == revEpochs.end() || !it->second.open)
+        return;
+    runRevocationSlice(proc, it->second, cfg.revokeSliceBudget);
+}
+
+void
+Kernel::abortRevocationEpoch(Process &proc)
+{
+    auto it = revEpochs.find(proc.pid());
+    if (it == revEpochs.end() || !it->second.open)
+        return;
+    RevocationEpoch &ep = it->second;
+    proc.as().endSweepEpoch();
+    ep.open = false;
+    ep.worklist.clear();
+    // Deliberately no closedRanges/closeSeq update: this epoch proved
+    // nothing, and the oracle must not treat its ranges as revoked.
+    ++revStats.epochsAborted;
+    if (mx)
+        mx->recordRevokeEpochAborted();
+}
+
+SysResult
+Kernel::sysRevoke2(Process &proc,
+                   const std::vector<std::pair<u64, u64>> &ranges,
+                   u32 flags)
+{
+    chargeSyscall(proc, 1);
+    constexpr u32 known =
+        REVOKE_SYNC | REVOKE_INCREMENTAL | REVOKE_FORCE_FULL;
+    if (flags & ~known)
+        return SysResult::fail(E_INVAL);
+    const bool sync = (flags & REVOKE_SYNC) != 0;
+    const bool incremental = (flags & REVOKE_INCREMENTAL) != 0;
+    // Exactly one mode: SYNC|INCREMENTAL is contradictory, neither is
+    // a no-op request.
+    if (sync == incremental)
+        return SysResult::fail(E_INVAL);
+    RevocationEpoch &ep = revEpochs[proc.pid()];
+    if (!ranges.empty()) {
+        if (ep.open)
+            return SysResult::fail(E_BUSY);
+        SysResult r = openEpoch(proc, ranges, flags);
+        if (r.failed())
+            return r;
+        if (sync)
+            return driveEpochToClose(proc, ep);
+        runRevocationSlice(proc, ep, cfg.revokeSliceBudget);
+        return SysResult::ok(ep.open ? ep.worklist.size() : 0);
+    }
+    // Empty range set: drain (SYNC) or advance (INCREMENTAL) whatever
+    // epoch is open; nothing open is trivially done.
+    if (!ep.open)
+        return SysResult::ok(0);
+    if (sync)
+        return driveEpochToClose(proc, ep);
+    runRevocationSlice(proc, ep, cfg.revokeSliceBudget);
+    return SysResult::ok(ep.open ? ep.worklist.size() : 0);
+}
+
+} // namespace cheri

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The unified revocation interface: epoch state machine + kernel scans.
+ *
+ * Revocation is the "new interface" the paper's temporal-safety future
+ * work calls for (section 6), implemented here in the Cornucopia
+ * style: the VM layer keeps a sticky cap-dirty bit per page (set at
+ * the capability-store choke points, cleared only when a sweep proves
+ * the page free of tagged capabilities), and the kernel runs each
+ * revocation as an *epoch* —
+ *
+ *   Idle --open--> Open --[scan cap-dirty pages, re-scan pages
+ *                          cap-stored after their scan, then sweep
+ *                          every kernel-held capability store]--> Idle
+ *
+ * — either synchronously inside one syscall (REVOKE_SYNC) or a bounded
+ * slice of pages at a time (REVOKE_INCREMENTAL), amortized across
+ * subsequent dispatch() calls so guest syscall latency stays flat.
+ *
+ * Kernel-held capability stores (the paper: user pointers "may be held
+ * in kernel structures for extended periods") are reached through the
+ * RevocationScan registry below instead of ad-hoc loops: thread
+ * register files, startup capabilities, in-flight signal frames, and
+ * kevent udata each register a scan, and any future kernel store is
+ * one registration away from being swept.
+ */
+
+#ifndef CHERI_OS_REVOCATION_H
+#define CHERI_OS_REVOCATION_H
+
+#include <deque>
+#include <functional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "cap/capability.h"
+
+namespace cheri
+{
+
+class Kernel;
+class Process;
+
+/** Flags for the unified revocation syscall (revoke2). */
+enum RevokeFlags : u32
+{
+    /**
+     * Run the whole epoch inside the call; the result is the number of
+     * tags revoked.  With an empty range set, drains any epoch left
+     * open by a previous INCREMENTAL call.
+     */
+    REVOKE_SYNC = 0x1,
+    /**
+     * Open an epoch and scan one bounded slice; the result is the
+     * number of pages still queued (0 = the epoch closed).  With an
+     * empty range set, advances the open epoch by one more slice — the
+     * poll form an allocator uses to drain its quarantine without ever
+     * blocking on a full sweep.
+     */
+    REVOKE_INCREMENTAL = 0x2,
+    /** Scan every content page, ignoring cap-dirty bits (the ablation
+     *  baseline, and a paranoia mode). */
+    REVOKE_FORCE_FULL = 0x4,
+};
+
+/**
+ * One kernel subsystem's registration against the revocation sweep.
+ * The visitor receives a mutable reference to every kernel- or
+ * register-held capability belonging to the process and clears tags in
+ * place; scans run when an epoch closes, after every page is proven
+ * scanned (a register may hold a capability loaded before its page's
+ * scan, so sweeping roots earlier would be unsound).
+ */
+class RevocationScan
+{
+  public:
+    virtual ~RevocationScan() = default;
+    virtual std::string_view name() const = 0;
+    virtual void
+    forEachCap(Kernel &kern, Process &proc,
+               const std::function<void(Capability &)> &fn) = 0;
+};
+
+/** Per-process revocation epoch state (Idle <-> Open). */
+struct RevocationEpoch
+{
+    bool open = false;
+    /** Kernel-global epoch id; nonzero while open. */
+    u64 id = 0;
+    /** Sorted, validated [lo, hi) ranges under revocation. */
+    std::vector<std::pair<u64, u64>> ranges;
+    /** Page VAs still to scan (re-dirtied pages re-enter at the back). */
+    std::deque<u64> worklist;
+    bool forceFull = false;
+    bool incremental = false;
+    /** Tags revoked so far in this epoch (pages + roots at close). */
+    u64 revoked = 0;
+    u64 cyclesAtOpen = 0;
+    /**
+     * The last successfully *closed* epoch, for the oracle's
+     * quarantine rule: the ranges it proved dead, and the dispatch()
+     * sequence number at which it closed.  The rule fires exactly at
+     * that dispatch boundary — after the close, before the allocator
+     * can have reused the quarantine.
+     */
+    std::vector<std::pair<u64, u64>> closedRanges;
+    u64 closeSeq = 0;
+};
+
+/** Membership test against a *sorted* range set (binary search — the
+ *  in-kernel equivalent of CHERIvoke's shadow bitmap). */
+bool capInSortedRanges(const Capability &cap,
+                       const std::vector<std::pair<u64, u64>> &sorted);
+
+/** Install the default kernel scans (thread register files, startup
+ *  capabilities, live signal frames, kevent udata) on @p kern. */
+void registerDefaultRevocationScans(Kernel &kern);
+
+} // namespace cheri
+
+#endif // CHERI_OS_REVOCATION_H

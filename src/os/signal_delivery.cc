@@ -242,7 +242,12 @@ Kernel::deliverSignals(Process &proc)
             frame.signo = sig;
             if (!pushSigFrame(proc, frame))
                 break; // spill faulted; the process is dead
+            // The interrupted context now lives in this kernel-side
+            // frame; expose it to the revocation sweep for the
+            // handler's duration (a handler may run revoke2).
+            proc.liveSigFrames.push_back(&frame);
             (*fn)(proc, frame);
+            proc.liveSigFrames.pop_back();
             if (!popSigFrame(proc, frame))
                 break;
             ++delivered;

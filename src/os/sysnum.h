@@ -50,7 +50,7 @@ enum class SysNum : u16
     Getppid,
     Kill,
     Sigprocmask,
-    Revoke,
+    Revoke2,
     ThrNew,
     ThrSwitch,
     ThrExit,
@@ -100,7 +100,7 @@ constexpr SyscallInfo syscallTable[numSysNums] = {
     {SysNum::Getppid, "getppid", 0, false},
     {SysNum::Kill, "kill", 0, false},
     {SysNum::Sigprocmask, "sigprocmask", 0, false},
-    {SysNum::Revoke, "revoke", 0, false},
+    {SysNum::Revoke2, "revoke2", 1, false},
     {SysNum::ThrNew, "thr_new", 0, false},
     {SysNum::ThrSwitch, "thr_switch", 0, false},
     {SysNum::ThrExit, "thr_exit", 0, false},

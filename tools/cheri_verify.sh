@@ -35,4 +35,9 @@ CHERI_TEST_FRAME_BUDGET=48 CHERI_TEST_SLOT_BUDGET=128 \
 "$build_dir/tools/abi_fuzz" --seed 1 --cases 50 --check-every 1
 CHERI_TEST_FRAME_BUDGET=48 CHERI_TEST_SLOT_BUDGET=128 \
     "$build_dir/tools/abi_fuzz" --seed 1 --cases 50 --check-every 1
+# Revocation ablation: --check fails unless cap-dirty tracking saves
+# >=5x of the granule traffic on a <20%-dirty workload, every
+# incremental slice respects the configured page budget, and all three
+# strategies revoke exactly the planted capabilities.
+"$build_dir/bench/revocation_bench" --json --check
 echo "cheri_verify: all checks passed"
