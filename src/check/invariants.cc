@@ -210,12 +210,14 @@ Invariants::check(Kernel &kern)
 
         // Rule 7: a revocation epoch that closed at this exact
         // quiescent point promises absence — no tagged capability into
-        // its ranges anywhere the kernel can see.  Only the closing
-        // dispatch is checked: afterwards the guest may legitimately
-        // re-derive into the (now reusable) ranges.
+        // its ranges anywhere the kernel can see.  Only the close tick
+        // itself is checked (the close bumps the quiescent clock, so
+        // the window is exact for dispatched and direct entry paths
+        // alike): afterwards the guest may legitimately re-derive into
+        // the (now reusable) ranges.
         const RevocationEpoch *ep = kern.findRevocationEpoch(proc.pid());
         if (ep && !ep->open && ep->closeSeq != 0 &&
-            ep->closeSeq == kern.dispatchCount() &&
+            ep->closeSeq == kern.quiescentCount() &&
             !ep->closedRanges.empty()) {
             auto survivor = [&](const char *where, u64 at,
                                const Capability &cap) {

@@ -36,7 +36,7 @@
  *     and per-cause fault counters are consistent with the recorded
  *     fault log.
  *  7. Revocation completeness: when a revocation epoch closed at this
- *     exact quiescent point (closeSeq equals the dispatch clock), no
+ *     exact quiescent point (closeSeq equals the quiescent clock), no
  *     tagged capability into its revoked ranges survives anywhere the
  *     kernel can see — tagged memory, swapped-out tag metadata, the
  *     register file, saved thread contexts, live signal frames,

@@ -78,7 +78,11 @@ MemAccess::missData(u64 page_va, bool for_write, bool cap_store)
     e.frame = view.frame;
     e.prot = view.prot;
     e.writable = (view.prot & PROT_WRITE) != 0 && !view.cow;
-    e.capWritable = e.writable && view.capDirty;
+    // No cached cap-store permission while a revocation epoch is open:
+    // the epoch's re-queue logic (markCapStore) lives on the walk
+    // path, and a fast-path cap store to a scanned-but-still-dirty
+    // page would dodge it and survive the epoch.
+    e.capWritable = e.writable && view.capDirty && !view.sweepEpochOpen;
     return view.frame;
 }
 

@@ -161,11 +161,14 @@ class MemAccess
          *  never dodge a pending COW copy. */
         bool writable = false;
         /** Cached capability-store permission: set only when the page
-         *  is writable-cacheable AND already cap-dirty.  The first
+         *  is writable-cacheable AND already cap-dirty AND no
+         *  revocation epoch is open against the space.  The first
          *  capability store to a cap-clean page therefore always takes
          *  the walk path, where the dirty bit is set — the same
          *  mechanism the COW rule above uses (PR 2), extended to
-         *  revocation's dirty tracking. */
+         *  revocation's dirty tracking.  During an open epoch every
+         *  cap store walks, so the scheduler can re-queue pages stored
+         *  to after their scan. */
         bool capWritable = false;
     };
 

@@ -98,6 +98,7 @@ AddressSpace::resolvePage(u64 va, bool for_write, PageView *out,
     out->cow = pte->cow;
     out->shared = pte->shared;
     out->capDirty = pte->capDirty;
+    out->sweepEpochOpen = activeSweepEpoch != 0;
     return true;
 }
 
@@ -541,7 +542,9 @@ AddressSpace::installFrame(u64 va, FrameRef frame)
     // The incoming frame may already carry capabilities stored through
     // another space's mapping, and future sibling stores are invisible
     // to this page table: conservatively (and permanently) cap-dirty.
-    it->second.capDirty = true;
+    // markCapStore also queues the page when an epoch is open — a
+    // frame attached mid-epoch must be scanned before the close.
+    markCapStore(it->second, pageTrunc(va));
     return true;
 }
 
@@ -728,7 +731,10 @@ AddressSpace::sweepPageImpl(
         // Once proven clean, a cached cap-store-permitted dTLB entry
         // would let the next capability store dodge the dirty bit; and
         // revoked tags must not be served from stale entries either.
-        if (r.provenClean || r.revoked != 0)
+        // Inside an epoch the entry goes unconditionally: a cached
+        // capWritable for a scanned-but-still-dirty page would let a
+        // later cap store bypass the re-queue in markCapStore.
+        if (epoch_id != 0 || r.provenClean || r.revoked != 0)
             notifyInvalidatePage(pageTrunc(va));
     } else {
         // Demand-zero page: trivially holds no capabilities.
@@ -754,11 +760,35 @@ AddressSpace::sweepPageForRevocation(
     return sweepPageImpl(va, epoch_id, pred, true);
 }
 
+AddressSpace::SharedSweep
+AddressSpace::sweepSharedPagesForClose(
+    u64 epoch_id, const std::function<bool(const Capability &)> &pred)
+{
+    SharedSweep total;
+    for (auto &[va, pte] : pages) {
+        if (!pte.shared || (!pte.frame && !pte.swapped))
+            continue;
+        // Non-injectable like the direct sweep: the close barrier must
+        // not fail (shared pages are never swapped out anyway).
+        PageSweep r = sweepPageImpl(va, epoch_id, pred, false);
+        ++total.pages;
+        total.granules += r.granules;
+        total.revoked += r.revoked;
+    }
+    return total;
+}
+
 std::vector<u64>
 AddressSpace::beginSweepEpoch(u64 epoch_id, bool force_full)
 {
     activeSweepEpoch = epoch_id;
     redirtied.clear();
+    // Drop every cached translation: entries installed before the
+    // epoch may carry capability-store permission, and the epoch's
+    // soundness depends on every cap store taking the walk path (where
+    // markCapStore records it) until the epoch closes.  resolvePage
+    // reports sweepEpochOpen from here on, so refills stay cap-cold.
+    notifyInvalidateAll();
     std::vector<u64> work = sweepWorklist(force_full);
     // Stamp the initial worklist so markCapStore knows these pages
     // already have a pending visit and need not be re-queued.
@@ -812,6 +842,7 @@ AddressSpace::forEachPte(
         v.swapped = pte.swapped;
         v.swapSlot = pte.swapped ? pte.swapSlot : 0;
         v.capDirty = pte.capDirty;
+        v.sweptEpoch = pte.sweptEpoch;
         v.frame = pte.frame.get();
         v.frameRefs = pte.frame ? pte.frame.use_count() : 0;
         fn(v);

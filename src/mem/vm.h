@@ -99,6 +99,10 @@ struct PageView
     bool shared = false;
     /** Page may hold tagged capabilities (see Pte::capDirty). */
     bool capDirty = false;
+    /** A revocation epoch is open against this space: the TLB must
+     *  not cache capability-store permission at all, so every cap
+     *  store walks and the scheduler sees it (markCapStore). */
+    bool sweepEpochOpen = false;
 };
 
 class AddressSpace
@@ -308,6 +312,14 @@ class AddressSpace
         bool deviceFailed = false;
     };
 
+    /** Totals of the close-barrier rescan of shared pages. */
+    struct SharedSweep
+    {
+        u64 pages = 0;
+        u64 granules = 0;
+        u64 revoked = 0;
+    };
+
     /** Mapped pages with content (resident or swapped) — the full-scan
      *  sweep universe. */
     u64 contentPages() const;
@@ -331,12 +343,27 @@ class AddressSpace
         const std::function<bool(const Capability &)> &pred);
 
     /**
+     * Close-barrier rescan: sweep every shared content page once more,
+     * unconditionally.  Dirtiness is tracked per address space, so a
+     * sibling process storing a capability through its own mapping of
+     * a shared frame is invisible to this page table — the only sound
+     * point to catch it is the epoch-close barrier, when the guest
+     * cannot run.  Shared pages are never swapped out, so this scan
+     * cannot fail.
+     */
+    SharedSweep sweepSharedPagesForClose(
+        u64 epoch_id,
+        const std::function<bool(const Capability &)> &pred);
+
+    /**
      * Open epoch @p epoch_id (nonzero) and return the initial worklist
      * (cap-dirty pages, or every content page under @p force_full),
      * each stamped as queued.  While the epoch is open, a capability
      * store to any page NOT queued in it — a page already scanned, or
      * one mapped fresh mid-epoch — is recorded so the sweep scheduler
-     * can scan it before closing.
+     * can scan it before closing.  Opening flushes every listening
+     * TLB and suppresses capability-store caching for the epoch's
+     * duration, so no cap store can dodge that recording.
      */
     std::vector<u64> beginSweepEpoch(u64 epoch_id, bool force_full);
     /** Close the open epoch (aborting also goes through here). */
@@ -365,6 +392,9 @@ class AddressSpace
         /** Page may hold tagged capabilities (see the epoch-sweep
          *  section above); the oracle audits this against the frame. */
         bool capDirty = false;
+        /** Epoch id of the last sweep that scanned this page (test and
+         *  oracle observability for the epoch scheduler). */
+        u64 sweptEpoch = 0;
         /** Backing frame; null when not resident. */
         const Frame *frame = nullptr;
         /** shared_ptr owner count of the frame (0 when not resident). */

@@ -51,9 +51,9 @@ Kernel::dispatch(Process &proc, u64 code)
 {
     const SyscallInfo *info = syscallInfo(code);
     const u64 cycles0 = proc.cost().cycles();
-    // Quiescent-point clock: RevocationEpoch::closeSeq records at which
-    // dispatch an epoch closed, and the oracle keys on it.
-    ++dispatchSeq;
+    // Quiescent-point clock: RevocationEpoch::closeSeq records the
+    // tick at which an epoch closed, and the oracle keys on it.
+    ++quiescentSeq;
     if (mx)
         mx->setCurrentSyscall(info ? code : 0);
 

@@ -289,6 +289,9 @@ Kernel::contextSwitchTo(Process &proc)
 void
 Kernel::chargeSyscall(Process &proc, u64 n_ptr_args)
 {
+    // Every syscall entry — dispatched or direct — is guest activity
+    // on the quiescent clock; see quiescentCount().
+    ++quiescentSeq;
     proc.cost().syscall(n_ptr_args);
 }
 
@@ -443,16 +446,16 @@ Kernel::copyoutcap(Process &proc, const Capability &cap,
 }
 
 SysResult
-Kernel::sysGetpid(Process &proc) const
+Kernel::sysGetpid(Process &proc)
 {
-    const_cast<Process &>(proc).cost().syscall(0);
+    chargeSyscall(proc, 0);
     return SysResult::ok(proc.pid());
 }
 
 SysResult
-Kernel::sysGetppid(Process &proc) const
+Kernel::sysGetppid(Process &proc)
 {
-    const_cast<Process &>(proc).cost().syscall(0);
+    chargeSyscall(proc, 0);
     return SysResult::ok(proc.ppid());
 }
 

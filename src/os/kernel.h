@@ -388,8 +388,8 @@ class Kernel
 
     /** @name Misc */
     /// @{
-    SysResult sysGetpid(Process &proc) const;
-    SysResult sysGetppid(Process &proc) const;
+    SysResult sysGetpid(Process &proc);
+    SysResult sysGetppid(Process &proc);
     /**
      * The unified revocation syscall (revoke2): run an epoch-based
      * sweep over a set of [lo, hi) ranges — resident and swapped pages
@@ -431,9 +431,14 @@ class Kernel
         return it == revEpochs.end() ? nullptr : &it->second;
     }
 
-    /** dispatch() invocations so far — the quiescent-point clock the
-     *  oracle compares RevocationEpoch::closeSeq against. */
-    u64 dispatchCount() const { return dispatchSeq; }
+    /** The quiescent-point clock the oracle compares
+     *  RevocationEpoch::closeSeq against.  It advances on every
+     *  dispatch() entry, on every direct sys* entry (chargeSyscall),
+     *  and once at each revocation-epoch close — so a close marks one
+     *  unique point regardless of which path drove it, and any later
+     *  kernel entry (under which the guest may legitimately re-derive
+     *  into the revoked ranges) moves the clock past it. */
+    u64 quiescentCount() const { return quiescentSeq; }
 
     /** Visit every kevent udata capability registered by @p pid —
      *  mutably (the revocation sweep clears tags in place)... */
@@ -555,8 +560,8 @@ class Kernel
     RevocationStats revStats;
     /** Kernel-global epoch id allocator (ids never reused). */
     u64 nextEpochId = 0;
-    /** dispatch() entries so far. */
-    u64 dispatchSeq = 0;
+    /** Quiescent-point clock (see quiescentCount()). */
+    u64 quiescentSeq = 0;
     u64 nextPid = 1;
     u64 nextPrincipal = 1;
     u64 nextOtype = 1; // otype 0 reserved

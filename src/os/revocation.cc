@@ -12,7 +12,13 @@
  *    all (the dirty bit is sticky — only a proving scan clears it).
  *  - If a capability is stored to P after its scan (or P is mapped
  *    mid-epoch), the VM layer's markCapStore re-queues P, and the
- *    epoch cannot close until the re-scan happens.
+ *    epoch cannot close until the re-scan happens.  Opening the epoch
+ *    flushes every software TLB and suppresses cached cap-store
+ *    permission, so no store can take a fast path around markCapStore.
+ *  - If P is shared, a sibling address space can store to its frame
+ *    through a mapping this page table cannot see; every shared
+ *    content page is therefore rescanned once more at the close
+ *    barrier, when no sibling can run.
  *  - Register files, saved thread contexts, live signal frames, and
  *    kevent udata are swept at close, when the guest cannot run, so
  *    no capability can hop from an unscanned register into an
@@ -40,6 +46,26 @@ capInSortedRanges(const Capability &cap,
         return false;
     --it;
     return base >= it->first && base < it->second;
+}
+
+void
+coalesceRanges(std::vector<std::pair<u64, u64>> &ranges)
+{
+    // The binary search above tests only the predecessor range, which
+    // is exact only for disjoint ranges — but revoke2 accepts arbitrary
+    // user arrays, including nested and overlapping ones (e.g.
+    // [0x1000,0x5000) with [0x2000,0x2100) inside it, where a cap at
+    // 0x3000 would land in the inner predecessor and be missed).
+    std::sort(ranges.begin(), ranges.end());
+    std::vector<std::pair<u64, u64>> merged;
+    merged.reserve(ranges.size());
+    for (const auto &r : ranges) {
+        if (!merged.empty() && r.first <= merged.back().second)
+            merged.back().second = std::max(merged.back().second, r.second);
+        else
+            merged.push_back(r);
+    }
+    ranges = std::move(merged);
 }
 
 namespace
@@ -144,9 +170,9 @@ Kernel::openEpoch(Process &proc, std::vector<std::pair<u64, u64>> ranges,
         if (lo >= hi)
             return SysResult::fail(E_INVAL);
     }
-    // Sorted ranges give O(log n) membership per granule — the
-    // in-kernel equivalent of CHERIvoke's shadow bitmap.
-    std::sort(ranges.begin(), ranges.end());
+    // Sorted disjoint ranges give O(log n) membership per granule —
+    // the in-kernel equivalent of CHERIvoke's shadow bitmap.
+    coalesceRanges(ranges);
     RevocationEpoch &ep = revEpochs[proc.pid()];
     ep.open = true;
     ep.id = ++nextEpochId;
@@ -223,6 +249,26 @@ Kernel::closeRevocationEpoch(Process &proc, RevocationEpoch &ep)
     // Every page is proven scanned; now sweep the capability stores the
     // page tables cannot see.  The guest cannot run between here and
     // the epoch being closed, so nothing can re-hide a capability.
+    //
+    // Shared pages first: cap-dirtiness is tracked per address space,
+    // so a sibling process storing a revoked-range capability through
+    // its own mapping of a shared frame after this epoch scanned the
+    // page is invisible to markCapStore.  Rescanning every shared
+    // content page at the close barrier makes that window sound.
+    auto pred = [&ep](const Capability &cap) {
+        return capInSortedRanges(cap, ep.ranges);
+    };
+    AddressSpace::SharedSweep sh =
+        proc.as().sweepSharedPagesForClose(ep.id, pred);
+    if (sh.granules != 0)
+        proc.cost().alu(4 * sh.granules);
+    ep.revoked += sh.revoked;
+    revStats.pagesScanned += sh.pages;
+    revStats.granulesVisited += sh.granules;
+    revStats.tagsRevoked += sh.revoked;
+    if (mx && sh.pages != 0)
+        mx->recordRevokeSlice(sh.pages, sh.granules, sh.revoked, false);
+
     u64 root_revoked = 0;
     for (auto &scan : revScans) {
         scan->forEachCap(*this, proc, [&](Capability &c) {
@@ -238,7 +284,11 @@ Kernel::closeRevocationEpoch(Process &proc, RevocationEpoch &ep)
     ep.open = false;
     ep.worklist.clear();
     ep.closedRanges = ep.ranges;
-    ep.closeSeq = dispatchSeq;
+    // The close is its own tick of the quiescent clock: the oracle's
+    // absence rule is live exactly while no later kernel entry
+    // (dispatch or direct syscall) has advanced the clock, whichever
+    // path drove the epoch here.
+    ep.closeSeq = ++quiescentSeq;
     u64 cycle_delta = proc.cost().cycles() - ep.cyclesAtOpen;
     ++revStats.epochsClosed;
     revStats.tagsRevoked += root_revoked;

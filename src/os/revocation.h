@@ -88,7 +88,8 @@ struct RevocationEpoch
     bool open = false;
     /** Kernel-global epoch id; nonzero while open. */
     u64 id = 0;
-    /** Sorted, validated [lo, hi) ranges under revocation. */
+    /** Sorted, coalesced (disjoint), validated [lo, hi) ranges under
+     *  revocation. */
     std::vector<std::pair<u64, u64>> ranges;
     /** Page VAs still to scan (re-dirtied pages re-enter at the back). */
     std::deque<u64> worklist;
@@ -99,19 +100,28 @@ struct RevocationEpoch
     u64 cyclesAtOpen = 0;
     /**
      * The last successfully *closed* epoch, for the oracle's
-     * quarantine rule: the ranges it proved dead, and the dispatch()
-     * sequence number at which it closed.  The rule fires exactly at
-     * that dispatch boundary — after the close, before the allocator
+     * quarantine rule: the ranges it proved dead, and the quiescent
+     * clock value at which it closed (the close itself is a tick, so
+     * the value is unique to this close regardless of whether the
+     * epoch was driven through dispatch() or a direct syscall entry).
+     * The rule fires exactly while that value is current — after the
+     * close, before any later kernel entry under which the allocator
      * can have reused the quarantine.
      */
     std::vector<std::pair<u64, u64>> closedRanges;
     u64 closeSeq = 0;
 };
 
-/** Membership test against a *sorted* range set (binary search — the
- *  in-kernel equivalent of CHERIvoke's shadow bitmap). */
+/** Membership test against a sorted *disjoint* range set (binary
+ *  search — the in-kernel equivalent of CHERIvoke's shadow bitmap).
+ *  Only the predecessor range is examined, so overlapping or nested
+ *  ranges must be coalesced first (coalesceRanges). */
 bool capInSortedRanges(const Capability &cap,
                        const std::vector<std::pair<u64, u64>> &sorted);
+
+/** Sort @p ranges and merge overlapping/adjacent entries in place, the
+ *  normal form capInSortedRanges requires. */
+void coalesceRanges(std::vector<std::pair<u64, u64>> &ranges);
 
 /** Install the default kernel scans (thread register files, startup
  *  capabilities, live signal frames, kevent udata) on @p kern. */

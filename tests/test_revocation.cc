@@ -272,8 +272,8 @@ TEST_F(Revoke2Test, OracleChecksClosedEpochAbsence)
     GuestPtr victim = heap.malloc(64);
     GuestPtr table = heap.malloc(32);
     ctx().storePtr(table, 0, victim);
-    // Issue revoke2 through dispatch so closeSeq lands on the oracle's
-    // quiescent-point clock (the checkable window).
+    // Issue revoke2 through dispatch: closeSeq lands on the oracle's
+    // quiescent-point clock either way (the close is its own tick).
     GuestPtr rbuf = ctx().mmap(pageSize);
     ctx().store<u64>(rbuf, 0, victim.cap.base());
     ctx().store<u64>(rbuf, 8,
@@ -287,7 +287,7 @@ TEST_F(Revoke2Test, OracleChecksClosedEpochAbsence)
         kern().findRevocationEpoch(proc().pid());
     ASSERT_NE(ep, nullptr);
     ASSERT_FALSE(ep->open);
-    ASSERT_EQ(ep->closeSeq, kern().dispatchCount());
+    ASSERT_EQ(ep->closeSeq, kern().quiescentCount());
     // A sound close: the oracle's absence rule stays silent.
     check::Report ok = check::Invariants::check(kern());
     EXPECT_TRUE(ok.ok()) << ok.toString();
@@ -298,6 +298,220 @@ TEST_F(Revoke2Test, OracleChecksClosedEpochAbsence)
     for (const check::Violation &v : bad.violations)
         found = found || v.rule == "revoked-cap-survives";
     EXPECT_TRUE(found) << bad.toString();
+}
+
+/** Epoch id of the last sweep that scanned the page holding @p va
+ *  (0 when the page has never been scanned). */
+u64
+sweptEpochOf(Process &proc, u64 va)
+{
+    u64 swept = 0;
+    proc.as().forEachPte([&](const AddressSpace::PteView &v) {
+        if (v.va == pageTrunc(va))
+            swept = v.sweptEpoch;
+    });
+    return swept;
+}
+
+TEST(Revoke2TlbTest, MidEpochStoreToScannedPageIsRequeued)
+{
+    KernelConfig cfg;
+    cfg.revokeSliceBudget = 1;
+    GuestSystem sys{Abi::CheriAbi, cfg};
+    Kernel &kern = sys.kern;
+    Process &proc = *sys.proc;
+    GuestContext &ctx = *sys.ctx;
+
+    // Sequential placement: bufA < bufB < tail, so tail's 32 dirty
+    // pages keep the epoch open well past bufA's scan.
+    GuestPtr bufA = ctx.mmap(pageSize);
+    GuestPtr bufB = ctx.mmap(pageSize);
+    GuestPtr tail = ctx.mmap(32 * pageSize);
+    // Two stores: the second one caches cap-store permission for
+    // bufA's (now cap-dirty) page in the data TLB.
+    ctx.storePtr(bufA, 0, bufA);
+    ctx.storePtr(bufA, 16, bufA);
+    for (u64 i = 0; i < 32; ++i)
+        ctx.storePtr(tail, static_cast<s64>(i * pageSize), tail);
+
+    std::vector<std::pair<u64, u64>> ranges = {
+        {bufB.cap.base(), bufB.cap.base() + bufB.cap.length()}};
+    ASSERT_FALSE(
+        kern.sysRevoke2(proc, ranges, REVOKE_INCREMENTAL).failed());
+    const RevocationEpoch *ep = kern.findRevocationEpoch(proc.pid());
+    ASSERT_NE(ep, nullptr);
+    // Advance one page per slice until bufA's page has been scanned
+    // with the epoch still open: the dangerous window, since bufA
+    // stays cap-dirty (it holds a non-revoked keeper capability).
+    int spins = 0;
+    while (ep->open && sweptEpochOf(proc, bufA.addr()) != ep->id) {
+        ASSERT_FALSE(
+            kern.sysRevoke2(proc, {}, REVOKE_INCREMENTAL).failed());
+        ASSERT_LT(++spins, 500) << "bufA never scanned";
+    }
+    ASSERT_TRUE(ep->open) << "tail pages must keep the epoch open";
+    // A capability into the revoked range lands on the already-swept
+    // page.  A stale fast-path TLB entry would let this store dodge
+    // the scheduler entirely; the epoch must still catch it.
+    ctx.storePtr(bufA, 16, bufB);
+    ASSERT_FALSE(kern.sysRevoke2(proc, {}, REVOKE_SYNC).failed());
+    EXPECT_FALSE(ep->open);
+    EXPECT_FALSE(ctx.loadPtr(bufA, 16).cap.tag())
+        << "mid-epoch store must be re-queued and swept";
+    EXPECT_TRUE(ctx.loadPtr(bufA, 0).cap.tag())
+        << "non-revoked keeper must survive";
+    check::Report rep = check::Invariants::check(kern);
+    EXPECT_TRUE(rep.ok()) << rep.toString();
+}
+
+TEST_F(Revoke2Test, ShmFrameAttachedMidEpochIsSwept)
+{
+    SysResult id = kern().sysShmget(proc(), 42, pageSize);
+    ASSERT_EQ(id.error, E_OK);
+    UserPtr first;
+    ASSERT_EQ(kern()
+                  .sysShmat(proc(), static_cast<int>(id.value),
+                            UserPtr::null(), &first)
+                  .error,
+              E_OK);
+    GuestPtr victim = ctx().mmap(pageSize);
+    ctx().storePtr(GuestPtr(first.cap), 0, victim);
+    ASSERT_EQ(kern().sysShmdt(proc(), first).error, E_OK);
+    // The cap-bearing frame now lives only in the SysV segment; open
+    // an epoch with enough queued pages that it outlasts one slice.
+    dirtyPages(32);
+    ASSERT_FALSE(
+        kern()
+            .sysRevoke2(proc(), rangeOf(victim), REVOKE_INCREMENTAL)
+            .failed());
+    ASSERT_TRUE(kern().findRevocationEpoch(proc().pid())->open);
+    // Re-attach mid-epoch: the mapping did not exist when the
+    // worklist was built, so installFrame must queue it itself.
+    UserPtr again;
+    ASSERT_EQ(kern()
+                  .sysShmat(proc(), static_cast<int>(id.value),
+                            UserPtr::null(), &again)
+                  .error,
+              E_OK);
+    ASSERT_FALSE(kern().sysRevoke2(proc(), {}, REVOKE_SYNC).failed());
+    EXPECT_FALSE(ctx().loadPtr(GuestPtr(again.cap), 0).cap.tag())
+        << "frame attached mid-epoch must be swept before close";
+    check::Report rep = check::Invariants::check(kern());
+    EXPECT_TRUE(rep.ok()) << rep.toString();
+}
+
+TEST(Revoke2SharedTest, SiblingStoreCaughtAtCloseBarrier)
+{
+    KernelConfig cfg;
+    cfg.revokeSliceBudget = 1;
+    GuestSystem sys{Abi::CheriAbi, cfg};
+    Kernel &kern = sys.kern;
+    Process &pa = *sys.proc;
+    GuestContext &actx = *sys.ctx;
+
+    SysResult id = kern.sysShmget(pa, 9, pageSize);
+    ASSERT_EQ(id.error, E_OK);
+    UserPtr a_ptr;
+    ASSERT_EQ(kern
+                  .sysShmat(pa, static_cast<int>(id.value),
+                            UserPtr::null(), &a_ptr)
+                  .error,
+              E_OK);
+    // A sibling maps the same segment through its own page table.
+    Process *pb = kern.spawn(Abi::CheriAbi, "peer");
+    SelfObject prog = test::trivialProgram();
+    ASSERT_EQ(kern.execve(*pb, prog, {"peer"}, {}), E_OK);
+    UserPtr b_ptr;
+    ASSERT_EQ(kern
+                  .sysShmat(*pb, static_cast<int>(id.value),
+                            UserPtr::null(), &b_ptr)
+                  .error,
+              E_OK);
+    GuestContext bctx(kern, *pb);
+    GuestPtr victim = bctx.mmap(pageSize);
+
+    // Dirty pages above the shared mapping keep the epoch open after
+    // the shared page's scan.
+    GuestPtr tail = actx.mmap(32 * pageSize);
+    for (u64 i = 0; i < 32; ++i)
+        actx.storePtr(tail, static_cast<s64>(i * pageSize), tail);
+
+    std::vector<std::pair<u64, u64>> ranges = {
+        {victim.cap.base(),
+         victim.cap.base() + victim.cap.length()}};
+    ASSERT_FALSE(
+        kern.sysRevoke2(pa, ranges, REVOKE_INCREMENTAL).failed());
+    const RevocationEpoch *ep = kern.findRevocationEpoch(pa.pid());
+    ASSERT_NE(ep, nullptr);
+    int spins = 0;
+    while (ep->open && sweptEpochOf(pa, a_ptr.addr()) != ep->id) {
+        ASSERT_FALSE(
+            kern.sysRevoke2(pa, {}, REVOKE_INCREMENTAL).failed());
+        ASSERT_LT(++spins, 500) << "shared page never scanned";
+    }
+    ASSERT_TRUE(ep->open);
+    // The sibling plants a to-be-revoked capability in the shared
+    // frame through its own mapping: invisible to the revoking
+    // process's page tables, but physical all the same.  Only the
+    // close-barrier rescan of shared pages can catch it.
+    bctx.storePtr(GuestPtr(b_ptr.cap), 0, victim);
+    ASSERT_FALSE(kern.sysRevoke2(pa, {}, REVOKE_SYNC).failed());
+    ASSERT_FALSE(ep->open);
+    EXPECT_FALSE(actx.loadPtr(GuestPtr(a_ptr.cap), 0).cap.tag())
+        << "close barrier must rescan shared pages";
+    EXPECT_FALSE(bctx.loadPtr(GuestPtr(b_ptr.cap), 0).cap.tag())
+        << "tags are physical: the sibling's view is revoked too";
+    check::Report rep = check::Invariants::check(kern);
+    EXPECT_TRUE(rep.ok()) << rep.toString();
+}
+
+TEST_F(Revoke2Test, NestedAndOverlappingRangesFullyRevoked)
+{
+    GuestPtr buf = ctx().mmap(pageSize);
+    // A capability inside the outer range but outside the nested one:
+    // a predecessor-only membership test over un-merged ranges would
+    // land on the nested range and miss it.
+    auto inner =
+        buf.cap.setAddress(buf.addr() + 0x300).setBounds(16);
+    ASSERT_TRUE(inner.ok());
+    ctx().storePtr(buf, 0, GuestPtr(inner.value()));
+    ASSERT_TRUE(ctx().loadPtr(buf, 0).cap.tag());
+    u64 b = buf.cap.base();
+    std::vector<std::pair<u64, u64>> ranges = {
+        {b + 0x100, b + 0x200}, {b, b + 0x1000}};
+    ASSERT_FALSE(kern().sysRevoke2(proc(), ranges, REVOKE_SYNC).failed());
+    EXPECT_FALSE(ctx().loadPtr(buf, 0).cap.tag())
+        << "overlapping ranges must be coalesced before the sweep";
+    check::Report rep = check::Invariants::check(kern());
+    EXPECT_TRUE(rep.ok()) << rep.toString();
+}
+
+TEST_F(Revoke2Test, QuiescentClockAdvancesOnDirectSyscalls)
+{
+    GuestPtr victim = heap.malloc(64);
+    GuestPtr table = heap.malloc(32);
+    ctx().storePtr(table, 0, victim);
+    ASSERT_TRUE(heap.free(victim));
+    // The allocator drives revoke2 directly, never through dispatch.
+    ASSERT_GE(heap.forceSweep(), 1u);
+    const RevocationEpoch *ep =
+        kern().findRevocationEpoch(proc().pid());
+    ASSERT_NE(ep, nullptr);
+    ASSERT_FALSE(ep->open);
+    // The direct-path close is its own quiescent tick...
+    EXPECT_EQ(ep->closeSeq, kern().quiescentCount());
+    // ...and any later syscall entry — direct, not just dispatched —
+    // moves the clock past it.
+    ASSERT_FALSE(kern().sysGetpid(proc()).failed());
+    EXPECT_NE(ep->closeSeq, kern().quiescentCount());
+    // The guest may now legitimately re-derive into the reclaimed
+    // range; a clock stuck on the close would misread this as a
+    // revocation violation.
+    proc().regs().c[9] = victim.cap;
+    check::Report rep = check::Invariants::check(kern());
+    for (const check::Violation &v : rep.violations)
+        EXPECT_NE(v.rule, "revoked-cap-survives") << rep.toString();
+    proc().regs().c[9] = Capability();
 }
 
 TEST_F(Revoke2Test, GuestMarshallingRejectsOversizedRangeSet)
