@@ -10,6 +10,10 @@
  * kernel through the numbered syscall ABI and dumps the observability
  * registry (counters, fault telemetry with provenance) as JSON.
  *
+ * All guest code executes through the kernel scheduler: each process
+ * has one persistent execution context whose interpreter (and decode
+ * cache) survives across the programs below.
+ *
  * Build & run:  ./build/examples/isa_playground
  */
 
@@ -19,6 +23,7 @@
 #include "isa/interp.h"
 #include "obs/metrics.h"
 #include "os/kernel.h"
+#include "os/sched/sched.h"
 
 using namespace cheri;
 using namespace cheri::isa;
@@ -34,6 +39,7 @@ statusName(InterpResult::Status s)
       case InterpResult::Status::Halted: return "halted";
       case InterpResult::Status::Fault: return "FAULT";
       case InterpResult::Status::StepLimit: return "step limit";
+      case InterpResult::Status::Preempted: return "preempted";
     }
     return "?";
 }
@@ -57,6 +63,10 @@ main()
     u64 data = proc->as().map(0, pageSize, PROT_READ | PROT_WRITE,
                               MappingKind::Data);
 
+    sched::Scheduler &schd = sched::schedulerFor(kern);
+    sched::ExecContext &cx = schd.context(*proc);
+    Interpreter &interp = *cx.interp;
+
     std::printf("program: derive a 16-byte capability, fill it, then "
                 "walk one word too far\n\n");
     Assembler a;
@@ -68,8 +78,6 @@ main()
         .halt();
     a.writeTo(proc->as(), code);
 
-    Interpreter interp(*proc, &metrics);
-    interp.setMetrics(&metrics);
     interp.setEntry(proc->as()
                         .capForRange(code, pageSize,
                                      PROT_READ | PROT_EXEC, false)
@@ -78,7 +86,9 @@ main()
         proc->as()
             .capForRange(data, pageSize, PROT_READ | PROT_WRITE, false)
             .setAddress(data);
-    InterpResult r = interp.run();
+    schd.ready(cx);
+    kern.runUntilIdle();
+    InterpResult r = cx.last;
     std::printf("status: %s after %lu instructions\n",
                 statusName(r.status), static_cast<unsigned long>(r.steps));
     std::printf("fault:  %s at pc=0x%lx (instruction #%lu: cld)\n",
@@ -92,12 +102,13 @@ main()
     Assembler b;
     b.li(1, static_cast<s64>(data)).ld(2, 1, 0).halt();
     b.writeTo(proc->as(), code);
-    Interpreter interp2(*proc);
-    interp2.setEntry(proc->as()
-                         .capForRange(code, pageSize,
-                                      PROT_READ | PROT_EXEC, false)
-                         .setAddress(code));
-    InterpResult r2 = interp2.run();
+    interp.setEntry(proc->as()
+                        .capForRange(code, pageSize,
+                                     PROT_READ | PROT_EXEC, false)
+                        .setAddress(code));
+    schd.ready(cx);
+    kern.runUntilIdle();
+    InterpResult r2 = cx.last;
     std::printf("  in this CheriABI process: %s (%s) — DDC is NULL\n",
                 statusName(r2.status),
                 std::string(capFaultName(r2.fault)).c_str());
@@ -112,9 +123,11 @@ main()
     Assembler c;
     c.li(1, static_cast<s64>(data2)).ld(2, 1, 0).halt();
     c.writeTo(legacy->as(), code2);
-    Interpreter interp3(*legacy);
-    interp3.setEntry(Capability::fromAddress(code2));
-    InterpResult r3 = interp3.run();
+    sched::ExecContext &cxl = schd.context(*legacy);
+    cxl.interp->setEntry(Capability::fromAddress(code2));
+    schd.ready(cxl);
+    kern.runUntilIdle();
+    InterpResult r3 = cxl.last;
     std::printf("  in a mips64 process:      %s — DDC spans the "
                 "address space\n",
                 statusName(r3.status));
@@ -128,23 +141,25 @@ main()
         .syscall(static_cast<s64>(SysNum::Sbrk)) // CheriABI: E_NOSYS
         .halt();
     d.writeTo(proc->as(), code);
-    Interpreter interp4(*proc);
-    interp4.setEntry(proc->as()
-                         .capForRange(code, pageSize,
-                                      PROT_READ | PROT_EXEC, false)
-                         .setAddress(code));
-    installDefaultSyscallHook(interp4, kern);
-    interp4.run(1); // getpid first
+    interp.setEntry(proc->as()
+                        .capForRange(code, pageSize,
+                                     PROT_READ | PROT_EXEC, false)
+                        .setAddress(code));
+    cx.stepLimit = 1; // one instruction this window: getpid first
+    schd.ready(cx);
+    kern.runUntilIdle();
     std::printf("  getpid -> err=%lu ret=%lu (the pid)\n",
-                static_cast<unsigned long>(interp4.regs().x[regSysErr]),
-                static_cast<unsigned long>(interp4.regs().x[regRetVal]));
-    interp4.run();
+                static_cast<unsigned long>(interp.regs().x[regSysErr]),
+                static_cast<unsigned long>(interp.regs().x[regRetVal]));
+    cx.stepLimit = 0; // run the rest to the halt
+    schd.ready(cx);
+    kern.runUntilIdle();
     std::printf("  sbrk   -> err=%lu ret=%lu (%s: CheriABI excludes "
                 "sbrk by principle)\n",
-                static_cast<unsigned long>(interp4.regs().x[regSysErr]),
-                static_cast<unsigned long>(interp4.regs().x[regRetVal]),
+                static_cast<unsigned long>(interp.regs().x[regSysErr]),
+                static_cast<unsigned long>(interp.regs().x[regRetVal]),
                 std::string(errnoName(static_cast<int>(
-                                interp4.regs().x[regRetVal])))
+                                interp.regs().x[regRetVal])))
                     .c_str());
 
     std::printf("\neverything above was observed; the registry as "

@@ -9,6 +9,7 @@
 #include "isa/interp.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "os/sched/sched.h"
 #include "os/sys_invoke.h"
 
 namespace cheri::check
@@ -48,6 +49,15 @@ struct AbsInsn
         Load,
         Loop,
         Getpid,
+        /** sleep(ticks): parks the context on the virtual clock —
+         *  multi-process programs only. */
+        SleepSys,
+        /** thr_new(): spawns a sibling thread the scheduler admits —
+         *  multi-process programs only. */
+        ThrNewSys,
+        /** thr_switch(x3): directed yield to the tid the previous
+         *  syscall returned — multi-process programs only. */
+        ThrSwitchSys,
     };
     K k = K::Li;
     u8 rd = 4, rs = 4, rt = 4;
@@ -73,6 +83,9 @@ struct GenOp
         Evict,
         Compute,
         Revoke,
+        ThrNew,
+        ThrSwitch,
+        Wait4,
     };
     Kind kind = Kind::Touch;
     u64 a = 0, b = 0, c = 0;
@@ -132,6 +145,40 @@ genProgram(std::mt19937_64 &rng)
     return p;
 }
 
+/** Program for a multi-process guest: the usual compute body plus the
+ *  scheduler-exercising syscalls — sleep (virtual-clock blocking) and
+ *  thr_new/thr_switch (interpreted thread admission + directed yield).
+ *  Instruction counts are ABI-invariant, so slice boundaries — and with
+ *  them the whole interleaving — line up exactly across the runs. */
+std::vector<AbsInsn>
+genMultiProgram(std::mt19937_64 &rng)
+{
+    std::vector<AbsInsn> p = genProgram(rng);
+    if (rng() % 3) {
+        AbsInsn t;
+        t.k = AbsInsn::K::ThrNewSys;
+        p.push_back(t);
+        if (rng() % 2)
+            p.push_back({AbsInsn::K::ThrSwitchSys});
+    }
+    if (rng() % 2) {
+        AbsInsn s;
+        s.k = AbsInsn::K::SleepSys;
+        s.imm = 1 + static_cast<s64>(rng() % 200);
+        p.push_back(s);
+    }
+    u64 tail = rng() % 3;
+    for (u64 i = 0; i < tail; ++i) {
+        AbsInsn in;
+        in.k = AbsInsn::K::Add;
+        in.rd = workReg(rng);
+        in.rs = workReg(rng);
+        in.rt = workReg(rng);
+        p.push_back(in);
+    }
+    return p;
+}
+
 /** Lower the abstract program for @p abi.  Loads/stores address the
  *  data page through x8 (legacy, via DDC) or c8 (capability). */
 isa::Assembler
@@ -167,6 +214,20 @@ lower(const std::vector<AbsInsn> &prog, Abi abi)
           case AbsInsn::K::Getpid:
             a.syscall(static_cast<s64>(SysNum::Getpid));
             break;
+          case AbsInsn::K::SleepSys:
+            a.li(regArg0, in.imm)
+                .syscall(static_cast<s64>(SysNum::Sleep));
+            break;
+          case AbsInsn::K::ThrNewSys:
+            a.li(regArg0, 0)
+                .syscall(static_cast<s64>(SysNum::ThrNew));
+            break;
+          case AbsInsn::K::ThrSwitchSys:
+            // x3 still holds the previous syscall's return value — the
+            // new tid when this directly follows a thr_new.
+            a.add(regArg0, regRetVal, 0)
+                .syscall(static_cast<s64>(SysNum::ThrSwitch));
+            break;
         }
     }
     a.halt();
@@ -183,32 +244,38 @@ generate(u64 case_seed, u64 n_ops)
         GenOp op;
         u64 pick = rng() % 100;
         using K = GenOp::Kind;
-        if (pick < 14)
+        if (pick < 13)
             op.kind = K::Mmap;
-        else if (pick < 24)
+        else if (pick < 22)
             op.kind = K::Unmap;
-        else if (pick < 32)
+        else if (pick < 29)
             op.kind = K::Protect;
-        else if (pick < 36)
+        else if (pick < 33)
             op.kind = K::Sbrk;
-        else if (pick < 42)
+        else if (pick < 38)
             op.kind = K::Fork;
-        else if (pick < 49)
+        else if (pick < 44)
             op.kind = K::Signal;
-        else if (pick < 59)
+        else if (pick < 53)
             op.kind = K::Write;
-        else if (pick < 66)
+        else if (pick < 59)
             op.kind = K::Read;
-        else if (pick < 71)
+        else if (pick < 64)
             op.kind = K::Shm;
-        else if (pick < 81)
+        else if (pick < 72)
             op.kind = K::Touch;
-        else if (pick < 88)
+        else if (pick < 78)
             op.kind = K::Evict;
-        else if (pick < 94)
+        else if (pick < 84)
             op.kind = K::Compute;
-        else
+        else if (pick < 89)
             op.kind = K::Revoke;
+        else if (pick < 93)
+            op.kind = K::ThrNew;
+        else if (pick < 97)
+            op.kind = K::ThrSwitch;
+        else
+            op.kind = K::Wait4;
         op.a = rng();
         op.b = rng();
         op.c = rng();
@@ -411,7 +478,8 @@ execCase(Abi abi, const FuzzOptions &opts, u64 case_seed,
     }
 
     std::vector<Region> regions;
-    u64 children = 0;
+    std::vector<u64> childPids;
+    std::vector<u64> tids;
     u64 op_index = 0;
     for (const GenOp &op : ops) {
         if (proc->exited()) {
@@ -490,11 +558,11 @@ execCase(Abi abi, const FuzzOptions &opts, u64 case_seed,
                       {SysArg::i(op.a % 3 ? pageSize : 0)});
             break;
           case K::Fork: {
-            if (children >= 2)
+            if (childPids.size() >= 2)
                 break;
             auto rr = sysInvoke(kern, *proc, SysNum::Fork, {});
             if (!rr.res.failed())
-                ++children; // child stays alive: COW pressure
+                childPids.push_back(rr.res.value); // alive: COW pressure
             break;
           }
           case K::Signal: {
@@ -589,23 +657,32 @@ execCase(Abi abi, const FuzzOptions &opts, u64 case_seed,
                 if (i != 8)
                     regs.x[i] = 0;
             }
-            isa::Interpreter interp(*proc);
-            isa::installDefaultSyscallHook(interp, kern);
+            // Persistent per-process execution context: the decode
+            // cache stays warm across Compute ops, and execution runs
+            // through the kernel's scheduler (preemptible at the
+            // configured time slice) instead of a private loop.
+            sched::Scheduler &s = sched::schedulerFor(kern);
+            sched::ExecContext &cx = s.context(*proc);
             if (abi == Abi::CheriAbi) {
-                interp.setEntry(proc->as()
-                                    .capForRange(code_va, pageSize,
-                                                 PROT_READ | PROT_EXEC,
-                                                 false)
-                                    .setAddress(code_va));
+                cx.interp->setEntry(
+                    proc->as()
+                        .capForRange(code_va, pageSize,
+                                     PROT_READ | PROT_EXEC, false)
+                        .setAddress(code_va));
             } else {
-                interp.setEntry(Capability::fromAddress(code_va));
+                cx.interp->setEntry(Capability::fromAddress(code_va));
             }
-            isa::InterpResult res = interp.run(4096);
+            cx.stepLimit = 4096;
+            s.ready(cx);
+            kern.runUntilIdle();
+            isa::InterpResult res = cx.last;
+            // Steps across the whole ready-window, not just the final
+            // slice — matches what a single run(4096) used to report.
             std::string ev = fmt(
                 "compute st%d fault %s steps %" PRIu64,
                 static_cast<int>(res.status),
                 std::string(capFaultName(res.fault)).c_str(),
-                res.steps);
+                cx.retired() - cx.readyBaseSteps);
             for (unsigned i = 4; i <= 10; ++i) {
                 if (i != 8)
                     ev += fmt(" x%u=%" PRIu64, i, regs.x[i]);
@@ -640,6 +717,48 @@ execCase(Abi abi, const FuzzOptions &opts, u64 case_seed,
             // the scratch image comparison.
             u8 zeros[16 * 8] = {};
             proc->as().writeBytes(stage_va, zeros, ranges.size() * 16);
+            break;
+          }
+          case K::ThrNew: {
+            if (tids.size() >= 3)
+                break;
+            // Explicit stack size: usually sane, occasionally absurd —
+            // the kernel must reject the latter with E_INVAL rather
+            // than minting a capability outside the user root.
+            u64 sz = (op.c % 4 == 0) ? ~u64(0) : op.c % (8 * pageSize);
+            auto rr =
+                sysInvoke(kern, *proc, SysNum::ThrNew, {SysArg::i(sz)});
+            if (!rr.res.failed())
+                tids.push_back(rr.res.value);
+            break;
+          }
+          case K::ThrSwitch: {
+            // Host-driven, so no scheduler context is running and the
+            // kernel performs the legacy immediate register-file swap;
+            // targets include tid 0 so the main thread comes back.
+            u64 target = (tids.empty() || op.b % 3 == 0)
+                             ? 0
+                             : tids[op.a % tids.size()];
+            sysInvoke(kern, *proc, SysNum::ThrSwitch,
+                      {SysArg::i(target)});
+            break;
+          }
+          case K::Wait4: {
+            if (childPids.empty()) {
+                // No children: deterministic E_CHILD both runs.
+                sysInvoke(kern, *proc, SysNum::Wait4, {SysArg::i(0)});
+                break;
+            }
+            // Force a tracked child to exit (host-side, identically in
+            // both runs), then reap it: exercises the zombie-reap path
+            // without depending on scheduler-driven child execution.
+            u64 idx = op.a % childPids.size();
+            u64 pid = childPids[idx];
+            if (Process *child = kern.findProcess(pid))
+                kern.exitProcess(*child, static_cast<int>(op.b % 8));
+            sysInvoke(kern, *proc, SysNum::Wait4, {SysArg::i(pid)});
+            childPids.erase(childPids.begin() +
+                            static_cast<std::ptrdiff_t>(idx));
             break;
           }
         }
@@ -683,6 +802,127 @@ execCase(Abi abi, const FuzzOptions &opts, u64 case_seed,
     return er;
 }
 
+/**
+ * Multi-process mode: 2-4 guests execute generated programs
+ * concurrently under the kernel scheduler, preempted at the configured
+ * time slice.  The invariant oracle runs at EVERY slice boundary — the
+ * scheduler's core soundness claim is that slice boundaries are
+ * quiescent points — and the interleaved syscall event stream plus the
+ * per-guest final states are compared across ABIs.
+ */
+ExecResult
+execCaseMulti(Abi abi, const FuzzOptions &opts, u64 case_seed)
+{
+    ExecResult er;
+    obs::Metrics metrics; // must outlive the kernel
+    KernelConfig cfg;
+    cfg.frameCapacity = opts.frameCapacity;
+    cfg.swapSlotBudget = opts.swapSlotBudget;
+    cfg.timeSliceSteps = 32; // short slices: more boundaries to check
+    Kernel kern(cfg);
+    kern.setMetrics(&metrics);
+    sched::Scheduler &s = sched::schedulerFor(kern);
+
+    u64 n = opts.multiProc < 2 ? 2 : (opts.multiProc > 4 ? 4 : opts.multiProc);
+    std::mt19937_64 rng(case_seed ^ 0x5eedULL);
+    SelfObject prog = fuzzProgram();
+
+    kern.setCheckHook([&](Process &p, u64 code) {
+        ++er.syscalls;
+        const SyscallInfo *si = syscallInfo(code);
+        const ThreadRegs &r = p.regs();
+        er.events.push_back(fmt("p%" PRIu64 " %s e%d v%" PRIu64,
+                                p.pid(),
+                                std::string(si ? si->name : "invalid")
+                                    .c_str(),
+                                r.x[regSysErr] != 0 ? 1 : 0,
+                                r.x[regRetVal]));
+    });
+
+    std::vector<Process *> guests;
+    for (u64 i = 0; i < n; ++i) {
+        Process *proc = kern.spawn(abi, "fuzz-mp");
+        if (kern.execve(*proc, prog, {"fuzz-mp"}, {}) != E_OK) {
+            er.setupFailed = true;
+            er.events.push_back("execve-failed");
+            return er;
+        }
+        u64 code_va = proc->as().map(0, pageSize,
+                                     PROT_READ | PROT_WRITE | PROT_EXEC,
+                                     MappingKind::Text, false, false,
+                                     "fuzzcode");
+        u64 data_va = proc->as().map(0, pageSize,
+                                     PROT_READ | PROT_WRITE,
+                                     MappingKind::Data, false, false,
+                                     "fuzzdata");
+        lower(genMultiProgram(rng), abi).writeTo(proc->as(), code_va);
+        ThreadRegs &regs = proc->regs();
+        regs.c[8] = proc->as()
+                        .capForRange(data_va, pageSize,
+                                     PROT_READ | PROT_WRITE, false)
+                        .setAddress(data_va);
+        regs.x[8] = data_va;
+        for (unsigned ri = 4; ri <= 10; ++ri) {
+            if (ri != 8)
+                regs.x[ri] = 0;
+        }
+        sched::ExecContext &cx = s.context(*proc);
+        if (abi == Abi::CheriAbi) {
+            cx.interp->setEntry(
+                proc->as()
+                    .capForRange(code_va, pageSize,
+                                 PROT_READ | PROT_EXEC, false)
+                    .setAddress(code_va));
+        } else {
+            cx.interp->setEntry(Capability::fromAddress(code_va));
+        }
+        cx.stepLimit = 16384;
+        s.ready(cx);
+        guests.push_back(proc);
+    }
+
+    // The oracle at every slice boundary: register files have just
+    // been switched at an instruction boundary, so every whole-system
+    // invariant (including the metrics-sched mirror) must hold.
+    if (opts.checkEvery) {
+        s.setSliceHook([&](Process &) {
+            Report rep = Invariants::check(kern);
+            ++er.oracleRuns;
+            for (Violation &v : rep.violations) {
+                if (er.violations.size() < maxViolationsPerRun)
+                    er.violations.push_back(std::move(v));
+            }
+        });
+    }
+    kern.runUntilIdle();
+    s.setSliceHook(nullptr);
+
+    // Final states: per-guest halt status, work registers, threads.
+    for (u64 i = 0; i < guests.size(); ++i) {
+        Process *proc = guests[i];
+        sched::ExecContext &cx = s.context(*proc, 0);
+        std::string ev =
+            fmt("guest %" PRIu64 " st%d fault %s threads %" PRIu64, i,
+                static_cast<int>(cx.last.status),
+                std::string(capFaultName(cx.last.fault)).c_str(),
+                proc->threadCount());
+        for (unsigned ri = 4; ri <= 10; ++ri) {
+            if (ri != 8)
+                ev += fmt(" x%u=%" PRIu64, ri, proc->regs().x[ri]);
+        }
+        er.events.push_back(ev);
+    }
+    er.events.push_back(fmt("sched switches %" PRIu64 " preempt %" PRIu64
+                            " slices %" PRIu64 " sleeps %" PRIu64
+                            " wakes %" PRIu64,
+                            s.stats().contextSwitches,
+                            s.stats().preemptions, s.stats().slices,
+                            s.stats().blocksSleep, s.stats().wakes));
+
+    kern.setCheckHook(nullptr);
+    return er;
+}
+
 } // namespace
 
 CaseReport
@@ -691,10 +931,16 @@ DiffFuzzer::runCase(u64 index)
     CaseReport cr;
     cr.index = index;
     cr.caseSeed = opts.seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
-    std::vector<GenOp> ops = generate(cr.caseSeed, opts.opsPerCase);
 
-    ExecResult legacy = execCase(Abi::Mips64, opts, cr.caseSeed, ops);
-    ExecResult cheri = execCase(Abi::CheriAbi, opts, cr.caseSeed, ops);
+    ExecResult legacy, cheri;
+    if (opts.multiProc) {
+        legacy = execCaseMulti(Abi::Mips64, opts, cr.caseSeed);
+        cheri = execCaseMulti(Abi::CheriAbi, opts, cr.caseSeed);
+    } else {
+        std::vector<GenOp> ops = generate(cr.caseSeed, opts.opsPerCase);
+        legacy = execCase(Abi::Mips64, opts, cr.caseSeed, ops);
+        cheri = execCase(Abi::CheriAbi, opts, cr.caseSeed, ops);
+    }
 
     cr.syscalls = legacy.syscalls + cheri.syscalls;
     cr.oracleRuns = legacy.oracleRuns + cheri.oracleRuns;

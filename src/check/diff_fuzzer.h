@@ -68,6 +68,16 @@ struct FuzzOptions
      *  CHERI_TEST_FRAME_BUDGET / CHERI_TEST_SLOT_BUDGET. */
     u64 frameCapacity = 0;
     u64 swapSlotBudget = 0;
+    /**
+     * Multi-process mode: spawn this many guest processes (clamped to
+     * 2..4) per case, each running a generated program — including
+     * sleep/thr_new/thr_switch — preemptively time-sliced by the
+     * kernel scheduler.  The invariant oracle runs at every slice
+     * boundary, and the interleaved syscall event stream is compared
+     * across ABIs (slice boundaries land identically because lowering
+     * is 1:1 in instruction count).  0 = classic single-process mode.
+     */
+    u64 multiProc = 0;
 };
 
 /** Outcome of one differential case. */

@@ -372,6 +372,33 @@ Invariants::check(Kernel &kern)
                      kr.epochsClosed, kr.epochsAborted, kr.pagesScanned,
                      kr.tagsRevoked)});
         }
+        // Scheduler counters: the metrics mirror is updated at exactly
+        // the same points as the scheduler's own SchedStats, so any
+        // drift means a counting path was missed.
+        if (const SchedStats *ks = kern.schedulerStats()) {
+            const obs::SchedCounters &ms = m->sched();
+            if (ms.contextSwitches != ks->contextSwitches ||
+                ms.preemptions != ks->preemptions ||
+                ms.slices != ks->slices ||
+                ms.blocksWait4 != ks->blocksWait4 ||
+                ms.blocksEvent != ks->blocksEvent ||
+                ms.blocksSleep != ks->blocksSleep ||
+                ms.wakes != ks->wakes ||
+                ms.maxRunQueueDepth != ks->maxRunQueueDepth ||
+                ms.idleAdvances != ks->idleAdvances ||
+                ms.stepsExecuted != ks->stepsExecuted) {
+                r.violations.push_back(
+                    {"metrics-sched-mirror",
+                     fmt("metrics switches %" PRIu64 " preempts %" PRIu64
+                         " slices %" PRIu64 " steps %" PRIu64
+                         " != scheduler %" PRIu64 "/%" PRIu64 "/%" PRIu64
+                         "/%" PRIu64,
+                         ms.contextSwitches, ms.preemptions, ms.slices,
+                         ms.stepsExecuted, ks->contextSwitches,
+                         ks->preemptions, ks->slices,
+                         ks->stepsExecuted)});
+            }
+        }
         std::array<u64, numCapFaults> logged{};
         for (const obs::FaultRecord &f : m->faults())
             ++logged[static_cast<unsigned>(f.cause)];

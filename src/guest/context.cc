@@ -1,5 +1,6 @@
 #include "guest/context.h"
 
+#include "os/sched/sched.h"
 #include "os/sys_invoke.h"
 
 namespace cheri
@@ -297,25 +298,35 @@ StackFrame::alloc(u64 size, u64 align)
 int
 runGuest(GuestContext &ctx, const std::function<int(GuestContext &)> &fn)
 {
+    // Host-driven guests execute as hosted contexts on the kernel's
+    // scheduler: the body runs to completion in one slice, but shares
+    // the execution engine (and its background work — revocation pump,
+    // frame reclaim) with any interpreted guests that are runnable.
     Process &proc = ctx.proc();
-    try {
-        int rc = fn(ctx);
-        ctx.kernel().deliverSignals(proc);
-        if (proc.exited())
-            return proc.exitStatus();
-        ctx.kernel().exitProcess(proc, rc);
-        return rc;
-    } catch (const CapTrap &trap) {
-        DeathInfo info;
-        info.signal = SIG_PROT;
-        info.fault = trap.fault();
-        info.faultAddr = trap.addr();
-        info.detail = trap.what();
-        info.faultCap = trap.via();
-        info.faultCapKnown = true;
-        ctx.kernel().faultProcess(proc, info);
-        return proc.exited() ? proc.exitStatus() : 128 + SIG_PROT;
-    }
+    int rc = 0;
+    sched::Scheduler &s = sched::schedulerFor(ctx.kernel());
+    s.runHosted(proc, [&] {
+        try {
+            rc = fn(ctx);
+            ctx.kernel().deliverSignals(proc);
+            if (proc.exited()) {
+                rc = proc.exitStatus();
+                return;
+            }
+            ctx.kernel().exitProcess(proc, rc);
+        } catch (const CapTrap &trap) {
+            DeathInfo info;
+            info.signal = SIG_PROT;
+            info.fault = trap.fault();
+            info.faultAddr = trap.addr();
+            info.detail = trap.what();
+            info.faultCap = trap.via();
+            info.faultCapKnown = true;
+            ctx.kernel().faultProcess(proc, info);
+            rc = proc.exited() ? proc.exitStatus() : 128 + SIG_PROT;
+        }
+    });
+    return rc;
 }
 
 } // namespace cheri

@@ -389,10 +389,27 @@ Interpreter::run(u64 max_steps)
         InterpResult r = step();
         if (r.status != InterpResult::Status::Running)
             return r;
+        if (yieldPending) {
+            yieldPending = false;
+            r.status = InterpResult::Status::Preempted;
+            r.steps = _retired;
+            return r;
+        }
     }
     InterpResult r;
     r.status = InterpResult::Status::StepLimit;
     r.steps = _retired;
+    return r;
+}
+
+InterpResult
+Interpreter::runSlice(u64 budget)
+{
+    InterpResult r = run(budget);
+    // A spent slice budget means "still runnable", not "out of steps":
+    // report it as preemption so callers can requeue the context.
+    if (r.status == InterpResult::Status::StepLimit)
+        r.status = InterpResult::Status::Preempted;
     return r;
 }
 

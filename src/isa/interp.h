@@ -50,6 +50,10 @@ struct InterpResult
         Halted,
         Fault,
         StepLimit,
+        /** A runSlice() budget expired or a yield was requested: the
+         *  context is still runnable and resumes at the saved PCC.
+         *  Raised only between instructions, never mid-instruction. */
+        Preempted,
     };
     Status status = Status::Halted;
     u64 steps = 0;
@@ -98,6 +102,23 @@ class Interpreter
     /** Execute until halt, fault, or @p max_steps. */
     InterpResult run(u64 max_steps = 1'000'000);
 
+    /**
+     * Execute one scheduler time slice: like run() but a spent budget
+     * yields Status::Preempted (the context is runnable, not out of
+     * steps).  Also returns Preempted as soon as a requestYield() is
+     * observed — checked after each retired instruction, so preemption
+     * lands only at instruction boundaries.
+     */
+    InterpResult runSlice(u64 budget);
+
+    /**
+     * Ask the run loop to stop at the next instruction boundary
+     * (Preempted).  Safe to call from inside a syscall hook: the
+     * in-flight instruction completes first, including its PC
+     * writeback.  Cleared when honored.
+     */
+    void requestYield() { yieldPending = true; }
+
     /** Execute one instruction. */
     InterpResult step();
 
@@ -129,6 +150,7 @@ class Interpreter
     SyscallHook sysHook;
     obs::Metrics *mx = nullptr;
     u64 _retired = 0;
+    bool yieldPending = false;
     std::array<DecodeEntry, decodeCacheSize> dcache{};
 };
 

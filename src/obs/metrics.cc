@@ -136,6 +136,8 @@ Metrics::reset()
     faultsByCause = {};
     mem = {};
     rev = {};
+    schd = {};
+    _threadSteps.clear();
     chk = {};
     costs.clear();
     deriveCounts = {};
@@ -177,7 +179,7 @@ Metrics::toJson() const
 {
     JsonWriter w;
     w.beginObject();
-    w.key("schema").value(std::string_view("cheri.metrics.v5"));
+    w.key("schema").value(std::string_view("cheri.metrics.v6"));
 
     w.key("syscalls").beginArray();
     for (Abi abi : allAbis) {
@@ -293,6 +295,43 @@ Metrics::toJson() const
     w.key("incremental_slices").value(rev.incrementalSlices);
     w.key("sync_sweeps").value(rev.syncSweeps);
     w.key("cycles_in_epochs").value(rev.cyclesInEpochs);
+    w.endObject();
+
+    // Scheduler counters (v6 schema addition).  decode_hit_rate is the
+    // fraction of instruction fetches served by the per-context decode
+    // micro-caches — the retention the unified engine buys.
+    w.key("sched").beginObject();
+    w.key("context_switches").value(schd.contextSwitches);
+    w.key("preemptions").value(schd.preemptions);
+    w.key("slices").value(schd.slices);
+    w.key("blocks_wait4").value(schd.blocksWait4);
+    w.key("blocks_event").value(schd.blocksEvent);
+    w.key("blocks_sleep").value(schd.blocksSleep);
+    w.key("wakes").value(schd.wakes);
+    w.key("max_run_queue_depth").value(schd.maxRunQueueDepth);
+    w.key("idle_advances").value(schd.idleAdvances);
+    w.key("steps_executed").value(schd.stepsExecuted);
+    {
+        u64 hits = 0, misses = 0;
+        for (Abi abi : allAbis) {
+            hits += tlb[abiIndex(abi)][TlbFetchHit];
+            misses += tlb[abiIndex(abi)][TlbFetchMiss];
+        }
+        double rate = (hits + misses)
+                          ? static_cast<double>(hits) /
+                                static_cast<double>(hits + misses)
+                          : 0.0;
+        w.key("decode_hit_rate").value(rate);
+    }
+    w.key("threads").beginArray();
+    for (const auto &[key, steps] : _threadSteps) {
+        w.beginObject();
+        w.key("pid").value(key.first);
+        w.key("tid").value(key.second);
+        w.key("steps").value(steps);
+        w.endObject();
+    }
+    w.endArray();
     w.endObject();
 
     // Checking-layer counters (v4 schema addition).

@@ -25,6 +25,7 @@
 #ifndef CHERI_OBS_METRICS_H
 #define CHERI_OBS_METRICS_H
 
+#include <algorithm>
 #include <array>
 #include <map>
 #include <string>
@@ -34,6 +35,7 @@
 #include "cap/fault.h"
 #include "machine/cost_model.h"
 #include "mem/access.h"
+#include "os/sched_iface.h"
 #include "os/sysnum.h"
 #include "trace/trace.h"
 
@@ -126,6 +128,25 @@ struct RevocationCounters
     u64 incrementalSlices = 0;
     u64 syncSweeps = 0;
     u64 cyclesInEpochs = 0; ///< modelled cycles open-to-close
+};
+
+/** Scheduler telemetry fed by the execution engine (src/os/sched):
+ *  field-for-field mirror of cheri::SchedStats, cross-checked by the
+ *  oracle's metrics-sched-mirror rule, exported in the "sched" section
+ *  of the v6 schema along with per-thread step counters and the
+ *  decode-cache hit rate. */
+struct SchedCounters
+{
+    u64 contextSwitches = 0;
+    u64 preemptions = 0;
+    u64 slices = 0;
+    u64 blocksWait4 = 0;
+    u64 blocksEvent = 0;
+    u64 blocksSleep = 0;
+    u64 wakes = 0;
+    u64 maxRunQueueDepth = 0;
+    u64 idleAdvances = 0;
+    u64 stepsExecuted = 0;
 };
 
 /** Checking-layer telemetry (src/check): oracle runs and fuzzer
@@ -259,6 +280,53 @@ class Metrics : public TraceSink
     const RevocationCounters &revocation() const { return rev; }
     /// @}
 
+    /** @name Scheduler telemetry (fed by src/os/sched) */
+    /// @{
+    void recordSchedSwitch() { ++schd.contextSwitches; }
+    void recordSchedPreempt() { ++schd.preemptions; }
+    void
+    recordSchedSlice(u64 steps)
+    {
+        ++schd.slices;
+        schd.stepsExecuted += steps;
+    }
+    void
+    recordSchedBlock(BlockKind kind)
+    {
+        switch (kind) {
+          case BlockKind::Wait4:
+            ++schd.blocksWait4;
+            break;
+          case BlockKind::EventWait:
+            ++schd.blocksEvent;
+            break;
+          case BlockKind::Sleep:
+            ++schd.blocksSleep;
+            break;
+          case BlockKind::None:
+            break;
+        }
+    }
+    void recordSchedWake() { ++schd.wakes; }
+    void recordSchedIdleAdvance() { ++schd.idleAdvances; }
+    void
+    noteRunQueueDepth(u64 depth)
+    {
+        schd.maxRunQueueDepth = std::max(schd.maxRunQueueDepth, depth);
+    }
+    /** Accumulate retired steps against (pid, tid). */
+    void recordThreadSteps(u64 pid, u64 tid, u64 steps)
+    {
+        if (steps)
+            _threadSteps[{pid, tid}] += steps;
+    }
+    const SchedCounters &sched() const { return schd; }
+    const std::map<std::pair<u64, u64>, u64> &threadSteps() const
+    {
+        return _threadSteps;
+    }
+    /// @}
+
     /** @name Checking-layer telemetry (fed by src/check) */
     /// @{
     void
@@ -329,6 +397,9 @@ class Metrics : public TraceSink
     std::array<u64, numCapFaults> faultsByCause{};
     PressureCounters mem;
     RevocationCounters rev;
+    SchedCounters schd;
+    /** Retired guest instructions per (pid, tid) under the scheduler. */
+    std::map<std::pair<u64, u64>, u64> _threadSteps;
     CheckCounters chk;
     std::vector<CostSnapshot> costs;
     std::array<u64, numDeriveSources> deriveCounts{};

@@ -197,6 +197,15 @@ Kernel::dispatch(Process &proc, u64 code)
           case SysNum::Shmdt:
             res = sysShmdt(proc, argPtr(proc, 0));
             break;
+          case SysNum::EvPost:
+            res = sysEvPost(proc, argInt(proc, 0));
+            break;
+          case SysNum::EvWait:
+            res = sysEvWait(proc);
+            break;
+          case SysNum::Sleep:
+            res = sysSleep(proc, argInt(proc, 0));
+            break;
           case SysNum::Invalid:
           case SysNum::Count:
             res = SysResult::fail(E_NOSYS);

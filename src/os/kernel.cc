@@ -114,6 +114,8 @@ Kernel::oomKill(Process &victim)
     victim.as().releaseAll();
     if (Process *parent = findProcess(victim.ppid()))
         parent->raiseSignal(SIG_CHLD);
+    if (schedIface)
+        schedIface->onProcessDead(victim);
 }
 
 SysResult
@@ -190,6 +192,11 @@ Kernel::fork(Process &parent)
     parent.as().forEachMapping([&](const Mapping &) { ++n_mappings; });
     parent.cost().alu(40 * n_mappings);
     parent.cost().contextSwitch();
+    // Under an active scheduler a fork from an interpreted guest admits
+    // the child to the run queue (the scheduler fixes up its PC and
+    // return registers, which were copied pre-writeback).
+    if (schedIface)
+        schedIface->onFork(*c);
     return c;
 }
 
@@ -219,16 +226,31 @@ Kernel::forEachShmFrame(
 SysResult
 Kernel::wait4(Process &parent, u64 pid)
 {
+    bool live_children = false;
     for (auto it = procs.begin(); it != procs.end(); ++it) {
         Process &p = *it->second;
-        if (p.ppid() != parent.pid() || !p.exited())
+        if (p.ppid() != parent.pid())
             continue;
         if (pid != 0 && p.pid() != pid)
             continue;
+        if (!p.exited()) {
+            live_children = true;
+            continue;
+        }
         u64 dead = p.pid();
+        if (schedIface)
+            schedIface->onProcessReaped(dead);
         procs.erase(it);
         return SysResult::ok(dead);
     }
+    // No zombie yet, but the wait could still succeed: when the caller
+    // is an interpreted context under the scheduler, truly block until
+    // a child's exit wakes us (the syscall restarts and reaps then).
+    // Hosted and scheduler-less callers keep the historical
+    // non-blocking E_CHILD poll.
+    if (live_children && schedIface &&
+        schedIface->blockCurrent(parent, BlockKind::Wait4, pid, true))
+        return SysResult::fail(E_INTR);
     return SysResult::fail(E_CHILD);
 }
 
@@ -243,6 +265,11 @@ Kernel::exitProcess(Process &proc, int status)
     proc.as().releaseAll();
     if (Process *parent = findProcess(proc.ppid()))
         parent->raiseSignal(SIG_CHLD);
+    // The wake-up edge for blocking wait4: retire the dead process's
+    // contexts and move any parent blocked in wait4 back to the run
+    // queue.
+    if (schedIface)
+        schedIface->onProcessDead(proc);
 }
 
 void
@@ -277,6 +304,8 @@ Kernel::faultProcess(Process &proc, const DeathInfo &info)
     proc.as().releaseAll();
     if (Process *parent = findProcess(proc.ppid()))
         parent->raiseSignal(SIG_CHLD);
+    if (schedIface)
+        schedIface->onProcessDead(proc);
 }
 
 void
@@ -544,6 +573,79 @@ Kernel::sysOtypeAlloc(Process &proc, u64 count, Capability *out)
     if (traceSink)
         traceSink->derive(DeriveSource::Syscall, *out);
     return SysResult::ok(base);
+}
+
+void
+Kernel::installScheduler(std::unique_ptr<SchedulerIface> s)
+{
+    ownedSched = std::move(s);
+    schedIface = ownedSched.get();
+}
+
+void
+Kernel::backgroundTick(Process &proc)
+{
+    if (proc.exited())
+        return;
+    // Drain any open revocation epoch one slice at a time, so a sweep
+    // makes progress across scheduler slices even when the guest never
+    // re-enters the kernel.
+    pumpRevocation(proc);
+    // Proactive reclaim at the frame-budget ceiling: evict one LRU page
+    // on the running process's behalf before the next allocation is
+    // forced to.  The requester exemption keeps the running process
+    // safe from its own background pass's OOM escalation.
+    if (cfg.frameCapacity && phys.liveFrames() >= cfg.frameCapacity)
+        reclaimFrames(1, &proc.as());
+}
+
+SysResult
+Kernel::sysEvPost(Process &proc, u64 pid)
+{
+    chargeSyscall(proc, 0);
+    u64 target = pid == 0 ? proc.pid() : pid;
+    Process *p = findProcess(target);
+    if (!p || p->exited())
+        return SysResult::fail(E_SRCH);
+    u64 &count = eventCounts[target];
+    ++count;
+    if (schedIface)
+        schedIface->onEventPost(target);
+    return SysResult::ok(count);
+}
+
+SysResult
+Kernel::sysEvWait(Process &proc)
+{
+    chargeSyscall(proc, 0);
+    auto it = eventCounts.find(proc.pid());
+    if (it != eventCounts.end() && it->second > 0) {
+        --it->second;
+        return SysResult::ok(it->second);
+    }
+    // Nothing posted: block until ev_post wakes us and the restarted
+    // syscall consumes the event.  Without a scheduler (or from a
+    // hosted context) the wait would never end — report would-block.
+    if (schedIface && schedIface->blockCurrent(proc, BlockKind::EventWait,
+                                               proc.pid(), true))
+        return SysResult::fail(E_INTR);
+    return SysResult::fail(E_BUSY);
+}
+
+SysResult
+Kernel::sysSleep(Process &proc, u64 ticks)
+{
+    chargeSyscall(proc, 0);
+    if (ticks == 0)
+        return SysResult::ok();
+    // Success registers are written before the block takes effect, and
+    // the PC is NOT rewound on wake (restart=false): re-running the
+    // syscall would re-arm the deadline forever.
+    if (schedIface &&
+        schedIface->blockCurrent(proc, BlockKind::Sleep, ticks, false))
+        return SysResult::ok();
+    // No virtual clock to wait on: sleep degenerates to a no-op.
+    return SysResult::ok();
 }
 
 SysResult

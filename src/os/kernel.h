@@ -26,6 +26,7 @@
 
 #include "os/process.h"
 #include "os/revocation.h"
+#include "os/sched_iface.h"
 #include "os/sysnum.h"
 #include "os/user_ptr.h"
 #include "trace/trace.h"
@@ -129,6 +130,11 @@ struct KernelConfig
     /** Pages scanned per incremental revocation slice — the bound on
      *  revocation work any single dispatch() absorbs. */
     u64 revokeSliceBudget = 8;
+    /** Guest instructions an execution context may retire before the
+     *  scheduler preempts it.  Preemption is raised as an interpreter
+     *  step-budget expiry, so it lands only at instruction
+     *  boundaries — never mid-instruction. */
+    u64 timeSliceSteps = 512;
 };
 
 class Kernel
@@ -255,13 +261,61 @@ class Kernel
     /// @{
     /** Create a thread; returns its tid, or an errno. */
     SysResult sysThrNew(Process &proc, u64 stack_size = 1 << 20);
-    /** Switch the running context to @p tid (0 = the initial thread). */
+    /** Switch the running context to @p tid (0 = the initial thread).
+     *  Under an active scheduler this is a directed yield: the switch
+     *  happens at the next slice boundary, not mid-instruction. */
     SysResult sysThrSwitch(Process &proc, u64 tid);
-    /** Mark @p tid exited (must not be the running thread). */
+    /** Mark @p tid exited.  Exiting the running thread is allowed:
+     *  teardown defers to the scheduler's next pick (the thread is a
+     *  zombie until then); when the last live thread self-exits the
+     *  process exits with status 0. */
     SysResult sysThrExit(Process &proc, u64 tid);
+    /**
+     * Save the running thread's register file into its record and
+     * restore @p tid's — the capability-register context switch shared
+     * by sysThrSwitch and the scheduler.  Returns an errno (E_SRCH for
+     * unknown/dead tids; E_OK when @p tid already runs).
+     */
+    int switchThreadContext(Process &proc, u64 tid);
     /// @}
 
     u64 contextSwitches() const { return switches; }
+    /// @}
+
+    /** @name Scheduler (src/os/sched)
+     * The kernel owns at most one scheduler (the concrete class lives
+     * in src/os/sched, above the ISA layer — the core kernel library
+     * never links interpreters).  runUntilIdle() is the single
+     * execution entry every driver uses: it drains the run queue with
+     * round-robin time slices until every context is done or blocked
+     * forever.
+     */
+    /// @{
+    /** Install (replacing any previous) and take ownership. */
+    void installScheduler(std::unique_ptr<SchedulerIface> s);
+    SchedulerIface *scheduler() const { return schedIface; }
+    /** Scheduler counters for the oracle's metrics-mirror rule
+     *  (nullptr when no scheduler is installed). */
+    const SchedStats *schedulerStats() const
+    {
+        return schedIface ? &schedIface->stats() : nullptr;
+    }
+    /** Run the scheduler until the run queue is empty and no sleeper
+     *  can be woken by advancing the virtual clock.  No-op without a
+     *  scheduler installed. */
+    void
+    runUntilIdle()
+    {
+        if (schedIface)
+            schedIface->runUntilIdle();
+    }
+    /**
+     * Slice-boundary background work: pump any open revocation epoch
+     * and, when the frame budget is exhausted, run a one-frame reclaim
+     * pass on @p proc's behalf — so revocation and reclaim make
+     * progress even when no syscall is in flight.
+     */
+    void backgroundTick(Process &proc);
     /// @}
 
     /** @name User-memory access (Figure 3 semantics)
@@ -390,6 +444,20 @@ class Kernel
     /// @{
     SysResult sysGetpid(Process &proc);
     SysResult sysGetppid(Process &proc);
+    /** @name Counting events (the blocking-wait primitive)
+     * Each process has a saturating event counter.  ev_post increments
+     * @p pid's counter (0 = self) and wakes its EventWait contexts;
+     * ev_wait consumes one event or blocks until one is posted (E_BUSY
+     * when it would block and no scheduler can block the caller).
+     * sleep(ticks) blocks until the scheduler's virtual clock — total
+     * guest instructions retired — has advanced @p ticks; without a
+     * scheduler it completes immediately.
+     */
+    /// @{
+    SysResult sysEvPost(Process &proc, u64 pid);
+    SysResult sysEvWait(Process &proc);
+    SysResult sysSleep(Process &proc, u64 ticks);
+    /// @}
     /**
      * The unified revocation syscall (revoke2): run an epoch-based
      * sweep over a set of [lo, hi) ranges — resident and swapped pages
@@ -567,6 +635,12 @@ class Kernel
     u64 nextOtype = 1; // otype 0 reserved
     int nextShmId = 1;
     u64 switches = 0;
+    /** Per-pid counting-event state (sysEvPost/sysEvWait). */
+    std::map<u64, u64> eventCounts;
+    SchedulerIface *schedIface = nullptr;
+    /** Declared after procs: the scheduler (whose contexts reference
+     *  Process objects) is destroyed before the process table. */
+    std::unique_ptr<SchedulerIface> ownedSched;
 };
 
 /** Map PROT_* bits to the capability permissions mmap grants. */

@@ -72,9 +72,13 @@ Process::cloneFdsInto(Process &child) const
 u64
 Process::threadCount() const
 {
-    u64 n = 1; // the running thread
-    for (const ThreadRecord &t : threads)
-        n += t.live && t.tid != curThread;
+    u64 n = 1; // the running thread...
+    for (const ThreadRecord &t : threads) {
+        if (t.tid == curThread)
+            n -= !t.live; // ...unless it self-exited (zombie)
+        else
+            n += t.live;
+    }
     return n;
 }
 

@@ -13,6 +13,7 @@
 #ifndef CHERI_OS_PROCESS_H
 #define CHERI_OS_PROCESS_H
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -198,7 +199,10 @@ class Process
     CostModel _cost;
     MemAccess _mem;
     std::vector<OpenFileRef> fds;
-    std::vector<ThreadRecord> threads;
+    /** Thread records need stable addresses: growth must not move
+     *  existing elements (callers hold ThreadRecord pointers across
+     *  creation), hence a deque rather than a vector. */
+    std::deque<ThreadRecord> threads;
     u64 curThread = 0;
     u64 nextTid = 1;
     std::array<SigAction, numSignals> sigActions{};

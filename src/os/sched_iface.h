@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The kernel-side scheduler interface.
+ *
+ * The concrete scheduler (src/os/sched) owns interpreters and therefore
+ * lives above the ISA layer, which the core kernel library must not
+ * link against (cheri_isa itself links cheri_os).  This header is the
+ * seam: an abstract interface the kernel calls at its blocking and
+ * lifecycle edges — wait4 wanting to sleep, a process dying, a fork or
+ * thr_new needing admission — plus the counter block the invariant
+ * oracle mirrors against Metrics (rule 6).
+ *
+ * Everything here is optional: a kernel with no scheduler installed
+ * (schedIface == nullptr) behaves exactly as before — wait4 polls,
+ * thr_switch switches immediately, fork children never run.
+ */
+
+#ifndef CHERI_OS_SCHED_IFACE_H
+#define CHERI_OS_SCHED_IFACE_H
+
+#include "cap/types.h"
+
+namespace cheri
+{
+
+class Process;
+
+/** Why a context is off the run queue. */
+enum class BlockKind
+{
+    None,
+    /** wait4(2) with live children and no zombie yet. */
+    Wait4,
+    /** ev_wait(2) with a zero event counter. */
+    EventWait,
+    /** sleep(2) until a virtual-clock deadline. */
+    Sleep,
+};
+
+/**
+ * Scheduler accounting, mirrored into obs::Metrics (schema v6) and
+ * cross-checked by the invariant oracle's metrics-mirror rule.
+ */
+struct SchedStats
+{
+    /** Slices that ran a different (pid, tid) than the previous one. */
+    u64 contextSwitches = 0;
+    /** Slices ended with the context still runnable: time-slice (step
+     *  budget) expiry or a directed yield (thr_switch). */
+    u64 preemptions = 0;
+    /** Total slices dispatched (interpreted and hosted). */
+    u64 slices = 0;
+    u64 blocksWait4 = 0;
+    u64 blocksEvent = 0;
+    u64 blocksSleep = 0;
+    /** Blocked contexts returned to the run queue. */
+    u64 wakes = 0;
+    u64 maxRunQueueDepth = 0;
+    /** Idle virtual-clock advances to the earliest sleep deadline. */
+    u64 idleAdvances = 0;
+    /** Guest instructions retired under the scheduler. */
+    u64 stepsExecuted = 0;
+};
+
+/**
+ * The edges the kernel raises into the scheduler.  All admission
+ * callbacks are conditional: the scheduler only admits work spawned
+ * *by interpreted guests it is currently running* — host-driven tests
+ * calling sysThrNew/fork directly see no behavior change.
+ */
+class SchedulerIface
+{
+  public:
+    virtual ~SchedulerIface() = default;
+
+    /**
+     * Block the context currently executing @p proc.  @p arg is
+     * interpreted per kind (Wait4: pid filter; Sleep: ticks from now;
+     * EventWait: the pid whose counter is awaited).  @p restart asks
+     * the scheduler to rewind PC by one instruction so the syscall
+     * re-executes on wake (wait4/ev_wait re-check their predicate);
+     * sleep completes on wake and must not restart.
+     *
+     * Returns false when there is nothing to block — no interpreted
+     * context is running @p proc — in which case the caller must fall
+     * back to its non-blocking behavior.
+     */
+    virtual bool blockCurrent(Process &proc, BlockKind kind, u64 arg,
+                              bool restart) = 0;
+
+    /** @p proc exited/died: retire its contexts, wake Wait4 waiters. */
+    virtual void onProcessDead(Process &proc) = 0;
+    /** @p pid was reaped by wait4: its Process object is gone. */
+    virtual void onProcessReaped(u64 pid) = 0;
+    /** A running interpreted guest forked @p child: admit it. */
+    virtual void onFork(Process &child) = 0;
+    /** A running interpreted guest created thread @p tid: admit it. */
+    virtual void onThreadNew(Process &proc, u64 tid) = 0;
+    /**
+     * thr_switch from a running interpreted guest: a *directed yield*
+     * (the scheduler owns register-file switching and performs it at
+     * the slice boundary).  Returns false when not handled — the
+     * caller performs the legacy immediate switch.
+     */
+    virtual bool onThreadSwitch(Process &proc, u64 tid) = 0;
+    /** Thread @p tid self-exited (zombie until the next pick). */
+    virtual void onThreadExit(Process &proc, u64 tid) = 0;
+    /** An event was posted to @p pid: wake its EventWait contexts. */
+    virtual void onEventPost(u64 pid) = 0;
+
+    /** Drain the run queue (see Kernel::runUntilIdle). */
+    virtual void runUntilIdle() = 0;
+
+    virtual const SchedStats &stats() const = 0;
+};
+
+} // namespace cheri
+
+#endif // CHERI_OS_SCHED_IFACE_H

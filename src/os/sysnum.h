@@ -57,6 +57,9 @@ enum class SysNum : u16
     Shmget,
     Shmat,
     Shmdt,
+    EvPost,
+    EvWait,
+    Sleep,
     Count,
 };
 
@@ -107,6 +110,9 @@ constexpr SyscallInfo syscallTable[numSysNums] = {
     {SysNum::Shmget, "shmget", 0, false},
     {SysNum::Shmat, "shmat", 1, true},
     {SysNum::Shmdt, "shmdt", 1, false},
+    {SysNum::EvPost, "ev_post", 0, false},
+    {SysNum::EvWait, "ev_wait", 0, false},
+    {SysNum::Sleep, "sleep", 0, false},
 };
 
 /** Metadata for @p code, or nullptr for out-of-range/invalid numbers. */

@@ -82,8 +82,29 @@ TEST_P(ThreadTest, BadTidRejected)
 {
     EXPECT_EQ(kern().sysThrSwitch(proc(), 42).error, E_SRCH);
     EXPECT_EQ(kern().sysThrExit(proc(), 42).error, E_SRCH);
-    EXPECT_EQ(kern().sysThrExit(proc(), proc().currentTid()).error,
-              E_BUSY);
+}
+
+TEST_P(ThreadTest, SelfExitOfSecondaryThreadIsZombieUntilSwitch)
+{
+    SysResult r = kern().sysThrNew(proc());
+    ASSERT_EQ(r.error, E_OK);
+    u64 tid = r.value;
+    ASSERT_EQ(kern().sysThrSwitch(proc(), tid).error, E_OK);
+    // Self-exit succeeds; the dead thread's register file lingers until
+    // the next switch (the scheduler's next pick reaps it).
+    ASSERT_EQ(kern().sysThrExit(proc(), tid).error, E_OK);
+    EXPECT_FALSE(proc().exited());
+    EXPECT_EQ(proc().threadCount(), 1u);
+    EXPECT_EQ(kern().sysThrSwitch(proc(), tid).error, E_SRCH);
+    ASSERT_EQ(kern().sysThrSwitch(proc(), 0).error, E_OK);
+}
+
+TEST_P(ThreadTest, SelfExitOfLastThreadExitsProcess)
+{
+    ASSERT_EQ(kern().sysThrExit(proc(), proc().currentTid()).error,
+              E_OK);
+    EXPECT_TRUE(proc().exited());
+    EXPECT_EQ(proc().exitStatus(), 0);
 }
 
 TEST_P(ThreadTest, ExitedThreadCannotBeEntered)

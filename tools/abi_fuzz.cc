@@ -10,7 +10,12 @@
  *
  * Usage:
  *   abi_fuzz [--seed N] [--cases N] [--ops-per-case N] [--inject]
- *            [--check-every N] [--plant-slot-bug] [--json]
+ *            [--check-every N] [--plant-slot-bug] [--multi-proc N]
+ *            [--json]
+ *
+ * --multi-proc N runs each case as N (2-4) guest processes executing
+ * generated programs concurrently under the kernel scheduler, with the
+ * invariant oracle consulted at every slice boundary.
  *
  * Environment:
  *   CHERI_FUZZ_SEED          default seed when --seed is absent
@@ -44,7 +49,8 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--seed N] [--cases N] [--ops-per-case N] "
-        "[--inject] [--check-every N] [--plant-slot-bug] [--json]\n",
+        "[--inject] [--check-every N] [--plant-slot-bug] "
+        "[--multi-proc N] [--json]\n",
         argv0);
     return 2;
 }
@@ -85,6 +91,9 @@ main(int argc, char **argv)
                 return usage(argv[0]);
         } else if (!std::strcmp(arg, "--inject")) {
             opts.inject = true;
+        } else if (!std::strcmp(arg, "--multi-proc")) {
+            if (!numArg(&opts.multiProc))
+                return usage(argv[0]);
         } else if (!std::strcmp(arg, "--plant-slot-bug")) {
             opts.plantSlotBug = true;
         } else if (!std::strcmp(arg, "--json")) {

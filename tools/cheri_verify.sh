@@ -35,9 +35,19 @@ CHERI_TEST_FRAME_BUDGET=48 CHERI_TEST_SLOT_BUDGET=128 \
 "$build_dir/tools/abi_fuzz" --seed 1 --cases 50 --check-every 1
 CHERI_TEST_FRAME_BUDGET=48 CHERI_TEST_SLOT_BUDGET=128 \
     "$build_dir/tools/abi_fuzz" --seed 1 --cases 50 --check-every 1
+# Multi-process scheduler fuzzing: 2-4 preemptively time-sliced guests
+# per case running generated programs (sleep/thr_new/thr_switch in the
+# mix), the invariant oracle at every slice boundary, and the
+# interleaved event streams compared across ABIs.
+"$build_dir/tools/abi_fuzz" --seed 1 --cases 50 --multi-proc 3
 # Revocation ablation: --check fails unless cap-dirty tracking saves
 # >=5x of the granule traffic on a <20%-dirty workload, every
 # incremental slice respects the configured page budget, and all three
 # strategies revoke exactly the planted capabilities.
 "$build_dir/bench/revocation_bench" --json --check
+# Scheduler bench: --check fails unless persistent execution contexts
+# clear a 3x throughput floor over the old per-chunk interpreter
+# re-creation pattern, scaling stays flat, and context-switch overhead
+# stays bounded.
+"$build_dir/bench/sched_bench" --json --check
 echo "cheri_verify: all checks passed"
