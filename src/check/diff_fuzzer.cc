@@ -58,6 +58,12 @@ struct AbsInsn
         /** thr_switch(x3): directed yield to the tid the previous
          *  syscall returned — multi-process programs only. */
         ThrSwitchSys,
+        /** write(pipe_wfd, data_base, imm): producer side of the
+         *  shared cross-guest pipe — multi-process programs only. */
+        PipeWriteSys,
+        /** read(pipe_rfd, data_base, imm): consumer side; blocks the
+         *  context when the pipe is empty — multi-process only. */
+        PipeReadSys,
     };
     K k = K::Li;
     u8 rd = 4, rs = 4, rt = 4;
@@ -167,6 +173,18 @@ genMultiProgram(std::mt19937_64 &rng)
         s.imm = 1 + static_cast<s64>(rng() % 200);
         p.push_back(s);
     }
+    // Producer/consumer traffic on the shared pipe: small lengths so
+    // the channel never fills (64 KiB capacity), but consumers DO park
+    // on an empty pipe until some other guest's write wakes them — the
+    // blocking hand-off both ABI runs must interleave identically.
+    u64 pipeOps = rng() % 4;
+    for (u64 i = 0; i < pipeOps; ++i) {
+        AbsInsn in;
+        in.k = (rng() % 2) ? AbsInsn::K::PipeWriteSys
+                           : AbsInsn::K::PipeReadSys;
+        in.imm = 1 + static_cast<s64>(rng() % 32);
+        p.push_back(in);
+    }
     u64 tail = rng() % 3;
     for (u64 i = 0; i < tail; ++i) {
         AbsInsn in;
@@ -180,9 +198,12 @@ genMultiProgram(std::mt19937_64 &rng)
 }
 
 /** Lower the abstract program for @p abi.  Loads/stores address the
- *  data page through x8 (legacy, via DDC) or c8 (capability). */
+ *  data page through x8 (legacy, via DDC) or c8 (capability); pipe ops
+ *  target the shared pipe's per-guest descriptors @p pipeRfd /
+ *  @p pipeWfd (multi-process mode only). */
 isa::Assembler
-lower(const std::vector<AbsInsn> &prog, Abi abi)
+lower(const std::vector<AbsInsn> &prog, Abi abi, int pipeRfd = -1,
+      int pipeWfd = -1)
 {
     isa::Assembler a;
     int loops = 0;
@@ -228,6 +249,25 @@ lower(const std::vector<AbsInsn> &prog, Abi abi)
             a.add(regArg0, regRetVal, 0)
                 .syscall(static_cast<s64>(SysNum::ThrSwitch));
             break;
+          case AbsInsn::K::PipeWriteSys:
+          case AbsInsn::K::PipeReadSys: {
+            bool wr = in.k == AbsInsn::K::PipeWriteSys;
+            a.li(regArg0, wr ? pipeWfd : pipeRfd);
+            // The buffer argument travels in c5 under CheriABI and x5
+            // under mips64 — five instructions either way, so slice
+            // boundaries stay aligned across the runs.
+            if (abi == Abi::CheriAbi)
+                a.cmove(regArg0 + 1, 8);
+            else
+                a.move(regArg0 + 1, 8);
+            a.li(regArg0 + 2, in.imm);
+            a.syscall(static_cast<s64>(wr ? SysNum::Write
+                                          : SysNum::Read));
+            // mips64's move left the data VA (ABI-dependent) in x5;
+            // zero it so the final register dump compares equal.
+            a.li(regArg0 + 1, 0);
+            break;
+          }
         }
     }
     a.halt();
@@ -839,6 +879,24 @@ execCaseMulti(Abi abi, const FuzzOptions &opts, u64 case_seed)
                                 r.x[regRetVal]));
     });
 
+    // One pipe shared by every guest: the same two open-file
+    // descriptions land in each guest's fd table (same slots, both
+    // ABIs), so generated producer/consumer ops move bytes across
+    // scheduler-sliced processes.  O_NONBLOCK keeps the streams
+    // ABI-comparable: a generated op mix has no liveness guarantee
+    // (a reader with no willing writer would park forever and its
+    // final dump would expose the ABI-specific buffer address still
+    // sitting in x5 at the rewound syscall), so would-block ops must
+    // return E_AGAIN and let the program reach the x5 normalization.
+    // The park/wake path itself is covered by test_fd and pipe_bench.
+    auto [pipe_rd, pipe_wr] = Vfs::makePipe();
+    auto pipe_rof = std::make_shared<OpenFile>();
+    pipe_rof->node = pipe_rd;
+    pipe_rof->flags = O_RDONLY | O_NONBLOCK;
+    auto pipe_wof = std::make_shared<OpenFile>();
+    pipe_wof->node = pipe_wr;
+    pipe_wof->flags = O_WRONLY | O_NONBLOCK;
+
     std::vector<Process *> guests;
     for (u64 i = 0; i < n; ++i) {
         Process *proc = kern.spawn(abi, "fuzz-mp");
@@ -847,6 +905,8 @@ execCaseMulti(Abi abi, const FuzzOptions &opts, u64 case_seed)
             er.events.push_back("execve-failed");
             return er;
         }
+        int pipe_rfd = proc->allocFd(pipe_rof);
+        int pipe_wfd = proc->allocFd(pipe_wof);
         u64 code_va = proc->as().map(0, pageSize,
                                      PROT_READ | PROT_WRITE | PROT_EXEC,
                                      MappingKind::Text, false, false,
@@ -855,7 +915,8 @@ execCaseMulti(Abi abi, const FuzzOptions &opts, u64 case_seed)
                                      PROT_READ | PROT_WRITE,
                                      MappingKind::Data, false, false,
                                      "fuzzdata");
-        lower(genMultiProgram(rng), abi).writeTo(proc->as(), code_va);
+        lower(genMultiProgram(rng), abi, pipe_rfd, pipe_wfd)
+            .writeTo(proc->as(), code_va);
         ThreadRegs &regs = proc->regs();
         regs.c[8] = proc->as()
                         .capForRange(data_va, pageSize,
@@ -914,10 +975,11 @@ execCaseMulti(Abi abi, const FuzzOptions &opts, u64 case_seed)
     }
     er.events.push_back(fmt("sched switches %" PRIu64 " preempt %" PRIu64
                             " slices %" PRIu64 " sleeps %" PRIu64
-                            " wakes %" PRIu64,
+                            " fdblocks %" PRIu64 " wakes %" PRIu64,
                             s.stats().contextSwitches,
                             s.stats().preemptions, s.stats().slices,
-                            s.stats().blocksSleep, s.stats().wakes));
+                            s.stats().blocksSleep, s.stats().blocksFd,
+                            s.stats().wakes));
 
     kern.setCheckHook(nullptr);
     return er;

@@ -383,6 +383,7 @@ Invariants::check(Kernel &kern)
                 ms.blocksWait4 != ks->blocksWait4 ||
                 ms.blocksEvent != ks->blocksEvent ||
                 ms.blocksSleep != ks->blocksSleep ||
+                ms.blocksFd != ks->blocksFd ||
                 ms.wakes != ks->wakes ||
                 ms.maxRunQueueDepth != ks->maxRunQueueDepth ||
                 ms.idleAdvances != ks->idleAdvances ||
@@ -397,6 +398,31 @@ Invariants::check(Kernel &kern)
                          ms.stepsExecuted, ks->contextSwitches,
                          ks->preemptions, ks->slices,
                          ks->stepsExecuted)});
+            }
+        }
+        // Blocking FD I/O counters: mirrored at the same points as the
+        // kernel's FdIoStats (park, wake edge, E_AGAIN, EPIPE, partial
+        // write, select timeout).
+        {
+            const obs::FdCounters &mf = m->fd();
+            const Kernel::FdIoStats &kf = kern.fdIoStats();
+            if (mf.blocks != kf.blocks || mf.wakes != kf.wakes ||
+                mf.eagainErrors != kf.eagainErrors ||
+                mf.epipeErrors != kf.epipeErrors ||
+                mf.partialWrites != kf.partialWrites ||
+                mf.selectTimeouts != kf.selectTimeouts) {
+                r.violations.push_back(
+                    {"metrics-fd-mirror",
+                     fmt("metrics blocks %" PRIu64 " wakes %" PRIu64
+                         " eagain %" PRIu64 " epipe %" PRIu64
+                         " partial %" PRIu64 " timeouts %" PRIu64
+                         " != kernel %" PRIu64 "/%" PRIu64 "/%" PRIu64
+                         "/%" PRIu64 "/%" PRIu64 "/%" PRIu64,
+                         mf.blocks, mf.wakes, mf.eagainErrors,
+                         mf.epipeErrors, mf.partialWrites,
+                         mf.selectTimeouts, kf.blocks, kf.wakes,
+                         kf.eagainErrors, kf.epipeErrors,
+                         kf.partialWrites, kf.selectTimeouts)});
             }
         }
         std::array<u64, numCapFaults> logged{};

@@ -198,10 +198,10 @@ GuestContext::lseek(int fd, s64 off, int whence)
 }
 
 int
-GuestContext::pipe(const GuestPtr &fds)
+GuestContext::pipe(const GuestPtr &fds, u32 flags)
 {
     return sysInvoke(kern, _proc, SysNum::Pipe,
-                     {SysArg::p(toUser(fds))})
+                     {SysArg::p(toUser(fds)), SysArg::i(flags)})
         .res.error;
 }
 

@@ -161,8 +161,9 @@ class GuestContext
     s64 write(int fd, const GuestPtr &buf, u64 len);
     int close(int fd);
     s64 lseek(int fd, s64 off, int whence);
-    /** Writes the two descriptors through @p fds (two 32-bit ints). */
-    int pipe(const GuestPtr &fds);
+    /** Writes the two descriptors through @p fds (two 32-bit ints).
+     *  @p flags accepts O_NONBLOCK (pipe2 semantics). */
+    int pipe(const GuestPtr &fds, u32 flags = 0);
     s64 dup(int fd);
     s64 getpid();
     int kill(u64 pid, int sig);

@@ -137,6 +137,7 @@ Metrics::reset()
     mem = {};
     rev = {};
     schd = {};
+    fdio = {};
     _threadSteps.clear();
     chk = {};
     costs.clear();
@@ -179,7 +180,7 @@ Metrics::toJson() const
 {
     JsonWriter w;
     w.beginObject();
-    w.key("schema").value(std::string_view("cheri.metrics.v6"));
+    w.key("schema").value(std::string_view("cheri.metrics.v7"));
 
     w.key("syscalls").beginArray();
     for (Abi abi : allAbis) {
@@ -307,6 +308,7 @@ Metrics::toJson() const
     w.key("blocks_wait4").value(schd.blocksWait4);
     w.key("blocks_event").value(schd.blocksEvent);
     w.key("blocks_sleep").value(schd.blocksSleep);
+    w.key("blocks_fd").value(schd.blocksFd);
     w.key("wakes").value(schd.wakes);
     w.key("max_run_queue_depth").value(schd.maxRunQueueDepth);
     w.key("idle_advances").value(schd.idleAdvances);
@@ -332,6 +334,17 @@ Metrics::toJson() const
         w.endObject();
     }
     w.endArray();
+    w.endObject();
+
+    // Blocking FD I/O counters (v7 schema addition): how often the
+    // pipe/pty/select paths parked, woke, or degraded to E_AGAIN.
+    w.key("fd").beginObject();
+    w.key("blocks").value(fdio.blocks);
+    w.key("wakes").value(fdio.wakes);
+    w.key("eagain_errors").value(fdio.eagainErrors);
+    w.key("epipe_errors").value(fdio.epipeErrors);
+    w.key("partial_writes").value(fdio.partialWrites);
+    w.key("select_timeouts").value(fdio.selectTimeouts);
     w.endObject();
 
     // Checking-layer counters (v4 schema addition).

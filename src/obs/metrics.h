@@ -143,10 +143,25 @@ struct SchedCounters
     u64 blocksWait4 = 0;
     u64 blocksEvent = 0;
     u64 blocksSleep = 0;
+    u64 blocksFd = 0;
     u64 wakes = 0;
     u64 maxRunQueueDepth = 0;
     u64 idleAdvances = 0;
     u64 stepsExecuted = 0;
+};
+
+/** Blocking FD I/O telemetry fed by the kernel's pipe/pty/select
+ *  paths: field-for-field mirror of cheri::Kernel::FdIoStats,
+ *  cross-checked by the oracle's metrics-fd-mirror rule, exported in
+ *  the "fd" section of the v7 schema. */
+struct FdCounters
+{
+    u64 blocks = 0;         ///< reads/writes/selects parked on a channel
+    u64 wakes = 0;          ///< contexts woken by channel edges
+    u64 eagainErrors = 0;   ///< would-block reported (O_NONBLOCK/hosted)
+    u64 epipeErrors = 0;    ///< writes that hit a broken pipe
+    u64 partialWrites = 0;  ///< writes short of len into a filling pipe
+    u64 selectTimeouts = 0; ///< selects that returned via the deadline
 };
 
 /** Checking-layer telemetry (src/check): oracle runs and fuzzer
@@ -303,6 +318,9 @@ class Metrics : public TraceSink
           case BlockKind::Sleep:
             ++schd.blocksSleep;
             break;
+          case BlockKind::Fd:
+            ++schd.blocksFd;
+            break;
           case BlockKind::None:
             break;
         }
@@ -321,6 +339,17 @@ class Metrics : public TraceSink
             _threadSteps[{pid, tid}] += steps;
     }
     const SchedCounters &sched() const { return schd; }
+    /// @}
+
+    /** @name Blocking FD I/O telemetry (fed by the kernel FD layer) */
+    /// @{
+    void recordFdBlock() { ++fdio.blocks; }
+    void recordFdWake(u64 n) { fdio.wakes += n; }
+    void recordFdEagain() { ++fdio.eagainErrors; }
+    void recordFdEpipe() { ++fdio.epipeErrors; }
+    void recordFdPartialWrite() { ++fdio.partialWrites; }
+    void recordFdSelectTimeout() { ++fdio.selectTimeouts; }
+    const FdCounters &fd() const { return fdio; }
     const std::map<std::pair<u64, u64>, u64> &threadSteps() const
     {
         return _threadSteps;
@@ -398,6 +427,7 @@ class Metrics : public TraceSink
     PressureCounters mem;
     RevocationCounters rev;
     SchedCounters schd;
+    FdCounters fdio;
     /** Retired guest instructions per (pid, tid) under the scheduler. */
     std::map<std::pair<u64, u64>, u64> _threadSteps;
     CheckCounters chk;

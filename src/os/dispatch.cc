@@ -100,7 +100,7 @@ Kernel::dispatch(Process &proc, u64 code)
             break;
           case SysNum::Pipe: {
             int fds[2] = {-1, -1};
-            res = sysPipe(proc, fds);
+            res = sysPipe(proc, fds, static_cast<u32>(argInt(proc, 1)));
             if (!res.failed()) {
                 std::int32_t guest_fds[2] = {fds[0], fds[1]};
                 int err = copyout(proc, guest_fds, argPtr(proc, 0),

@@ -35,6 +35,7 @@ enum Errno : int
     E_NOSPC = 28,
     E_PIPE = 32,
     E_RANGE = 34,
+    E_AGAIN = 35,
     E_NOSYS = 78,
     /** CHERI-specific: capability check failed at the syscall layer. */
     E_PROT = 96,

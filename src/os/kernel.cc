@@ -109,6 +109,7 @@ Kernel::oomKill(Process &victim)
     // An open revocation epoch dies with the address space it was
     // sweeping; it never closes (nothing was proven revoked).
     abortRevocationEpoch(victim);
+    victim.closeAllFds(); // fires channel wake edges (EOF/EPIPE)
     // Reclaim everything immediately — frames and swap slots — rather
     // than waiting for the zombie to be reaped.
     victim.as().releaseAll();
@@ -259,6 +260,10 @@ Kernel::exitProcess(Process &proc, int status)
 {
     proc.exit(status);
     abortRevocationEpoch(proc);
+    // Close the file table now, not at reap: an exiting writer must
+    // EOF its pipes immediately (waking blocked readers), and an
+    // exiting reader must break them (waking blocked writers).
+    proc.closeAllFds();
     // Eager teardown: a zombie keeps its pid and exit status for wait4,
     // but its frames and swap slots go back to the pools immediately so
     // memory pressure is relieved without waiting for the reap.
@@ -294,6 +299,7 @@ Kernel::faultProcess(Process &proc, const DeathInfo &info)
     }
     proc.die(di);
     abortRevocationEpoch(proc);
+    proc.closeAllFds(); // fires channel wake edges (EOF/EPIPE)
     // Post-mortem: dump the capability register file and memory map
     // (paper section 4: register values are stored in core dumps).
     std::string core_path = "/cores/" + proc.name() + "." +
@@ -580,6 +586,19 @@ Kernel::installScheduler(std::unique_ptr<SchedulerIface> s)
 {
     ownedSched = std::move(s);
     schedIface = ownedSched.get();
+}
+
+void
+Kernel::fireFdEdge(u64 chan)
+{
+    if (!schedIface || chan == 0)
+        return;
+    u64 woken = schedIface->onFdWake(chan);
+    if (!woken)
+        return;
+    fdStats.wakes += woken;
+    if (mx)
+        mx->recordFdWake(woken);
 }
 
 void

@@ -154,6 +154,26 @@ class Kernel
         u64 enomemErrors = 0;
     };
 
+    /** Blocking-FD-I/O accounting (mirrored into Metrics when one is
+     *  attached; schema v7 "fd" section). */
+    struct FdIoStats
+    {
+        /** Contexts parked by read/write/select would-block. */
+        u64 blocks = 0;
+        /** Contexts woken by an FD wake edge (data, space, close). */
+        u64 wakes = 0;
+        /** Would-block reported to the caller (O_NONBLOCK or no
+         *  scheduler context to park). */
+        u64 eagainErrors = 0;
+        /** Writes failed with EPIPE (reader side gone). */
+        u64 epipeErrors = 0;
+        /** Channel writes that transferred fewer bytes than asked
+         *  (caller loops; the next write blocks or E_AGAINs). */
+        u64 partialWrites = 0;
+        /** Blocked selects woken by their timeout, not readiness. */
+        u64 selectTimeouts = 0;
+    };
+
     /** Revocation accounting (mirrored into Metrics when one is
      *  attached). */
     struct RevocationStats
@@ -181,6 +201,7 @@ class Kernel
      *  swap-out, and swap-in choke points. */
     FaultInjector &faultInjector() { return injector; }
     const MemPressureStats &memPressure() const { return pressure; }
+    const FdIoStats &fdIoStats() const { return fdStats; }
     const RevocationStats &revocationStats() const { return revStats; }
     Vfs &vfs() { return fs; }
     Rtld &rtld() { return linker; }
@@ -316,6 +337,14 @@ class Kernel
      * progress even when no syscall is in flight.
      */
     void backgroundTick(Process &proc);
+    /**
+     * An FD wake edge: wait-channel @p chan fired (data arrived, space
+     * freed, or one end closed).  Wakes every context parked on it and
+     * accounts the wakes.  The single funnel for all FD wake paths —
+     * sysRead/sysWrite after a successful transfer, and close (both
+     * explicit sysClose and the implicit close-all at process exit).
+     */
+    void fireFdEdge(u64 chan);
     /// @}
 
     /** @name User-memory access (Figure 3 semantics)
@@ -354,7 +383,8 @@ class Kernel
     SysResult sysWrite(Process &proc, int fd, const UserPtr &buf,
                        u64 len);
     SysResult sysLseek(Process &proc, int fd, s64 off, int whence);
-    SysResult sysPipe(Process &proc, int fds_out[2]);
+    /** pipe2-style: @p flags may carry O_NONBLOCK for both ends. */
+    SysResult sysPipe(Process &proc, int fds_out[2], u32 flags = 0);
     SysResult sysDup(Process &proc, int fd);
     SysResult sysGetcwd(Process &proc, const UserPtr &buf, u64 len);
     /**
@@ -614,6 +644,7 @@ class Kernel
     SwapDevice swap;
     FaultInjector injector;
     MemPressureStats pressure;
+    FdIoStats fdStats;
     Vfs fs;
     Rtld linker;
     TraceSink *traceSink = nullptr;

@@ -46,12 +46,33 @@ Process::closeFd(int n)
 {
     if (n < 0 || static_cast<size_t>(n) >= fds.size() || !fds[n])
         return E_BADF;
-    // Closing the write end of a channel wakes readers with EOF.
     VNodeRef node = fds[n]->node;
     fds[n].reset();
-    if (node && node->writeCh && node.use_count() == 1)
-        node->writeCh->writerClosed = true;
+    // Last close of a channel end (no other open-file description —
+    // dup'd or fork-shared — still references this vnode): flip the
+    // closed flag and fire the wake edge for the *opposite* side.
+    // Write end gone → readers wake to see EOF; read end gone →
+    // writers wake to take EPIPE.  A pty end carries both channels.
+    if (node && node.use_count() == 1) {
+        if (node->writeCh) {
+            node->writeCh->writerClosed = true;
+            kern.fireFdEdge(node->writeCh->readWait);
+        }
+        if (node->readCh) {
+            node->readCh->readerClosed = true;
+            kern.fireFdEdge(node->readCh->writeWait);
+        }
+    }
     return E_OK;
+}
+
+void
+Process::closeAllFds()
+{
+    for (size_t i = 0; i < fds.size(); ++i) {
+        if (fds[i])
+            closeFd(static_cast<int>(i));
+    }
 }
 
 u64

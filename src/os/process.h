@@ -119,6 +119,10 @@ class Process
     int allocFd(OpenFileRef file);
     OpenFileRef fd(int n) const;
     int closeFd(int n);
+    /** Close every open descriptor (process-exit teardown): each
+     *  last-close fires its channel's wake edges, so readers blocked
+     *  on a dying writer see EOF and writers see EPIPE. */
+    void closeAllFds();
     u64 fdCount() const;
     /** Share or copy the table into @p child (fork semantics: open-file
      *  descriptions are shared, the table itself is copied). */

@@ -145,12 +145,80 @@ Scheduler::blockCurrent(Process &proc, BlockKind kind, u64 arg,
       case BlockKind::Sleep:
         ++st.blocksSleep;
         break;
+      case BlockKind::Fd:
+        // FD parks go through blockCurrentFd (they carry a channel
+        // set, not a scalar arg); count defensively anyway.
+        ++st.blocksFd;
+        break;
       case BlockKind::None:
         break;
     }
     if (mx)
         mx->recordSchedBlock(kind);
     return true;
+}
+
+bool
+Scheduler::blockCurrentFd(Process &proc, const FdWait &wait)
+{
+    ExecContext *cur = interpretedCurrent();
+    if (!cur || cur->pid != proc.pid())
+        return false;
+    cur->state = ExecContext::State::Blocked;
+    cur->blockKind = BlockKind::Fd;
+    cur->restartOnWake = true; // wakes are hints: re-run the syscall
+    cur->fdChans = wait.chans;
+    if (wait.hasDeadline) {
+        // Arm once per park/restart cycle: a select woken by readiness
+        // that re-blocks (spurious wake, another consumer won the
+        // race) keeps its original deadline instead of sliding it.
+        if (!cur->fdDeadlineArmed) {
+            cur->fdDeadlineArmed = true;
+            cur->fdDeadline = vclock + wait.deadlineTicks;
+        }
+    }
+    cur->interp->requestYield();
+    ++st.blocksFd;
+    if (obs::Metrics *mx = kern.metrics())
+        mx->recordSchedBlock(BlockKind::Fd);
+    return true;
+}
+
+u64
+Scheduler::onFdWake(u64 chan)
+{
+    std::vector<ExecContext *> to_wake;
+    for (ExecContext *b : blocked) {
+        if (b->blockKind != BlockKind::Fd)
+            continue;
+        if (std::find(b->fdChans.begin(), b->fdChans.end(), chan) !=
+            b->fdChans.end())
+            to_wake.push_back(b);
+    }
+    for (ExecContext *b : to_wake)
+        wake(*b);
+    return to_wake.size();
+}
+
+bool
+Scheduler::consumeFdTimeout(Process &proc)
+{
+    ExecContext *cur = interpretedCurrent();
+    if (!cur || cur->pid != proc.pid() || !cur->fdTimedOut)
+        return false;
+    cur->fdTimedOut = false;
+    cur->fdDeadlineArmed = false;
+    return true;
+}
+
+void
+Scheduler::clearFdDeadline(Process &proc)
+{
+    ExecContext *cur = interpretedCurrent();
+    if (!cur || cur->pid != proc.pid())
+        return;
+    cur->fdDeadlineArmed = false;
+    cur->fdTimedOut = false;
 }
 
 void
@@ -436,23 +504,35 @@ Scheduler::runUntilIdle()
     running = true;
     obs::Metrics *mx = nullptr;
     while (true) {
-        // Wake sleepers whose virtual-clock deadline has passed.
+        // Wake sleepers whose virtual-clock deadline has passed, and
+        // FD waiters whose select timeout expired (marked timed-out so
+        // the restarted select reports 0 ready instead of re-polling
+        // forever).
         std::vector<ExecContext *> expired;
         for (ExecContext *b : blocked) {
             if (b->blockKind == BlockKind::Sleep && b->blockArg <= vclock)
                 expired.push_back(b);
+            else if (b->blockKind == BlockKind::Fd &&
+                     b->fdDeadlineArmed && b->fdDeadline <= vclock) {
+                b->fdTimedOut = true;
+                expired.push_back(b);
+            }
         }
         for (ExecContext *b : expired)
             wake(*b);
         if (runq.empty()) {
-            // Idle: if only sleepers remain, advance the virtual
-            // clock straight to the earliest deadline.  Contexts
-            // blocked on events or children that can no longer arrive
-            // stay parked (a host can still wake them later).
+            // Idle: if only sleepers (or timed FD waits) remain,
+            // advance the virtual clock straight to the earliest
+            // deadline.  Contexts blocked on events, children, or
+            // deadline-less FDs that can no longer progress stay
+            // parked (a host can still wake them later).
             u64 earliest = ~u64{0};
             for (ExecContext *b : blocked) {
                 if (b->blockKind == BlockKind::Sleep)
                     earliest = std::min(earliest, b->blockArg);
+                else if (b->blockKind == BlockKind::Fd &&
+                         b->fdDeadlineArmed)
+                    earliest = std::min(earliest, b->fdDeadline);
             }
             if (earliest == ~u64{0})
                 break;

@@ -65,6 +65,21 @@ struct ExecContext
     /** Rewind PC one instruction on wake so the syscall re-executes. */
     bool restartOnWake = false;
 
+    /** @name FD-block state (BlockKind::Fd)
+     * The wait-channel ids this context is parked on, and the select
+     * deadline machinery.  The deadline survives wake/restart cycles
+     * (a restarted select must not re-arm its timeout) and is cleared
+     * only by consumeFdTimeout or clearFdDeadline.
+     */
+    /// @{
+    std::vector<u64> fdChans;
+    /** A select deadline is armed (absolute vclock in fdDeadline). */
+    bool fdDeadlineArmed = false;
+    u64 fdDeadline = 0;
+    /** The armed deadline expired; consumed by the restarted select. */
+    bool fdTimedOut = false;
+    /// @}
+
     /** Null for hosted contexts. */
     std::unique_ptr<isa::Interpreter> interp;
     std::function<void()> hostFn;
@@ -135,6 +150,10 @@ class Scheduler final : public SchedulerIface
     bool onThreadSwitch(Process &proc, u64 tid) override;
     void onThreadExit(Process &proc, u64 tid) override;
     void onEventPost(u64 pid) override;
+    bool blockCurrentFd(Process &proc, const FdWait &wait) override;
+    u64 onFdWake(u64 chan) override;
+    bool consumeFdTimeout(Process &proc) override;
+    void clearFdDeadline(Process &proc) override;
     void runUntilIdle() override;
     const SchedStats &stats() const override { return st; }
     /// @}

@@ -18,6 +18,8 @@
 #ifndef CHERI_OS_SCHED_IFACE_H
 #define CHERI_OS_SCHED_IFACE_H
 
+#include <vector>
+
 #include "cap/types.h"
 
 namespace cheri
@@ -35,6 +37,24 @@ enum class BlockKind
     EventWait,
     /** sleep(2) until a virtual-clock deadline. */
     Sleep,
+    /** read/write/select on a file descriptor that would block. */
+    Fd,
+};
+
+/**
+ * What an FD-blocked context waits for: any of a set of wait-channel
+ * ids (see ByteChannel::readWait/writeWait — one token per channel
+ * edge), plus an optional virtual-clock deadline (select timeouts).
+ * A blocking read or write passes exactly one id and no deadline;
+ * select passes the ids of every not-ready fd it polled plus the
+ * copied-in timeout.
+ */
+struct FdWait
+{
+    std::vector<u64> chans;
+    bool hasDeadline = false;
+    /** Virtual-clock ticks from now (when hasDeadline). */
+    u64 deadlineTicks = 0;
 };
 
 /**
@@ -53,6 +73,8 @@ struct SchedStats
     u64 blocksWait4 = 0;
     u64 blocksEvent = 0;
     u64 blocksSleep = 0;
+    /** FD blocks: pipe/pty read, write, and select parks. */
+    u64 blocksFd = 0;
     /** Blocked contexts returned to the run queue. */
     u64 wakes = 0;
     u64 maxRunQueueDepth = 0;
@@ -107,6 +129,38 @@ class SchedulerIface
     virtual void onThreadExit(Process &proc, u64 tid) = 0;
     /** An event was posted to @p pid: wake its EventWait contexts. */
     virtual void onEventPost(u64 pid) = 0;
+
+    /** @name FD blocking (BlockKind::Fd)
+     * FD parks always restart (PC rewound one instruction) so the
+     * woken syscall re-runs its readiness check from scratch — the
+     * wake is a hint, not a guarantee (another context may have
+     * drained the channel first).
+     */
+    /// @{
+    /**
+     * Park the context currently executing @p proc until one of
+     * @p wait's channel edges fires or its deadline passes.  A
+     * deadline is armed once per park/restart cycle: re-blocking
+     * while a deadline is already armed keeps the *original* one, so
+     * a restarted select does not push its timeout into the future.
+     * Returns false when no interpreted context is running @p proc
+     * (caller falls back to non-blocking behavior).
+     */
+    virtual bool blockCurrentFd(Process &proc, const FdWait &wait) = 0;
+    /** Wait-channel @p chan fired (data, space, or close): wake every
+     *  context parked on it.  Returns how many were woken. */
+    virtual u64 onFdWake(u64 chan) = 0;
+    /**
+     * True exactly once after @p proc's context was woken by its FD
+     * deadline expiring (clears the armed deadline): the restarted
+     * select distinguishes "timed out" from "woken by readiness".
+     */
+    virtual bool consumeFdTimeout(Process &proc) = 0;
+    /** Disarm any FD deadline on @p proc's context — called on every
+     *  non-blocking select return so stale deadlines cannot leak into
+     *  a later park. */
+    virtual void clearFdDeadline(Process &proc) = 0;
+    /// @}
 
     /** Drain the run queue (see Kernel::runUntilIdle). */
     virtual void runUntilIdle() = 0;

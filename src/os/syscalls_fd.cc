@@ -13,6 +13,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace cheri
 {
 
@@ -61,11 +63,36 @@ Kernel::sysRead(Process &proc, int fd, const UserPtr &buf, u64 len)
         return SysResult::fail(E_BADF);
     std::vector<u8> tmp(len);
     s64 n = Vfs::read(*of, tmp.data(), len);
+    if (n == -E_AGAIN) {
+        // Empty channel with a live writer.  O_NONBLOCK callers get
+        // the errno; scheduled callers park on the channel's read
+        // wait-token until a write, a close, or EOF wakes them (the
+        // E_INTR + rewound PC restarts the syscall — the scheduler's
+        // blocking convention).  Hosted callers, which have no context
+        // to park, see E_AGAIN and may retry themselves.
+        if (!(of->flags & O_NONBLOCK) && schedIface && of->node &&
+            of->node->readCh &&
+            schedIface->blockCurrentFd(
+                proc, FdWait{{of->node->readCh->readWait}, false, 0})) {
+            ++fdStats.blocks;
+            if (mx)
+                mx->recordFdBlock();
+            return SysResult::fail(E_INTR);
+        }
+        ++fdStats.eagainErrors;
+        if (mx)
+            mx->recordFdEagain();
+        return SysResult::fail(E_AGAIN);
+    }
     if (n < 0)
         return SysResult::fail(static_cast<int>(-n));
     int err = copyout(proc, tmp.data(), buf, static_cast<u64>(n));
     if (err)
         return SysResult::fail(err);
+    // The read freed channel space: writers blocked on a full pipe can
+    // make progress now.
+    if (n > 0 && of->node && of->node->readCh)
+        fireFdEdge(of->node->readCh->writeWait);
     return SysResult::ok(static_cast<u64>(n));
 }
 
@@ -81,8 +108,59 @@ Kernel::sysWrite(Process &proc, int fd, const UserPtr &buf, u64 len)
     if (err)
         return SysResult::fail(err);
     s64 n = Vfs::write(*of, tmp.data(), len);
+    if (n == -E_PIPE) {
+        // All read ends are gone: EPIPE, and POSIX also delivers
+        // SIG_PIPE to the writer.  The unmasked-default disposition
+        // terminates the process through the structured teardown path
+        // (core dump, address-space release, SIG_CHLD) rather than a
+        // bare die(); a handler runs immediately; Ignore/masked just
+        // leaves the errno.
+        ++fdStats.epipeErrors;
+        if (mx)
+            mx->recordFdEpipe();
+        bool masked = (proc.sigMask >> SIG_PIPE) & 1;
+        if (!masked &&
+            proc.sigaction(SIG_PIPE).kind == SigAction::Kind::Default) {
+            DeathInfo di;
+            di.signal = SIG_PIPE;
+            di.detail = "write on pipe with no readers";
+            faultProcess(proc, di);
+        } else {
+            proc.raiseSignal(SIG_PIPE);
+            deliverSignals(proc);
+        }
+        return SysResult::fail(E_PIPE);
+    }
+    if (n == -E_AGAIN) {
+        // Full pipe.  Never return 0 for a nonzero-length write: park
+        // on the write wait-token until a reader frees space (or the
+        // read end closes), or report E_AGAIN under O_NONBLOCK.
+        if (!(of->flags & O_NONBLOCK) && schedIface && of->node &&
+            of->node->writeCh &&
+            schedIface->blockCurrentFd(
+                proc, FdWait{{of->node->writeCh->writeWait}, false, 0})) {
+            ++fdStats.blocks;
+            if (mx)
+                mx->recordFdBlock();
+            return SysResult::fail(E_INTR);
+        }
+        ++fdStats.eagainErrors;
+        if (mx)
+            mx->recordFdEagain();
+        return SysResult::fail(E_AGAIN);
+    }
     if (n < 0)
         return SysResult::fail(static_cast<int>(-n));
+    if (of->node && of->node->writeCh && n > 0) {
+        if (static_cast<u64>(n) < len) {
+            // Short write into the tail of the buffer: the caller's
+            // next write (of the remainder) is the one that blocks.
+            ++fdStats.partialWrites;
+            if (mx)
+                mx->recordFdPartialWrite();
+        }
+        fireFdEdge(of->node->writeCh->readWait);
+    }
     return SysResult::ok(static_cast<u64>(n));
 }
 
@@ -110,16 +188,18 @@ Kernel::sysLseek(Process &proc, int fd, s64 off, int whence)
 }
 
 SysResult
-Kernel::sysPipe(Process &proc, int fds_out[2])
+Kernel::sysPipe(Process &proc, int fds_out[2], u32 flags)
 {
     chargeSyscall(proc, 1);
+    if (flags & ~static_cast<u32>(O_NONBLOCK))
+        return SysResult::fail(E_INVAL);
     auto [rd, wr] = Vfs::makePipe();
     auto rof = std::make_shared<OpenFile>();
     rof->node = rd;
-    rof->flags = O_RDONLY;
+    rof->flags = O_RDONLY | flags;
     auto wof = std::make_shared<OpenFile>();
     wof->node = wr;
-    wof->flags = O_WRONLY;
+    wof->flags = O_WRONLY | flags;
     fds_out[0] = proc.allocFd(std::move(rof));
     fds_out[1] = proc.allocFd(std::move(wof));
     return SysResult::ok();
@@ -163,40 +243,87 @@ Kernel::sysSelect(Process &proc, int nfds, const UserPtr &readfds,
     // Four pointer arguments: the syscall for which the legacy ABI's
     // capability-construction cost bites hardest (paper section 5.2).
     chargeSyscall(proc, 4);
+    // Any exit other than "parked" must disarm a deadline a previous
+    // incarnation of this (restarted) select may have armed.
+    auto bail = [&](int e) {
+        if (schedIface)
+            schedIface->clearFdDeadline(proc);
+        return SysResult::fail(e);
+    };
     if (nfds < 0 || nfds > 64)
-        return SysResult::fail(E_INVAL);
+        return bail(E_INVAL);
     u64 rd = 0, wr = 0, ex = 0;
     int err;
     if (!readfds.isNull() && (err = copyin(proc, readfds, &rd, 8)))
-        return SysResult::fail(err);
+        return bail(err);
     if (!writefds.isNull() && (err = copyin(proc, writefds, &wr, 8)))
-        return SysResult::fail(err);
+        return bail(err);
     if (!exceptfds.isNull() && (err = copyin(proc, exceptfds, &ex, 8)))
-        return SysResult::fail(err);
-    if (!timeout.isNull()) {
+        return bail(err);
+    // timeout is {ticks, 0} in virtual clock ticks: null pointer means
+    // wait forever, zero ticks means poll and return immediately.
+    bool haveTimeout = !timeout.isNull();
+    u64 ticks = 0;
+    if (haveTimeout) {
         u64 tv[2];
         if ((err = copyin(proc, timeout, tv, sizeof(tv))))
-            return SysResult::fail(err);
+            return bail(err);
+        ticks = tv[0];
     }
     u64 rd_out = 0, wr_out = 0;
     u64 ready = 0;
+    // Wait-tokens for every interest bit that is not ready yet: the
+    // channels whose edges can change this select's answer.
+    std::vector<u64> chans;
     for (int fd = 0; fd < nfds; ++fd) {
         u64 bit = u64{1} << fd;
         OpenFileRef of = proc.fd(fd);
         if (!of) {
             if ((rd | wr | ex) & bit)
-                return SysResult::fail(E_BADF);
+                return bail(E_BADF);
             continue;
         }
-        if ((rd & bit) && Vfs::readReady(of->node, of->offset)) {
-            rd_out |= bit;
-            ++ready;
+        if (rd & bit) {
+            if (Vfs::readReady(of->node, of->offset)) {
+                rd_out |= bit;
+                ++ready;
+            } else if (of->node->readCh) {
+                chans.push_back(of->node->readCh->readWait);
+            }
         }
-        if ((wr & bit) && Vfs::writeReady(of->node)) {
-            wr_out |= bit;
-            ++ready;
+        if (wr & bit) {
+            if (Vfs::writeReady(of->node)) {
+                wr_out |= bit;
+                ++ready;
+            } else if (of->node->writeCh) {
+                chans.push_back(of->node->writeCh->writeWait);
+            }
         }
     }
+    if (!ready) {
+        // Nothing ready.  A zero timeout polls; an expired deadline
+        // (we were parked and the virtual clock woke us) reports the
+        // timeout; otherwise park on every gathered wait-token, with
+        // the deadline armed once across restarts.  No tokens and no
+        // timeout would be an unwakeable sleep — degrade to a poll,
+        // as before this select blocked at all.
+        bool timedOut = schedIface && schedIface->consumeFdTimeout(proc);
+        if (timedOut) {
+            ++fdStats.selectTimeouts;
+            if (mx)
+                mx->recordFdSelectTimeout();
+        } else if (!(haveTimeout && ticks == 0) && schedIface &&
+                   (!chans.empty() || haveTimeout) &&
+                   schedIface->blockCurrentFd(
+                       proc, FdWait{std::move(chans), haveTimeout, ticks})) {
+            ++fdStats.blocks;
+            if (mx)
+                mx->recordFdBlock();
+            return SysResult::fail(E_INTR);
+        }
+    }
+    if (schedIface)
+        schedIface->clearFdDeadline(proc);
     if (!readfds.isNull() && (err = copyout(proc, &rd_out, readfds, 8)))
         return SysResult::fail(err);
     if (!writefds.isNull() && (err = copyout(proc, &wr_out, writefds, 8)))

@@ -29,6 +29,7 @@ errnoName(int err)
       case E_NOSPC: return "E_NOSPC";
       case E_PIPE: return "E_PIPE";
       case E_RANGE: return "E_RANGE";
+      case E_AGAIN: return "E_AGAIN";
       case E_NOSYS: return "E_NOSYS";
       case E_PROT: return "E_PROT";
     }
@@ -178,10 +179,31 @@ Vfs::readdir(const std::string &path) const
     return names;
 }
 
+namespace
+{
+
+/**
+ * Wait-channel id allocator.  Ids are process-lifetime-unique tokens
+ * (never 0, never reused) that blocked contexts park on; they carry no
+ * cross-run meaning and never appear in guest-visible state, so the
+ * file-local counter cannot perturb differential comparisons.
+ */
+std::shared_ptr<ByteChannel>
+makeChannel()
+{
+    static u64 nextWaitId = 1;
+    auto ch = std::make_shared<ByteChannel>();
+    ch->readWait = nextWaitId++;
+    ch->writeWait = nextWaitId++;
+    return ch;
+}
+
+} // namespace
+
 std::pair<VNodeRef, VNodeRef>
 Vfs::makePipe()
 {
-    auto ch = std::make_shared<ByteChannel>();
+    auto ch = makeChannel();
     auto rd = std::make_shared<VNode>();
     rd->kind = NodeKind::Pipe;
     rd->name = "pipe:r";
@@ -198,8 +220,8 @@ Vfs::makePty()
 {
     // Two crossed channels: master writes feed slave reads and vice
     // versa.
-    auto m2s = std::make_shared<ByteChannel>();
-    auto s2m = std::make_shared<ByteChannel>();
+    auto m2s = makeChannel();
+    auto s2m = makeChannel();
     auto master = std::make_shared<VNode>();
     master->kind = NodeKind::PtyMaster;
     master->name = "pty:m";
@@ -236,8 +258,11 @@ Vfs::writeReady(const VNodeRef &node)
       case NodeKind::Directory:
         return false;
       default:
+        // A broken pipe is "writable": the write completes immediately
+        // (with EPIPE), which is what select readiness promises.
         return node->writeCh &&
-               node->writeCh->buf.size() < ByteChannel::capacity;
+               (node->writeCh->buf.size() < ByteChannel::capacity ||
+                node->writeCh->readerClosed);
     }
 }
 
@@ -261,7 +286,7 @@ Vfs::read(OpenFile &of, void *buf, u64 len)
       default: {
         ByteChannel &ch = *node.readCh;
         if (ch.buf.empty())
-            return ch.writerClosed ? 0 : -E_INTR; // would block
+            return ch.writerClosed ? 0 : -E_AGAIN; // would block
         u64 n = std::min<u64>(len, ch.buf.size());
         for (u64 i = 0; i < n; ++i) {
             static_cast<u8 *>(buf)[i] = ch.buf.front();
@@ -291,10 +316,18 @@ Vfs::write(OpenFile &of, const void *buf, u64 len)
         return -E_ISDIR;
       default: {
         ByteChannel &ch = *node.writeCh;
-        if (ch.writerClosed)
+        // EPIPE keys on the *reader* side being gone: writing into a
+        // buffer nobody can ever drain is the broken-pipe condition.
+        if (ch.readerClosed)
             return -E_PIPE;
+        if (len == 0)
+            return 0;
         u64 space = ByteChannel::capacity - ch.buf.size();
         u64 n = std::min<u64>(len, space);
+        // Never report a zero-length "success" for a nonzero write:
+        // a full channel is would-block (the caller parks or E_AGAINs).
+        if (n == 0)
+            return -E_AGAIN;
         const u8 *p = static_cast<const u8 *>(buf);
         ch.buf.insert(ch.buf.end(), p, p + n);
         return static_cast<s64>(n);

@@ -39,6 +39,8 @@ enum OpenFlags : u32
     O_WRONLY = 1,
     O_RDWR = 2,
     O_ACCMODE = 3,
+    /** Channel reads/writes that would block return E_AGAIN instead. */
+    O_NONBLOCK = 0x4,
     O_APPEND = 0x8,
     O_CREAT = 0x200,
     O_TRUNC = 0x400,
@@ -47,11 +49,26 @@ enum OpenFlags : u32
 struct VNode;
 using VNodeRef = std::shared_ptr<VNode>;
 
-/** Byte queue shared by the two ends of a pipe or pty. */
+/**
+ * Byte queue shared by the two ends of a pipe or pty.
+ *
+ * Each channel carries two *wait-channel ids* — kernel-global tokens a
+ * blocked context parks on.  `readWait` is signalled when data arrives
+ * or the writer closes (readers may make progress); `writeWait` when
+ * space frees or the reader closes (writers may make progress).  The
+ * VFS itself never blocks: it reports would-block as -E_AGAIN and the
+ * kernel's FD syscalls decide whether to park on the wait channel.
+ */
 struct ByteChannel
 {
     std::deque<u8> buf;
     bool writerClosed = false;
+    /** All read ends are gone: writes raise EPIPE (+ SIG_PIPE). */
+    bool readerClosed = false;
+    /** Wake token for blocked readers of this channel. */
+    u64 readWait = 0;
+    /** Wake token for blocked writers of this channel. */
+    u64 writeWait = 0;
     static constexpr u64 capacity = 64 * 1024;
 };
 

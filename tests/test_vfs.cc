@@ -133,7 +133,7 @@ TEST_F(VfsTest, PipeFifoOrderAndWouldBlock)
     wof.node = wr;
     wof.flags = O_WRONLY;
     char b;
-    EXPECT_EQ(Vfs::read(rof, &b, 1), -E_INTR) << "empty pipe blocks";
+    EXPECT_EQ(Vfs::read(rof, &b, 1), -E_AGAIN) << "empty pipe would block";
     EXPECT_EQ(Vfs::write(wof, "ab", 2), 2);
     EXPECT_EQ(Vfs::read(rof, &b, 1), 1);
     EXPECT_EQ(b, 'a');

@@ -50,4 +50,13 @@ CHERI_TEST_FRAME_BUDGET=48 CHERI_TEST_SLOT_BUDGET=128 \
 # re-creation pattern, scaling stays flat, and context-switch overhead
 # stays bounded.
 "$build_dir/bench/sched_bench" --json --check
+# Blocking FD I/O bench: --check fails unless parking a would-block
+# pipe reader/writer on its wait channel clears a 2x work-efficiency
+# floor (bytes per retired guest step) over the O_NONBLOCK spin-retry
+# pattern, the blocking arm actually parks, and the spin arm never
+# does.  Run under constrained memory too: parked contexts must not
+# pin pages the reclaimer needs.
+"$build_dir/bench/pipe_bench" --json --check
+CHERI_TEST_FRAME_BUDGET=48 CHERI_TEST_SLOT_BUDGET=128 \
+    "$build_dir/bench/pipe_bench" --json --check
 echo "cheri_verify: all checks passed"
