@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Snapshot bench: checkpoint/restore throughput.
+ *
+ * Builds a populated kernel — several processes per ABI, each with an
+ * exec'd image plus an anonymous region with every page touched (and
+ * therefore resident and tagged-frame-backed) — then times repeated
+ * snap::save() and snap::restore() round trips.  The figure of merit
+ * is image megabytes per wall-clock second in each direction, plus
+ * the image size itself (bytes per resident page), since the image is
+ * what a fuzzer failure artifact costs on disk.
+ *
+ * Restore is timed against the *same* kernel instance: each iteration
+ * wipes the previous state and rebuilds from the image, which is
+ * exactly the forensic `cheri_replay restore` path.
+ *
+ * --json emits machine-readable results.  There is no --check gate:
+ * wall-clock throughput depends on the host, so this bench informs
+ * rather than gates.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "os/kernel.h"
+#include "os/snapshot/snapshot.h"
+#include "os/sys_invoke.h"
+
+using namespace cheri;
+
+namespace
+{
+
+constexpr u64 kProcs = 6;
+constexpr u64 kPagesPerProc = 32;
+constexpr int kReps = 20;
+
+SelfObject
+benchProgram()
+{
+    SelfObject prog;
+    prog.name = "snapbench";
+    prog.textSize = 0x2000;
+    prog.data.resize(256, 0xa5);
+    prog.bssSize = 128;
+    prog.symbols = {
+        {"counter", 0, 8, false},
+        {"entry", 0, 0x100, true},
+    };
+    prog.relocs = {
+        {RelocKind::CapGlobal, 0, 0, "counter"},
+        {RelocKind::CapFunction, 1, 0, "entry"},
+    };
+    return prog;
+}
+
+/** Populate @p kern: kProcs processes, alternating ABI, each with an
+ *  anon region whose every page is dirtied. */
+bool
+populate(Kernel &kern)
+{
+    SelfObject prog = benchProgram();
+    for (u64 i = 0; i < kProcs; ++i) {
+        Abi abi = (i & 1) ? Abi::Mips64 : Abi::CheriAbi;
+        Process *p = kern.spawn(abi, "snapbench");
+        if (!p || kern.execve(*p, prog, {"snapbench"}, {}) != E_OK)
+            return false;
+        auto mk = sysInvoke(kern, *p, SysNum::Mmap,
+                            {SysArg::p(UserPtr::null()),
+                             SysArg::i(kPagesPerProc * pageSize),
+                             SysArg::i(PROT_READ | PROT_WRITE),
+                             SysArg::i(MAP_ANON | MAP_PRIVATE)});
+        if (mk.res.failed())
+            return false;
+        u64 base = mk.out.addr();
+        for (u64 pg = 0; pg < kPagesPerProc; ++pg) {
+            u8 byte = static_cast<u8>(i * 64 + pg);
+            if (p->as().writeBytes(base + pg * pageSize + 8, &byte, 1))
+                return false;
+        }
+    }
+    return true;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--json"))
+            json = true;
+    }
+
+    Kernel kern;
+    if (!populate(kern)) {
+        std::fprintf(stderr, "snapshot_bench: setup failed\n");
+        return 1;
+    }
+
+    std::string err;
+    std::vector<u8> image = snap::save(kern, &err);
+    if (image.empty()) {
+        std::fprintf(stderr, "snapshot_bench: save failed: %s\n",
+                     err.c_str());
+        return 1;
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kReps; ++i) {
+        std::vector<u8> img = snap::save(kern, &err);
+        if (img.size() != image.size()) {
+            std::fprintf(stderr, "snapshot_bench: unstable image\n");
+            return 1;
+        }
+    }
+    double saveSec = secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kReps; ++i) {
+        if (!snap::restore(kern, image, &err)) {
+            std::fprintf(stderr, "snapshot_bench: restore failed: %s\n",
+                         err.c_str());
+            return 1;
+        }
+    }
+    double restoreSec = secondsSince(t0);
+
+    double mb = static_cast<double>(image.size()) / (1024.0 * 1024.0);
+    double saveMbs = mb * kReps / saveSec;
+    double restoreMbs = mb * kReps / restoreSec;
+
+    if (json) {
+        std::printf("{\"bench\":\"snapshot\",\"procs\":%llu,"
+                    "\"pagesPerProc\":%llu,\"imageBytes\":%zu,"
+                    "\"reps\":%d,\"saveMBps\":%.1f,"
+                    "\"restoreMBps\":%.1f}\n",
+                    (unsigned long long)kProcs,
+                    (unsigned long long)kPagesPerProc, image.size(),
+                    kReps, saveMbs, restoreMbs);
+        return 0;
+    }
+
+    bench::banner("Snapshot: checkpoint/restore throughput");
+    bench::note("workload: " + std::to_string(kProcs) + " processes x " +
+                std::to_string(kPagesPerProc) + " resident pages");
+    std::printf("image size    %10zu bytes\n", image.size());
+    std::printf("save          %10.1f MB/s  (%d reps)\n", saveMbs, kReps);
+    std::printf("restore       %10.1f MB/s  (%d reps)\n", restoreMbs,
+                kReps);
+    return 0;
+}

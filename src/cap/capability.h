@@ -29,6 +29,11 @@
 namespace cheri
 {
 
+namespace snap
+{
+struct Access;
+}
+
 class Capability
 {
   public:
@@ -148,6 +153,11 @@ class Capability
     std::string toString() const;
 
   private:
+    /** Checkpoint/restore needs bit-exact field access (the public
+     *  surface is deliberately monotonic and cannot rebuild an
+     *  arbitrary tagged value). */
+    friend struct snap::Access;
+
     Capability(bool tag, u64 base, u128 top, u64 address, u32 perms,
                OType otype, compress::CapFormat fmt);
 

@@ -5,11 +5,13 @@
 #include <cstdio>
 #include <random>
 
+#include "check/replay.h"
 #include "isa/assembler.h"
 #include "isa/interp.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "os/sched/sched.h"
+#include "os/snapshot/snapshot.h"
 #include "os/sys_invoke.h"
 
 namespace cheri::check
@@ -101,14 +103,14 @@ struct GenOp
 
 /** Work registers x4..x10; x8 is reserved as the data base. */
 u8
-workReg(std::mt19937_64 &rng)
+workReg(FuzzRng &rng)
 {
     static constexpr u8 regs[] = {4, 5, 6, 7, 9, 10};
     return regs[rng() % 6];
 }
 
 std::vector<AbsInsn>
-genProgram(std::mt19937_64 &rng)
+genProgram(FuzzRng &rng)
 {
     std::vector<AbsInsn> p;
     u64 n = 3 + rng() % 6;
@@ -157,7 +159,7 @@ genProgram(std::mt19937_64 &rng)
  *  Instruction counts are ABI-invariant, so slice boundaries — and with
  *  them the whole interleaving — line up exactly across the runs. */
 std::vector<AbsInsn>
-genMultiProgram(std::mt19937_64 &rng)
+genMultiProgram(FuzzRng &rng)
 {
     std::vector<AbsInsn> p = genProgram(rng);
     if (rng() % 3) {
@@ -275,9 +277,9 @@ lower(const std::vector<AbsInsn> &prog, Abi abi, int pipeRfd = -1,
 }
 
 std::vector<GenOp>
-generate(u64 case_seed, u64 n_ops)
+generate(u64 case_seed, u64 n_ops, ReplaySession *replay)
 {
-    std::mt19937_64 rng(case_seed);
+    FuzzRng rng(case_seed, replay);
     std::vector<GenOp> ops;
     ops.reserve(n_ops);
     for (u64 i = 0; i < n_ops; ++i) {
@@ -373,7 +375,48 @@ struct ExecResult
     u64 oracleRuns = 0;
     u64 syscalls = 0;
     bool setupFailed = false;
+    /** Kernel image captured at the first oracle violation (artifact
+     *  auto-emit; empty unless FuzzOptions::artifactPrefix is set). */
+    std::vector<u8> snapshot;
+    /** Full metrics JSON (FuzzOptions::keepMetricsJson). */
+    std::string metricsJson;
 };
+
+/** Scoped FaultTap installation: the record/replay session outlives
+ *  the case kernel, but never the other way round. */
+struct TapGuard
+{
+    FaultInjector &inj;
+    TapGuard(FaultInjector &inj, FaultTap *tap) : inj(inj)
+    {
+        inj.setTap(tap);
+    }
+    ~TapGuard() { inj.setTap(nullptr); }
+};
+
+/** First-failure artifact: snapshot the kernel the moment a case first
+ *  goes bad, while it still holds the offending state. */
+void
+captureSnapshot(ExecResult &er, Kernel &kern, const FuzzOptions &opts)
+{
+    if (opts.artifactPrefix.empty() || !er.snapshot.empty())
+        return;
+    std::string serr;
+    er.snapshot = snap::save(kern, &serr);
+    if (er.snapshot.empty())
+        er.events.push_back("snapshot-failed: " + serr);
+}
+
+void
+writeArtifact(const std::string &path, const std::vector<u8> &bytes)
+{
+    if (bytes.empty())
+        return;
+    if (std::FILE *f = std::fopen(path.c_str(), "wb")) {
+        std::fwrite(bytes.data(), 1, bytes.size(), f);
+        std::fclose(f);
+    }
+}
 
 constexpr u64 maxViolationsPerRun = 32;
 constexpr u64 maxRegions = 8;
@@ -411,6 +454,7 @@ execCase(Abi abi, const FuzzOptions &opts, u64 case_seed,
     cfg.swapSlotBudget = opts.swapSlotBudget;
     Kernel kern(cfg);
     kern.setMetrics(&metrics);
+    TapGuard tap(kern.faultInjector(), opts.replay);
 
     Process *proc = kern.spawn(abi, "fuzz");
     SelfObject prog = fuzzProgram();
@@ -423,7 +467,7 @@ execCase(Abi abi, const FuzzOptions &opts, u64 case_seed,
     // Case input file: seed-derived bytes, identical for both runs.
     {
         VNodeRef in = kern.vfs().createFile("/fz_in");
-        std::mt19937_64 frng(case_seed ^ 0xf00dULL);
+        FuzzRng frng(case_seed ^ 0xf00dULL, opts.replay);
         in->data.resize(256);
         for (u8 &b : in->data)
             b = static_cast<u8>(frng());
@@ -435,6 +479,8 @@ execCase(Abi abi, const FuzzOptions &opts, u64 case_seed,
     kern.setCheckHook([&](Process &p, u64 code) {
         ++er.syscalls;
         ++dispatches;
+        if (opts.replay)
+            opts.replay->quiesce(kern, p, code);
         const SyscallInfo *si = syscallInfo(code);
         const ThreadRegs &r = p.regs();
         bool err = r.x[regSysErr] != 0;
@@ -460,6 +506,8 @@ execCase(Abi abi, const FuzzOptions &opts, u64 case_seed,
         if (opts.checkEvery && dispatches % opts.checkEvery == 0) {
             Report rep = Invariants::check(kern);
             ++er.oracleRuns;
+            if (!rep.violations.empty())
+                captureSnapshot(er, kern, opts);
             for (Violation &v : rep.violations) {
                 if (er.violations.size() < maxViolationsPerRun)
                     er.violations.push_back(std::move(v));
@@ -811,6 +859,8 @@ execCase(Abi abi, const FuzzOptions &opts, u64 case_seed,
     if (opts.checkEvery) {
         Report rep = Invariants::check(kern);
         ++er.oracleRuns;
+        if (!rep.violations.empty())
+            captureSnapshot(er, kern, opts);
         for (Violation &v : rep.violations) {
             if (er.violations.size() < maxViolationsPerRun)
                 er.violations.push_back(std::move(v));
@@ -837,6 +887,9 @@ execCase(Abi abi, const FuzzOptions &opts, u64 case_seed,
     });
     er.events.push_back(fmt("handlers %" PRIu64, handler_runs));
 
+    if (opts.keepMetricsJson)
+        er.metricsJson = metrics.toJson();
+
     // The hook closure references stack locals; detach before unwind.
     kern.setCheckHook(nullptr);
     return er;
@@ -861,14 +914,17 @@ execCaseMulti(Abi abi, const FuzzOptions &opts, u64 case_seed)
     cfg.timeSliceSteps = 32; // short slices: more boundaries to check
     Kernel kern(cfg);
     kern.setMetrics(&metrics);
+    TapGuard tap(kern.faultInjector(), opts.replay);
     sched::Scheduler &s = sched::schedulerFor(kern);
 
     u64 n = opts.multiProc < 2 ? 2 : (opts.multiProc > 4 ? 4 : opts.multiProc);
-    std::mt19937_64 rng(case_seed ^ 0x5eedULL);
+    FuzzRng rng(case_seed ^ 0x5eedULL, opts.replay);
     SelfObject prog = fuzzProgram();
 
     kern.setCheckHook([&](Process &p, u64 code) {
         ++er.syscalls;
+        if (opts.replay)
+            opts.replay->quiesce(kern, p, code);
         const SyscallInfo *si = syscallInfo(code);
         const ThreadRegs &r = p.regs();
         er.events.push_back(fmt("p%" PRIu64 " %s e%d v%" PRIu64,
@@ -942,6 +998,17 @@ execCaseMulti(Abi abi, const FuzzOptions &opts, u64 case_seed)
         guests.push_back(proc);
     }
 
+    // Fault injection in multi-process mode: armed only after guest
+    // setup, so injected exhaustion lands in scheduled execution (the
+    // comparison is skipped for injected runs, as in single-proc mode;
+    // the oracle at every slice boundary is the sound check).
+    if (opts.inject) {
+        FaultInjector &inj = kern.faultInjector();
+        inj.failRandomly(FaultPoint::FrameAlloc, 13, case_seed ^ 0x1111);
+        inj.failRandomly(FaultPoint::SwapOut, 7, case_seed ^ 0x2222);
+        inj.failRandomly(FaultPoint::SwapIn, 5, case_seed ^ 0x3333);
+    }
+
     // The oracle at every slice boundary: register files have just
     // been switched at an instruction boundary, so every whole-system
     // invariant (including the metrics-sched mirror) must hold.
@@ -949,6 +1016,8 @@ execCaseMulti(Abi abi, const FuzzOptions &opts, u64 case_seed)
         s.setSliceHook([&](Process &) {
             Report rep = Invariants::check(kern);
             ++er.oracleRuns;
+            if (!rep.violations.empty())
+                captureSnapshot(er, kern, opts);
             for (Violation &v : rep.violations) {
                 if (er.violations.size() < maxViolationsPerRun)
                     er.violations.push_back(std::move(v));
@@ -957,6 +1026,7 @@ execCaseMulti(Abi abi, const FuzzOptions &opts, u64 case_seed)
     }
     kern.runUntilIdle();
     s.setSliceHook(nullptr);
+    kern.faultInjector().disarmAll();
 
     // Final states: per-guest halt status, work registers, threads.
     for (u64 i = 0; i < guests.size(); ++i) {
@@ -981,6 +1051,9 @@ execCaseMulti(Abi abi, const FuzzOptions &opts, u64 case_seed)
                             s.stats().blocksSleep, s.stats().blocksFd,
                             s.stats().wakes));
 
+    if (opts.keepMetricsJson)
+        er.metricsJson = metrics.toJson();
+
     kern.setCheckHook(nullptr);
     return er;
 }
@@ -999,10 +1072,13 @@ DiffFuzzer::runCase(u64 index)
         legacy = execCaseMulti(Abi::Mips64, opts, cr.caseSeed);
         cheri = execCaseMulti(Abi::CheriAbi, opts, cr.caseSeed);
     } else {
-        std::vector<GenOp> ops = generate(cr.caseSeed, opts.opsPerCase);
+        std::vector<GenOp> ops =
+            generate(cr.caseSeed, opts.opsPerCase, opts.replay);
         legacy = execCase(Abi::Mips64, opts, cr.caseSeed, ops);
         cheri = execCase(Abi::CheriAbi, opts, cr.caseSeed, ops);
     }
+    if (opts.keepMetricsJson)
+        cr.metricsJson = legacy.metricsJson + cheri.metricsJson;
 
     cr.syscalls = legacy.syscalls + cheri.syscalls;
     cr.oracleRuns = legacy.oracleRuns + cheri.oracleRuns;
@@ -1045,6 +1121,22 @@ DiffFuzzer::runCase(u64 index)
                     legacy.output.size(), cheri.output.size()));
         }
     }
+
+    if (opts.replay)
+        opts.replay->caseEnd(index);
+    if (cr.failed() && !opts.artifactPrefix.empty()) {
+        std::string stem =
+            opts.artifactPrefix + "-case" + std::to_string(index);
+        writeArtifact(stem + ".img", legacy.snapshot.empty()
+                                         ? cheri.snapshot
+                                         : legacy.snapshot);
+        if (opts.replay && opts.replay->recording()) {
+            // A replayable log up to and including this case.
+            FuzzOptions o = opts;
+            o.cases = index + 1;
+            writeArtifact(stem + ".log", opts.replay->serialize(o));
+        }
+    }
     return cr;
 }
 
@@ -1066,6 +1158,13 @@ DiffFuzzer::run()
             rep.failures.push_back(std::move(cr));
         if (mx)
             mx->recordFuzzCase(cr.diverged());
+    }
+    if (opts.replay) {
+        opts.replay->finish();
+        if (mx)
+            mx->recordReplaySession(!opts.replay->recording(),
+                                    opts.replay->entryCount(),
+                                    opts.replay->divergenceCount());
     }
     return rep;
 }

@@ -51,6 +51,8 @@ class Metrics;
 namespace cheri::check
 {
 
+class ReplaySession;
+
 struct FuzzOptions
 {
     u64 seed = 1;
@@ -78,6 +80,24 @@ struct FuzzOptions
      * is 1:1 in instruction count).  0 = classic single-process mode.
      */
     u64 multiProc = 0;
+    /**
+     * Record/replay session (replay.h), nullable.  When set, every
+     * generator RNG draw routes through it, it is installed as each
+     * case kernel's FaultTap, and a quiescent-point digest is taken at
+     * every syscall dispatch — recording the run's inputs, or checking
+     * a replayed run against them.
+     */
+    ReplaySession *replay = nullptr;
+    /**
+     * When non-empty, a failing case auto-emits reproduction artifacts:
+     * a kernel snapshot taken at the first oracle violation (or at case
+     * end for pure divergences) as `<prefix>-case<N>.img`, plus — when
+     * recording — the replay log as `<prefix>-case<N>.log`.
+     */
+    std::string artifactPrefix;
+    /** Capture each run's full metrics JSON into the CaseReport (the
+     *  replay-determinism gate compares them bit-for-bit). */
+    bool keepMetricsJson = false;
 };
 
 /** Outcome of one differential case. */
@@ -91,6 +111,9 @@ struct CaseReport
     std::vector<Violation> violations;
     u64 syscalls = 0;
     u64 oracleRuns = 0;
+    /** Both runs' metrics JSON (mips64 then cheriabi), when
+     *  FuzzOptions::keepMetricsJson is set. */
+    std::string metricsJson;
 
     bool diverged() const { return !divergences.empty(); }
     bool failed() const { return diverged() || !violations.empty(); }

@@ -38,6 +38,11 @@ namespace cheri::obs
 class Metrics;
 }
 
+namespace cheri::snap
+{
+struct Access;
+}
+
 namespace cheri::isa
 {
 
@@ -126,6 +131,10 @@ class Interpreter
     u64 retired() const { return _retired; }
 
   private:
+    /** Checkpoint/restore carries the retired-step counter across (the
+     *  decode cache deliberately restarts cold — it is pure cache). */
+    friend struct snap::Access;
+
     /** Fetch+decode at PCC; may fault. */
     Insn fetch();
 

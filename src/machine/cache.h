@@ -20,6 +20,11 @@
 namespace cheri
 {
 
+namespace snap
+{
+struct Access;
+}
+
 /** A single set-associative cache level with LRU replacement. */
 class Cache
 {
@@ -41,6 +46,10 @@ class Cache
     u64 misses() const { return _misses; }
 
   private:
+    /** Checkpoint/restore preserves way state so post-restore cycle
+     *  counts match an uninterrupted run bit-for-bit. */
+    friend struct snap::Access;
+
     struct Way
     {
         u64 tag = 0;
@@ -97,6 +106,8 @@ class CacheHierarchy
     }
 
   private:
+    friend struct snap::Access;
+
     Cache l1i;
     Cache l1d;
     Cache l2;

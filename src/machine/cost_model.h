@@ -40,6 +40,11 @@
 namespace cheri
 {
 
+namespace snap
+{
+struct Access;
+}
+
 /** Process ABIs supported by the kernel (paper section 4). */
 enum class Abi
 {
@@ -203,6 +208,9 @@ class CostModel
     CacheHierarchy &cache() { return cacheHier; }
 
   private:
+    /** Checkpoint/restore preserves cost accounting bit-exactly. */
+    friend struct snap::Access;
+
     /** Fetch @p n instructions through the L1I and count them. */
     void fetchAndCount(u64 n);
 

@@ -48,24 +48,29 @@ FaultInjector::shouldFail(FaultPoint point)
 {
     Arm &a = arms[index(point)];
     ++a.seen;
+    bool fire = false;
     switch (a.mode) {
       case Mode::Off:
-        return false;
+        break;
       case Mode::Nth:
-        if (--a.countdown > 0)
-            return false;
-        a.mode = Mode::Off; // one-shot
-        ++a.fired;
-        return true;
-      case Mode::Random: {
+        if (--a.countdown == 0) {
+            a.mode = Mode::Off; // one-shot
+            fire = true;
+        }
+        break;
+      case Mode::Random:
         a.lcg = a.lcg * 6364136223846793005ull + 1442695040888963407ull;
         // Top bits of an LCG are the well-distributed ones.
-        bool fire = (a.lcg >> 33) % a.period == 0;
-        a.fired += fire;
-        return fire;
-      }
+        fire = (a.lcg >> 33) % a.period == 0;
+        break;
     }
-    return false;
+    // The tap's answer is authoritative: record logs `fire` and passes
+    // it through; replay substitutes the logged decision, so the fired
+    // counter tracks what the choke point actually saw.
+    if (tap)
+        fire = tap->onFault(point, fire);
+    a.fired += fire;
+    return fire;
 }
 
 u64

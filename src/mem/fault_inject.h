@@ -22,6 +22,11 @@
 namespace cheri
 {
 
+namespace snap
+{
+struct Access;
+}
+
 /** The choke points the injector can fail. */
 enum class FaultPoint : unsigned
 {
@@ -37,6 +42,22 @@ enum class FaultPoint : unsigned
 };
 
 constexpr unsigned numFaultPoints = 4;
+
+/**
+ * Observer of (and authority over) every injection decision.  The
+ * record/replay layer installs one: in record mode it logs each
+ * decision and passes it through; in replay mode it substitutes the
+ * logged decision, making fault injection a replayed input rather than
+ * recomputed state.
+ */
+class FaultTap
+{
+  public:
+    virtual ~FaultTap() = default;
+    /** Called once per shouldFail(); the return value is the decision
+     *  the choke point actually sees. */
+    virtual bool onFault(FaultPoint point, bool decision) = 0;
+};
 
 class FaultInjector
 {
@@ -64,6 +85,9 @@ class FaultInjector
      */
     bool shouldFail(FaultPoint point);
 
+    /** Install (or clear, with nullptr) the record/replay tap. */
+    void setTap(FaultTap *t) { tap = t; }
+
     /** Events seen at @p point since construction/reset. */
     u64 events(FaultPoint point) const;
 
@@ -74,6 +98,9 @@ class FaultInjector
     u64 totalInjected() const;
 
   private:
+    /** Checkpoint/restore serializes the per-point arm state. */
+    friend struct snap::Access;
+
     enum class Mode
     {
         Off,
@@ -97,6 +124,7 @@ class FaultInjector
     static unsigned index(FaultPoint p) { return static_cast<unsigned>(p); }
 
     std::array<Arm, numFaultPoints> arms{};
+    FaultTap *tap = nullptr;
 };
 
 } // namespace cheri

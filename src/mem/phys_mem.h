@@ -33,6 +33,11 @@
 namespace cheri
 {
 
+namespace snap
+{
+struct Access;
+}
+
 /** Page size used throughout the system. */
 constexpr u64 pageSize = 4096;
 constexpr u64 pageMask = pageSize - 1;
@@ -166,6 +171,10 @@ class PhysMem
     u64 reclaimRequests() const { return reclaims; }
 
   private:
+    /** Checkpoint/restore mints frames against the live counter without
+     *  consulting capacity or the injector. */
+    friend struct snap::Access;
+
     /** Run reclaim if needed so @p n more frames fit; true on success. */
     bool makeRoom(u64 n, const void *requester);
 

@@ -31,6 +31,11 @@
 namespace cheri
 {
 
+namespace snap
+{
+struct Access;
+}
+
 /** How the swap subsystem treats capability tags. */
 enum class SwapPolicy
 {
@@ -187,6 +192,9 @@ class SwapDevice
     u64 totalDiscards() const { return discards; }
 
   private:
+    /** Checkpoint/restore serializes the slot table bit-exactly. */
+    friend struct snap::Access;
+
     struct Slot
     {
         std::array<u8, pageSize> bytes;

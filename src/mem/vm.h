@@ -33,6 +33,11 @@
 namespace cheri
 {
 
+namespace snap
+{
+struct Access;
+}
+
 /** Page protection bits (mmap-style). */
 enum Prot : u32
 {
@@ -438,6 +443,9 @@ class AddressSpace
     /// @}
 
   private:
+    /** Checkpoint/restore rebuilds the page table entry by entry. */
+    friend struct snap::Access;
+
     struct Pte
     {
         FrameRef frame;

@@ -140,6 +140,7 @@ Metrics::reset()
     fdio = {};
     _threadSteps.clear();
     chk = {};
+    snp = {};
     costs.clear();
     deriveCounts = {};
     provenance.clear();
@@ -180,7 +181,7 @@ Metrics::toJson() const
 {
     JsonWriter w;
     w.beginObject();
-    w.key("schema").value(std::string_view("cheri.metrics.v7"));
+    w.key("schema").value(std::string_view("cheri.metrics.v8"));
 
     w.key("syscalls").beginArray();
     for (Abi abi : allAbis) {
@@ -353,6 +354,18 @@ Metrics::toJson() const
     w.key("oracle_violations").value(chk.oracleViolations);
     w.key("fuzz_cases").value(chk.fuzzCases);
     w.key("fuzz_divergences").value(chk.fuzzDivergences);
+    w.endObject();
+
+    // Snapshot/replay counters (v8 schema addition).
+    w.key("snapshot").beginObject();
+    w.key("snapshots_taken").value(snp.snapshotsTaken);
+    w.key("snapshot_bytes").value(snp.snapshotBytes);
+    w.key("restores").value(snp.restores);
+    w.key("restore_failures").value(snp.restoreFailures);
+    w.key("records").value(snp.records);
+    w.key("replays").value(snp.replays);
+    w.key("replay_divergences").value(snp.replayDivergences);
+    w.key("log_entries").value(snp.logEntries);
     w.endObject();
 
     w.key("derives").beginObject();

@@ -39,6 +39,11 @@
 #include "os/sysnum.h"
 #include "trace/trace.h"
 
+namespace cheri::snap
+{
+struct Access;
+}
+
 namespace cheri::obs
 {
 
@@ -162,6 +167,21 @@ struct FdCounters
     u64 epipeErrors = 0;    ///< writes that hit a broken pipe
     u64 partialWrites = 0;  ///< writes short of len into a filling pipe
     u64 selectTimeouts = 0; ///< selects that returned via the deadline
+};
+
+/** Snapshot/replay telemetry (src/os/snapshot + src/check/replay):
+ *  checkpoint traffic and replay-oracle outcomes, exported in the
+ *  "snapshot" section of the v8 schema. */
+struct SnapshotCounters
+{
+    u64 snapshotsTaken = 0;    ///< successful snap::save calls
+    u64 snapshotBytes = 0;     ///< bytes across all images written
+    u64 restores = 0;          ///< successful snap::restore calls
+    u64 restoreFailures = 0;   ///< rejected images (corrupt/truncated)
+    u64 records = 0;           ///< record-mode replay sessions finished
+    u64 replays = 0;           ///< replay-mode sessions finished
+    u64 replayDivergences = 0; ///< ReplayOracle divergences reported
+    u64 logEntries = 0;        ///< replay-log entries written or read
 };
 
 /** Checking-layer telemetry (src/check): oracle runs and fuzzer
@@ -374,6 +394,36 @@ class Metrics : public TraceSink
     const CheckCounters &check() const { return chk; }
     /// @}
 
+    /** @name Snapshot/replay telemetry (fed by snap::save/restore and
+     *  check::ReplaySession) */
+    /// @{
+    void
+    recordSnapshot(u64 bytes)
+    {
+        ++snp.snapshotsTaken;
+        snp.snapshotBytes += bytes;
+    }
+    void
+    recordRestore(bool ok)
+    {
+        if (ok)
+            ++snp.restores;
+        else
+            ++snp.restoreFailures;
+    }
+    void
+    recordReplaySession(bool replayed, u64 entries, u64 divergences)
+    {
+        if (replayed)
+            ++snp.replays;
+        else
+            ++snp.records;
+        snp.logEntries += entries;
+        snp.replayDivergences += divergences;
+    }
+    const SnapshotCounters &snapshot() const { return snp; }
+    /// @}
+
     /** @name Cost-model export */
     /// @{
     void captureCost(std::string label, const CostModel &cost);
@@ -408,6 +458,10 @@ class Metrics : public TraceSink
     void reset();
 
   private:
+    /** Checkpoint/restore serializes the whole registry so a restored
+     *  system's metrics mirror matches the kernel counters it carries. */
+    friend struct snap::Access;
+
     static unsigned
     abiIndex(Abi abi)
     {
@@ -431,6 +485,7 @@ class Metrics : public TraceSink
     /** Retired guest instructions per (pid, tid) under the scheduler. */
     std::map<std::pair<u64, u64>, u64> _threadSteps;
     CheckCounters chk;
+    SnapshotCounters snp;
     std::vector<CostSnapshot> costs;
     std::array<u64, numDeriveSources> deriveCounts{};
     /** (base, length) of tagged capabilities seen at derive sites. */

@@ -591,7 +591,12 @@ Kernel::installScheduler(std::unique_ptr<SchedulerIface> s)
 void
 Kernel::fireFdEdge(u64 chan)
 {
-    if (!schedIface || chan == 0)
+    // While a snapshot restore is rebuilding kernel state the scheduler
+    // may be half-built (or already populated with restored contexts
+    // whose wake accounting must not move): teardown paths that close
+    // FDs — restore-abort's closeAllFds in particular — must not fire
+    // wake edges until the kernel is whole again.
+    if (!kernelReady || !schedIface || chan == 0)
         return;
     u64 woken = schedIface->onFdWake(chan);
     if (!woken)

@@ -39,6 +39,11 @@ namespace obs
 class Metrics;
 }
 
+namespace snap
+{
+struct Access;
+}
+
 /** mmap(2) flags. */
 enum MmapFlags : u32
 {
@@ -578,6 +583,9 @@ class Kernel
     /// @}
 
   private:
+    /** Checkpoint/restore reaches every private table. */
+    friend struct snap::Access;
+
     struct ShmSegment
     {
         u64 size = 0;
@@ -672,6 +680,13 @@ class Kernel
     /** Declared after procs: the scheduler (whose contexts reference
      *  Process objects) is destroyed before the process table. */
     std::unique_ptr<SchedulerIface> ownedSched;
+    /**
+     * False only while a snapshot restore is rebuilding kernel state.
+     * fireFdEdge consults it: teardown paths (closeAllFds) run during
+     * restore-abort, and their wake edges must not reach a half-built
+     * scheduler or perturb restored wake accounting.
+     */
+    bool kernelReady = true;
 };
 
 /** Map PROT_* bits to the capability permissions mmap grants. */

@@ -33,6 +33,11 @@ namespace cheri
 
 class Kernel;
 
+namespace snap
+{
+struct Access;
+}
+
 /** Why a process died, when it did not exit normally. */
 struct DeathInfo
 {
@@ -217,6 +222,8 @@ class Process
     std::optional<DeathInfo> _death;
 
     friend class Kernel;
+    /** Checkpoint/restore rebuilds processes field by field. */
+    friend struct snap::Access;
 };
 
 } // namespace cheri

@@ -37,6 +37,11 @@
 #include "os/kernel.h"
 #include "os/sched_iface.h"
 
+namespace cheri::snap
+{
+struct Access;
+}
+
 namespace cheri::sched
 {
 
@@ -159,6 +164,9 @@ class Scheduler final : public SchedulerIface
     /// @}
 
   private:
+    /** Checkpoint/restore rebuilds contexts and queues directly. */
+    friend struct snap::Access;
+
     /** The interpreted context currently in a slice (nullptr for a
      *  hosted slice or outside runUntilIdle). */
     ExecContext *interpretedCurrent() const;

@@ -188,10 +188,11 @@ namespace
  * cross-run meaning and never appear in guest-visible state, so the
  * file-local counter cannot perturb differential comparisons.
  */
+u64 nextWaitId = 1;
+
 std::shared_ptr<ByteChannel>
 makeChannel()
 {
-    static u64 nextWaitId = 1;
     auto ch = std::make_shared<ByteChannel>();
     ch->readWait = nextWaitId++;
     ch->writeWait = nextWaitId++;
@@ -199,6 +200,13 @@ makeChannel()
 }
 
 } // namespace
+
+void
+Vfs::reserveWaitIds(u64 floor)
+{
+    if (nextWaitId < floor)
+        nextWaitId = floor;
+}
 
 std::pair<VNodeRef, VNodeRef>
 Vfs::makePipe()

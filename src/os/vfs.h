@@ -23,6 +23,11 @@
 namespace cheri
 {
 
+namespace snap
+{
+struct Access;
+}
+
 enum class NodeKind
 {
     Regular,
@@ -137,7 +142,21 @@ class Vfs
     /** Write; returns bytes written or negative errno. */
     static s64 write(OpenFile &of, const void *buf, u64 len);
 
+    /**
+     * Ensure future wait-channel tokens are minted at or above
+     * @p floor.  Snapshot restore calls this with one past the highest
+     * restored token so fresh channels never collide with tokens that
+     * parked contexts were restored against.  (The token counter is
+     * process-global, shared by every kernel in the process — tokens
+     * are only ever compared for equality, so monotonicity is all that
+     * matters.)
+     */
+    static void reserveWaitIds(u64 floor);
+
   private:
+    /** Checkpoint/restore replaces the tree wholesale. */
+    friend struct snap::Access;
+
     VNodeRef walk(const std::string &path, bool create_dirs,
                   std::string *leaf) const;
 

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * cheri_replay — record-replay and snapshot-restore CLI.
+ *
+ * Three modes wrap the deterministic fuzzer (check/diff_fuzzer.h), the
+ * record-replay oracle (check/replay.h), and the checkpoint/restore
+ * engine (os/snapshot/snapshot.h):
+ *
+ *   record  --log FILE [--seed N] [--cases N] [--ops-per-case N]
+ *           [--inject] [--check-every N] [--multi-proc N]
+ *           [--artifact-prefix PFX] [--json]
+ *       Run the fuzzer while recording its nondeterministic inputs
+ *       (generator RNG draws, fault-injection decisions) and a state
+ *       digest at every syscall dispatch; write the log to FILE.
+ *
+ *   replay  --log FILE [--plant N] [--json]
+ *       Re-run the recorded configuration with the logged inputs
+ *       substituted back in and every digest checked.  The log header
+ *       is self-contained — no other arguments needed.  --plant N
+ *       corrupts the digest at the N'th quiescent point, a self-test
+ *       that the divergence oracle catches and attributes it.
+ *
+ *   restore --image FILE [--json]
+ *       Load a kernel snapshot (e.g. a fuzzer failure artifact) into a
+ *       fresh kernel and run the full invariant oracle against it.
+ *
+ * Exit status: 0 clean, 1 on divergence/violation/failed load,
+ * 2 on usage error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/diff_fuzzer.h"
+#include "check/invariants.h"
+#include "check/replay.h"
+#include "obs/metrics.h"
+#include "os/kernel.h"
+#include "os/snapshot/snapshot.h"
+
+using namespace cheri;
+
+namespace
+{
+
+u64
+envOr(const char *name, u64 dflt)
+{
+    const char *v = std::getenv(name);
+    return v && *v ? std::strtoull(v, nullptr, 0) : dflt;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s record  --log FILE [--seed N] [--cases N]\n"
+        "                  [--ops-per-case N] [--inject]\n"
+        "                  [--check-every N] [--multi-proc N]\n"
+        "                  [--plant-slot-bug]\n"
+        "                  [--artifact-prefix PFX] [--json]\n"
+        "       %s replay  --log FILE [--plant N] [--json]\n"
+        "       %s restore --image FILE [--json]\n",
+        argv0, argv0, argv0);
+    return 2;
+}
+
+bool
+readFile(const std::string &path, std::vector<u8> &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    u8 buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.insert(out.end(), buf, buf + n);
+    std::fclose(f);
+    return true;
+}
+
+bool
+writeFile(const std::string &path, const std::vector<u8> &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    bool ok = bytes.empty() ||
+              std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+int
+runRecord(const check::FuzzOptions &base, const std::string &logPath,
+          bool json)
+{
+    check::FuzzOptions opts = base;
+    check::ReplaySession session(check::ReplaySession::Mode::Record);
+    opts.replay = &session;
+
+    check::DiffFuzzer fuzzer(opts);
+    check::FuzzReport rep = fuzzer.run();
+
+    std::vector<u8> log = session.serialize(base);
+    if (!writeFile(logPath, log)) {
+        std::fprintf(stderr, "cheri_replay: cannot write %s\n",
+                     logPath.c_str());
+        return 1;
+    }
+
+    if (json)
+        std::printf("{\"mode\":\"record\",\"entries\":%llu,"
+                    "\"logBytes\":%zu,\"fuzzOk\":%s}\n",
+                    (unsigned long long)session.entryCount(), log.size(),
+                    rep.ok() ? "true" : "false");
+    else
+        std::printf("recorded %llu entries (%zu bytes) to %s; "
+                    "fuzzer %s\n",
+                    (unsigned long long)session.entryCount(), log.size(),
+                    logPath.c_str(), rep.ok() ? "clean" : "FAILED");
+    if (!rep.ok())
+        std::fputs(rep.summary().c_str(), stdout);
+    return rep.ok() ? 0 : 1;
+}
+
+int
+runReplay(const std::string &logPath, u64 plant, bool havePlant, bool json)
+{
+    std::vector<u8> bytes;
+    if (!readFile(logPath, bytes)) {
+        std::fprintf(stderr, "cheri_replay: cannot read %s\n",
+                     logPath.c_str());
+        return 1;
+    }
+
+    check::ReplaySession session(check::ReplaySession::Mode::Replay);
+    std::string err;
+    if (!session.load(bytes, &err)) {
+        std::fprintf(stderr, "cheri_replay: bad log: %s\n", err.c_str());
+        return 1;
+    }
+    if (havePlant)
+        session.plantAtQuiesce(plant);
+
+    check::FuzzOptions opts = session.options();
+    opts.replay = &session;
+    check::DiffFuzzer fuzzer(opts);
+    check::FuzzReport rep = fuzzer.run();
+
+    u64 divs = session.divergenceCount();
+    std::string first = session.firstDivergence();
+    if (json)
+        std::printf("{\"mode\":\"replay\",\"entries\":%llu,"
+                    "\"divergences\":%llu,\"first\":\"%s\","
+                    "\"fuzzOk\":%s}\n",
+                    (unsigned long long)session.entryCount(),
+                    (unsigned long long)divs, jsonEscape(first).c_str(),
+                    rep.ok() ? "true" : "false");
+    else if (divs == 0)
+        std::printf("replay of %s: deterministic, %llu entries, "
+                    "0 divergences\n",
+                    logPath.c_str(),
+                    (unsigned long long)session.entryCount());
+    else
+        std::printf("replay of %s: %llu divergence(s)\nfirst: %s\n",
+                    logPath.c_str(), (unsigned long long)divs,
+                    first.c_str());
+    return divs == 0 && rep.ok() ? 0 : 1;
+}
+
+int
+runRestore(const std::string &imgPath, bool json)
+{
+    std::vector<u8> bytes;
+    if (!readFile(imgPath, bytes)) {
+        std::fprintf(stderr, "cheri_replay: cannot read %s\n",
+                     imgPath.c_str());
+        return 1;
+    }
+
+    Kernel kern;
+    obs::Metrics mx;
+    kern.setMetrics(&mx);
+    std::string err;
+    if (!snap::restore(kern, bytes, &err)) {
+        std::fprintf(stderr, "cheri_replay: %s\n", err.c_str());
+        return 1;
+    }
+
+    check::Report rep = check::Invariants::check(kern);
+    if (json)
+        std::printf("{\"mode\":\"restore\",\"imageBytes\":%zu,"
+                    "\"processes\":%llu,\"capsChecked\":%llu,"
+                    "\"pagesChecked\":%llu,\"framesChecked\":%llu,"
+                    "\"slotsChecked\":%llu,\"violations\":%zu}\n",
+                    bytes.size(), (unsigned long long)rep.processes,
+                    (unsigned long long)rep.capsChecked,
+                    (unsigned long long)rep.pagesChecked,
+                    (unsigned long long)rep.framesChecked,
+                    (unsigned long long)rep.slotsChecked,
+                    rep.violations.size());
+    else if (rep.ok())
+        std::printf("restored %s (%zu bytes): %llu processes, "
+                    "oracle clean\n",
+                    imgPath.c_str(), bytes.size(),
+                    (unsigned long long)rep.processes);
+    else
+        std::printf("restored %s: %zu violation(s)\n%s", imgPath.c_str(),
+                    rep.violations.size(), rep.toString().c_str());
+    return rep.ok() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv[0]);
+    std::string mode = argv[1];
+
+    check::FuzzOptions opts;
+    opts.cases = 20;
+    opts.opsPerCase = 32;
+    opts.checkEvery = 1;
+    // Same constrained-run budgets as abi_fuzz; the recorded values
+    // travel in the log header, so replay needs no environment.
+    opts.frameCapacity = envOr("CHERI_TEST_FRAME_BUDGET", 0);
+    opts.swapSlotBudget = envOr("CHERI_TEST_SLOT_BUDGET", 0);
+    std::string logPath, imgPath;
+    u64 plant = 0;
+    bool havePlant = false;
+    bool json = false;
+
+    for (int i = 2; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto numArg = [&](u64 *out) {
+            if (i + 1 >= argc)
+                return false;
+            *out = std::strtoull(argv[++i], nullptr, 0);
+            return true;
+        };
+        auto strArg = [&](std::string *out) {
+            if (i + 1 >= argc)
+                return false;
+            *out = argv[++i];
+            return true;
+        };
+        if (!std::strcmp(arg, "--log")) {
+            if (!strArg(&logPath))
+                return usage(argv[0]);
+        } else if (!std::strcmp(arg, "--image")) {
+            if (!strArg(&imgPath))
+                return usage(argv[0]);
+        } else if (!std::strcmp(arg, "--seed")) {
+            if (!numArg(&opts.seed))
+                return usage(argv[0]);
+        } else if (!std::strcmp(arg, "--cases")) {
+            if (!numArg(&opts.cases))
+                return usage(argv[0]);
+        } else if (!std::strcmp(arg, "--ops-per-case")) {
+            if (!numArg(&opts.opsPerCase))
+                return usage(argv[0]);
+        } else if (!std::strcmp(arg, "--check-every")) {
+            if (!numArg(&opts.checkEvery))
+                return usage(argv[0]);
+        } else if (!std::strcmp(arg, "--multi-proc")) {
+            if (!numArg(&opts.multiProc))
+                return usage(argv[0]);
+        } else if (!std::strcmp(arg, "--inject")) {
+            opts.inject = true;
+        } else if (!std::strcmp(arg, "--plant-slot-bug")) {
+            opts.plantSlotBug = true;
+        } else if (!std::strcmp(arg, "--artifact-prefix")) {
+            if (!strArg(&opts.artifactPrefix))
+                return usage(argv[0]);
+        } else if (!std::strcmp(arg, "--plant")) {
+            if (!numArg(&plant))
+                return usage(argv[0]);
+            havePlant = true;
+        } else if (!std::strcmp(arg, "--json")) {
+            json = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    if (mode == "record") {
+        if (logPath.empty())
+            return usage(argv[0]);
+        return runRecord(opts, logPath, json);
+    }
+    if (mode == "replay") {
+        if (logPath.empty())
+            return usage(argv[0]);
+        return runReplay(logPath, plant, havePlant, json);
+    }
+    if (mode == "restore") {
+        if (imgPath.empty())
+            return usage(argv[0]);
+        return runRestore(imgPath, json);
+    }
+    return usage(argv[0]);
+}

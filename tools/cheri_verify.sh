@@ -59,4 +59,22 @@ CHERI_TEST_FRAME_BUDGET=48 CHERI_TEST_SLOT_BUDGET=128 \
 "$build_dir/bench/pipe_bench" --json --check
 CHERI_TEST_FRAME_BUDGET=48 CHERI_TEST_SLOT_BUDGET=128 \
     "$build_dir/bench/pipe_bench" --json --check
+# Replay-determinism gate: record a seeded fuzz run (fault injection +
+# multi-process scheduling in the mix) and replay it from the log
+# alone; cheri_replay exits non-zero on any quiescent-point
+# divergence.  Run once unconstrained and once under the small
+# frame/slot budgets so reclaim/OOM timelines replay exactly too.
+replay_log="$build_dir/verify-replay.log"
+"$build_dir/tools/cheri_replay" record --log "$replay_log" \
+    --seed 1 --cases 20 --inject
+"$build_dir/tools/cheri_replay" replay --log "$replay_log" --json
+"$build_dir/tools/cheri_replay" record --log "$replay_log" \
+    --seed 1 --cases 10 --multi-proc 3 --inject
+"$build_dir/tools/cheri_replay" replay --log "$replay_log" --json
+CHERI_TEST_FRAME_BUDGET=48 CHERI_TEST_SLOT_BUDGET=128 \
+    "$build_dir/tools/cheri_replay" record --log "$replay_log" \
+        --seed 1 --cases 20 --inject
+CHERI_TEST_FRAME_BUDGET=48 CHERI_TEST_SLOT_BUDGET=128 \
+    "$build_dir/tools/cheri_replay" replay --log "$replay_log" --json
+rm -f "$replay_log"
 echo "cheri_verify: all checks passed"
