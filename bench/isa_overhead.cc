@@ -163,7 +163,7 @@ main()
                 "the loop differs only in pointer-increment form)\n",
                 instr_delta);
     bench::banner("Instruction mix + cost counters (JSON, "
-                  "cheri.metrics.v8)");
+                  "cheri.metrics.v9)");
     std::printf("%s\n", metrics.toJson().c_str());
     return 0;
 }

@@ -202,7 +202,7 @@ main(int argc, char **argv)
                 "to -9.8% (select,\nbest case: four pointer arguments "
                 "the legacy kernel must wrap in\ncapabilities).");
 
-    bench::banner("Per-syscall metrics (JSON, cheri.metrics.v8)");
+    bench::banner("Per-syscall metrics (JSON, cheri.metrics.v9)");
     std::printf("%s\n", metrics.toJson().c_str());
     return 0;
 }

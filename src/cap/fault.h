@@ -57,11 +57,15 @@ enum class CapFault : std::uint8_t
     /** MMU: the swap device failed to read a page back; the slot is
      *  retained so the access can be retried. */
     SwapInFailure,
+    /** Detected memory corruption (injected tag/data bit flip): the
+     *  tag is cleared and the access faults like hardware raising a
+     *  machine check — guest-visible, never a host abort. */
+    MachineCheck,
 };
 
 /** Number of distinct CapFault causes (for cause-indexed tables). */
 constexpr unsigned numCapFaults =
-    static_cast<unsigned>(CapFault::SwapInFailure) + 1;
+    static_cast<unsigned>(CapFault::MachineCheck) + 1;
 
 /** Human-readable fault name for diagnostics and test output. */
 std::string_view capFaultName(CapFault fault);

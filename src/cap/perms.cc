@@ -59,6 +59,7 @@ capFaultName(CapFault fault)
       case CapFault::VmmapPermViolation: return "vmmap-permission violation";
       case CapFault::MemoryExhausted: return "memory exhausted";
       case CapFault::SwapInFailure: return "swap-in failure";
+      case CapFault::MachineCheck: return "machine check";
     }
     return "unknown";
 }

@@ -380,6 +380,11 @@ struct ExecResult
     std::vector<u8> snapshot;
     /** Full metrics JSON (FuzzOptions::keepMetricsJson). */
     std::string metricsJson;
+    /** Structured panic report + auto-captured image, when the run
+     *  tripped a CHERI_KASSERT (the kernel reset and the run went on;
+     *  the case is still reported as failed). */
+    std::string panicJson;
+    std::vector<u8> panicImage;
 };
 
 /** Scoped FaultTap installation: the record/replay session outlives
@@ -421,6 +426,22 @@ writeArtifact(const std::string &path, const std::vector<u8> &bytes)
 constexpr u64 maxViolationsPerRun = 32;
 constexpr u64 maxRegions = 8;
 
+/** Fold a structured kernel panic into the run's outcome: the panic is
+ *  a first-class failure (its own violation kind) and its report and
+ *  auto-captured image become case artifacts. */
+void
+capturePanic(ExecResult &er, Kernel &kern)
+{
+    if (!kern.panicked() || !er.panicJson.empty())
+        return;
+    er.panicJson = kern.panicReportJson();
+    er.panicImage = kern.panicImage();
+    if (er.violations.size() < maxViolationsPerRun)
+        er.violations.push_back(
+            {"kernel-panic", "kernel assertion failed (see .panic.json "
+                             "artifact for the flight-recorder ring)"});
+}
+
 void
 hashRegion(ExecResult &er, Process &proc, const char *name, u64 va,
            u64 len)
@@ -454,6 +475,7 @@ execCase(Abi abi, const FuzzOptions &opts, u64 case_seed,
     cfg.swapSlotBudget = opts.swapSlotBudget;
     Kernel kern(cfg);
     kern.setMetrics(&metrics);
+    snap::installPanicSnapshotHook(kern);
     TapGuard tap(kern.faultInjector(), opts.replay);
 
     Process *proc = kern.spawn(abi, "fuzz");
@@ -563,6 +585,13 @@ execCase(Abi abi, const FuzzOptions &opts, u64 case_seed,
                          case_seed ^ 0x1111);
         inj.failRandomly(FaultPoint::SwapOut, 7, case_seed ^ 0x2222);
         inj.failRandomly(FaultPoint::SwapIn, 5, case_seed ^ 0x3333);
+        // Memory corruption: sparse tag/data bit flips whose detection
+        // must degrade to machine checks, never forged capabilities
+        // (the oracle's machine-check-containment rule).
+        inj.failRandomly(FaultPoint::TagBitFlip, 31,
+                         case_seed ^ 0x4444);
+        inj.failRandomly(FaultPoint::DataBitFlip, 211,
+                         case_seed ^ 0x5555);
     }
 
     std::vector<Region> regions;
@@ -855,6 +884,7 @@ execCase(Abi abi, const FuzzOptions &opts, u64 case_seed,
     // Final state capture: injector off so imaging itself cannot fail
     // for injected reasons.
     kern.faultInjector().disarmAll();
+    capturePanic(er, kern);
 
     if (opts.checkEvery) {
         Report rep = Invariants::check(kern);
@@ -914,6 +944,7 @@ execCaseMulti(Abi abi, const FuzzOptions &opts, u64 case_seed)
     cfg.timeSliceSteps = 32; // short slices: more boundaries to check
     Kernel kern(cfg);
     kern.setMetrics(&metrics);
+    snap::installPanicSnapshotHook(kern);
     TapGuard tap(kern.faultInjector(), opts.replay);
     sched::Scheduler &s = sched::schedulerFor(kern);
 
@@ -1007,6 +1038,9 @@ execCaseMulti(Abi abi, const FuzzOptions &opts, u64 case_seed)
         inj.failRandomly(FaultPoint::FrameAlloc, 13, case_seed ^ 0x1111);
         inj.failRandomly(FaultPoint::SwapOut, 7, case_seed ^ 0x2222);
         inj.failRandomly(FaultPoint::SwapIn, 5, case_seed ^ 0x3333);
+        inj.failRandomly(FaultPoint::TagBitFlip, 31, case_seed ^ 0x4444);
+        inj.failRandomly(FaultPoint::DataBitFlip, 211,
+                         case_seed ^ 0x5555);
     }
 
     // The oracle at every slice boundary: register files have just
@@ -1027,6 +1061,7 @@ execCaseMulti(Abi abi, const FuzzOptions &opts, u64 case_seed)
     kern.runUntilIdle();
     s.setSliceHook(nullptr);
     kern.faultInjector().disarmAll();
+    capturePanic(er, kern);
 
     // Final states: per-guest halt status, work registers, threads.
     for (u64 i = 0; i < guests.size(); ++i) {
@@ -1079,6 +1114,8 @@ DiffFuzzer::runCase(u64 index)
     }
     if (opts.keepMetricsJson)
         cr.metricsJson = legacy.metricsJson + cheri.metricsJson;
+    cr.panicJson = legacy.panicJson.empty() ? cheri.panicJson
+                                            : legacy.panicJson;
 
     cr.syscalls = legacy.syscalls + cheri.syscalls;
     cr.oracleRuns = legacy.oracleRuns + cheri.oracleRuns;
@@ -1127,9 +1164,22 @@ DiffFuzzer::runCase(u64 index)
     if (cr.failed() && !opts.artifactPrefix.empty()) {
         std::string stem =
             opts.artifactPrefix + "-case" + std::to_string(index);
-        writeArtifact(stem + ".img", legacy.snapshot.empty()
-                                         ? cheri.snapshot
-                                         : legacy.snapshot);
+        // Prefer the oracle-violation image; a panic's auto-captured
+        // image is the fallback (a panicking case usually reset the
+        // kernel before the end-of-run oracle pass could snapshot it).
+        std::vector<u8> *img = &legacy.snapshot;
+        if (img->empty())
+            img = &cheri.snapshot;
+        if (img->empty())
+            img = &legacy.panicImage;
+        if (img->empty())
+            img = &cheri.panicImage;
+        writeArtifact(stem + ".img", *img);
+        if (!cr.panicJson.empty()) {
+            writeArtifact(stem + ".panic.json",
+                          std::vector<u8>(cr.panicJson.begin(),
+                                          cr.panicJson.end()));
+        }
         if (opts.replay && opts.replay->recording()) {
             // A replayable log up to and including this case.
             FuzzOptions o = opts;

@@ -114,6 +114,10 @@ struct CaseReport
     /** Both runs' metrics JSON (mips64 then cheriabi), when
      *  FuzzOptions::keepMetricsJson is set. */
     std::string metricsJson;
+    /** Structured panic report from whichever run tripped a kernel
+     *  assertion (empty otherwise); written as the case's .panic.json
+     *  artifact. */
+    std::string panicJson;
 
     bool diverged() const { return !divergences.empty(); }
     bool failed() const { return diverged() || !violations.empty(); }

@@ -331,7 +331,28 @@ Invariants::check(Kernel &kern)
         }
     });
 
-    // Rule 6: the Metrics mirror must agree with the kernel's own
+    // Rule 6: machine-check containment.  Every injected memory
+    // corruption (TagBitFlip, DataBitFlip) fires its detection hook
+    // exactly once, so the kernel's machine-check count dominates the
+    // injector's fired counts.  A shortfall means a corrupted granule
+    // slipped past detection — the precursor to a forged capability.
+    // (">=", not "==": the machine-check counter deliberately survives
+    // the panic path's transactional reset while injector arms do not.)
+    {
+        FaultInjector &inj = kern.faultInjector();
+        u64 corrupted = inj.injected(FaultPoint::TagBitFlip) +
+                        inj.injected(FaultPoint::DataBitFlip);
+        if (kern.hardeningStats().machineChecks < corrupted) {
+            r.violations.push_back(
+                {"machine-check-containment",
+                 fmt("%" PRIu64 " corruption injections but only "
+                     "%" PRIu64 " machine checks: corruption escaped "
+                     "detection",
+                     corrupted, kern.hardeningStats().machineChecks)});
+        }
+    }
+
+    // Rule 7: the Metrics mirror must agree with the kernel's own
     // accounting, and cause counters with the recorded fault log.
     if (obs::Metrics *m = kern.metrics()) {
         const obs::PressureCounters &mp = m->pressure();
@@ -423,6 +444,28 @@ Invariants::check(Kernel &kern)
                          mf.selectTimeouts, kf.blocks, kf.wakes,
                          kf.eagainErrors, kf.epipeErrors,
                          kf.partialWrites, kf.selectTimeouts)});
+            }
+        }
+        // Hardening counters: the panic / watchdog / machine-check
+        // paths bump the kernel stat and the metrics mirror at the
+        // same call sites; any drift means a path skipped one side.
+        {
+            const obs::HardeningCounters &mh = m->hardening();
+            const Kernel::HardeningStats &kh = kern.hardeningStats();
+            if (mh.panics != kh.panics ||
+                mh.deadlocksDetected != kh.deadlocksDetected ||
+                mh.deadlocksKilled != kh.deadlocksKilled ||
+                mh.machineChecks != kh.machineChecks) {
+                r.violations.push_back(
+                    {"metrics-hardening-mirror",
+                     fmt("metrics panics %" PRIu64 " deadlocks %" PRIu64
+                         "/%" PRIu64 " mchecks %" PRIu64
+                         " != kernel %" PRIu64 "/%" PRIu64 "/%" PRIu64
+                         "/%" PRIu64,
+                         mh.panics, mh.deadlocksDetected,
+                         mh.deadlocksKilled, mh.machineChecks, kh.panics,
+                         kh.deadlocksDetected, kh.deadlocksKilled,
+                         kh.machineChecks)});
             }
         }
         std::array<u64, numCapFaults> logged{};

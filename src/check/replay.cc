@@ -110,6 +110,11 @@ hashStats(Kernel &kern)
     fnv(h, rv.epochsAborted);
     fnv(h, rv.pagesScanned);
     fnv(h, rv.tagsRevoked);
+    const Kernel::HardeningStats &hd = kern.hardeningStats();
+    fnv(h, hd.panics);
+    fnv(h, hd.deadlocksDetected);
+    fnv(h, hd.deadlocksKilled);
+    fnv(h, hd.machineChecks);
     if (const SchedStats *ss = kern.schedulerStats()) {
         fnv(h, ss->contextSwitches);
         fnv(h, ss->preemptions);

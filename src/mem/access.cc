@@ -111,6 +111,7 @@ CapCheck
 MemAccess::read(u64 va, void *buf, u64 len)
 {
     u8 *out = static_cast<u8 *>(buf);
+    bool first = true;
     while (len > 0) {
         u64 page = pageTrunc(va);
         u64 off = va & pageMask;
@@ -125,6 +126,12 @@ MemAccess::read(u64 va, void *buf, u64 len)
             if (!f)
                 return missFault();
         }
+        // Corruption probe once per access, after translation: an
+        // injected data-line flip machine-checks the load the way ECC
+        // would, instead of returning silently wrong bytes.
+        if (first && as && as->physMem().injectDataLoadCorruption(va))
+            return CapFault::MachineCheck;
+        first = false;
         f->read(off, out, chunk);
         va += chunk;
         out += chunk;
@@ -206,7 +213,13 @@ MemAccess::readCap(u64 va)
         if (!f)
             return missFault();
     }
-    return f->readCap(va & pageMask);
+    // Tagged granules only: an untagged load has no tag to flip, and
+    // probing it would burn injector events on non-capability traffic.
+    u64 off = va & pageMask;
+    if (f->tagAt(off) && as &&
+        as->physMem().injectCapLoadCorruption(*f, off, va))
+        return CapFault::MachineCheck;
+    return f->readCap(off);
 }
 
 CapCheck

@@ -70,7 +70,29 @@ FaultInjector::shouldFail(FaultPoint point)
     if (tap)
         fire = tap->onFault(point, fire);
     a.fired += fire;
+    if (observer)
+        observer(point, fire);
     return fire;
+}
+
+bool
+FaultInjector::confirm(FaultPoint point, bool decision)
+{
+    Arm &a = arms[index(point)];
+    ++a.seen;
+    if (tap)
+        decision = tap->onFault(point, decision);
+    a.fired += decision;
+    if (observer)
+        observer(point, decision);
+    return decision;
+}
+
+void
+FaultInjector::resetArms()
+{
+    for (Arm &a : arms)
+        a = Arm{};
 }
 
 u64

@@ -16,6 +16,7 @@
 #define CHERI_MEM_FAULT_INJECT_H
 
 #include <array>
+#include <functional>
 
 #include "cap/types.h"
 
@@ -39,9 +40,20 @@ enum class FaultPoint : unsigned
     /** SwapDevice::sweepSlot — the revocation sweep's read of a
      *  swapped page's tag metadata (a device I/O like any other). */
     SweepScan,
+    /** Memory corruption: flip (clear) the tag bit of a tagged granule
+     *  at a capability load, or of a swapped page's tag metadata.
+     *  Detection raises CapFault::MachineCheck, never a host abort. */
+    TagBitFlip,
+    /** Memory corruption: corrupt data bytes under a plain load; the
+     *  detection path raises a machine check like TagBitFlip. */
+    DataBitFlip,
+    /** Deadlock-watchdog victim kill: not a failure the injector arms
+     *  itself, but a kernel decision routed through confirm() so the
+     *  replay tap records it and substitutes it bit-for-bit. */
+    DeadlockKill,
 };
 
-constexpr unsigned numFaultPoints = 4;
+constexpr unsigned numFaultPoints = 7;
 
 /**
  * Observer of (and authority over) every injection decision.  The
@@ -85,8 +97,32 @@ class FaultInjector
      */
     bool shouldFail(FaultPoint point);
 
+    /**
+     * Report a decision the KERNEL already made at @p point (e.g. the
+     * deadlock watchdog choosing to kill a victim) so it flows through
+     * the same record/replay tap as injected failures.  The tap's
+     * answer is authoritative, exactly as in shouldFail(): record logs
+     * @p decision and passes it through; replay substitutes the logged
+     * decision, making the kernel's choice a replayed input.
+     */
+    bool confirm(FaultPoint point, bool decision);
+
     /** Install (or clear, with nullptr) the record/replay tap. */
     void setTap(FaultTap *t) { tap = t; }
+
+    /**
+     * Observational hook called with every final decision (after tap
+     * substitution); the kernel's flight recorder uses it.  Unlike the
+     * tap it has no authority over the decision.
+     */
+    void setObserver(std::function<void(FaultPoint, bool)> fn)
+    {
+        observer = std::move(fn);
+    }
+
+    /** Disarm every point and zero the seen/fired counters (panic
+     *  reset: the rebuilt kernel starts from injector state zero). */
+    void resetArms();
 
     /** Events seen at @p point since construction/reset. */
     u64 events(FaultPoint point) const;
@@ -125,6 +161,7 @@ class FaultInjector
 
     std::array<Arm, numFaultPoints> arms{};
     FaultTap *tap = nullptr;
+    std::function<void(FaultPoint, bool)> observer;
 };
 
 } // namespace cheri

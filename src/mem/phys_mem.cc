@@ -1,6 +1,6 @@
 #include "mem/phys_mem.h"
 
-#include <cassert>
+#include "os/panic.h"
 
 namespace cheri
 {
@@ -16,14 +16,14 @@ Frame::copyFrom(const Frame &other)
 void
 Frame::read(u64 off, void *buf, u64 len) const
 {
-    assert(off + len <= pageSize);
+    CHERI_KASSERT(off + len <= pageSize, "frame read within page");
     std::memcpy(buf, data.data() + off, len);
 }
 
 void
 Frame::write(u64 off, const void *buf, u64 len)
 {
-    assert(off + len <= pageSize);
+    CHERI_KASSERT(off + len <= pageSize, "frame write within page");
     std::memcpy(data.data() + off, buf, len);
     // A data store invalidates every capability granule it overlaps.
     u64 first = off / capSize;
@@ -42,7 +42,8 @@ Frame::clear()
 Capability
 Frame::readCap(u64 off) const
 {
-    assert(off % capSize == 0 && off + capSize <= pageSize);
+    CHERI_KASSERT(off % capSize == 0 && off + capSize <= pageSize,
+                  "cap load granule-aligned and in page");
     u64 g = off / capSize;
     if (tags.test(g))
         return caps[g];
@@ -54,7 +55,8 @@ Frame::readCap(u64 off) const
 void
 Frame::writeCap(u64 off, const Capability &cap)
 {
-    assert(off % capSize == 0 && off + capSize <= pageSize);
+    CHERI_KASSERT(off % capSize == 0 && off + capSize <= pageSize,
+                  "cap store granule-aligned and in page");
     u64 g = off / capSize;
     auto raw = cap.toBytes();
     std::memcpy(data.data() + off, raw.data(), capSize);
@@ -112,6 +114,30 @@ u64
 PhysMem::liveFrames() const
 {
     return *live;
+}
+
+bool
+PhysMem::corruptCapLoad(Frame &frame, u64 off, u64 va)
+{
+    if (!injector->shouldFail(FaultPoint::TagBitFlip))
+        return false;
+    // The modeled bit flip: the granule's tag is gone before the load
+    // completes, so the corrupted pattern can never decode back into a
+    // dereferenceable capability.
+    frame.clearTagAt(off);
+    if (corruption)
+        corruption(FaultPoint::TagBitFlip, va);
+    return true;
+}
+
+bool
+PhysMem::corruptDataLoad(u64 va)
+{
+    if (!injector->shouldFail(FaultPoint::DataBitFlip))
+        return false;
+    if (corruption)
+        corruption(FaultPoint::DataBitFlip, va);
+    return true;
 }
 
 } // namespace cheri

@@ -157,6 +157,43 @@ class PhysMem
     void setReclaimHook(ReclaimHook hook) { reclaim = std::move(hook); }
     /** Nullable; checked on every allocation. */
     void setFaultInjector(FaultInjector *inj) { injector = inj; }
+    FaultInjector *faultInjector() const { return injector; }
+
+    /** Notified of every injected corruption event as
+     *  (point, guest VA); the kernel counts machine checks and feeds
+     *  the flight recorder through it. */
+    using CorruptionHook = std::function<void(FaultPoint, u64 va)>;
+    void setCorruptionHook(CorruptionHook hook)
+    {
+        corruption = std::move(hook);
+    }
+
+    /**
+     * Consult the TagBitFlip arm for a capability load of a *tagged*
+     * granule at @p off in @p frame (guest address @p va).  When the
+     * injector fires, the granule's tag is cleared — the modeled bit
+     * flip — the hook is notified, and the caller must raise
+     * CapFault::MachineCheck instead of returning a capability.  The
+     * corrupted granule can never surface as a forged capability: its
+     * tag is gone before any load completes.
+     *
+     * The injector-null fast path is inline so uninstrumented builds
+     * pay one predictable branch on the access hot path.
+     */
+    bool
+    injectCapLoadCorruption(Frame &frame, u64 off, u64 va)
+    {
+        return injector && corruptCapLoad(frame, off, va);
+    }
+
+    /** DataBitFlip arm for a plain data load at @p va.  Fires at most
+     *  once per access; data bytes are left intact (detection is
+     *  modeled as ECC catching the flip), the access machine-checks. */
+    bool
+    injectDataLoadCorruption(u64 va)
+    {
+        return injector && corruptDataLoad(va);
+    }
 
     /** Frames currently live (allocated and not yet destroyed). */
     u64 liveFrames() const;
@@ -170,6 +207,16 @@ class PhysMem
     /** Times the reclaim hook was invoked. */
     u64 reclaimRequests() const { return reclaims; }
 
+    /** Zero the lifetime counters (panic reset: the rebuilt-empty
+     *  kernel restarts accounting from scratch).  Capacity and hook
+     *  wiring survive; live frames are owned by their references. */
+    void resetAccounting()
+    {
+        allocated = 0;
+        failed = 0;
+        reclaims = 0;
+    }
+
   private:
     /** Checkpoint/restore mints frames against the live counter without
      *  consulting capacity or the injector. */
@@ -178,6 +225,10 @@ class PhysMem
     /** Run reclaim if needed so @p n more frames fit; true on success. */
     bool makeRoom(u64 n, const void *requester);
 
+    /** Out-of-line halves of the corruption probes (injector != null). */
+    bool corruptCapLoad(Frame &frame, u64 off, u64 va);
+    bool corruptDataLoad(u64 va);
+
     u64 allocated = 0;
     std::shared_ptr<u64> live = std::make_shared<u64>(0);
     u64 capacity = 0;
@@ -185,6 +236,7 @@ class PhysMem
     u64 reclaims = 0;
     ReclaimHook reclaim;
     FaultInjector *injector = nullptr;
+    CorruptionHook corruption;
 };
 
 } // namespace cheri

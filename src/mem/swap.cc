@@ -29,8 +29,11 @@ SwapDevice::swapOut(const Frame &frame)
 }
 
 bool
-SwapDevice::swapIn(u64 slot_id, Frame &frame, const Capability &root)
+SwapDevice::swapIn(u64 slot_id, Frame &frame, const Capability &root,
+                   CapFault *fault)
 {
+    if (fault)
+        *fault = CapFault::SwapInFailure;
     auto it = slots.find(slot_id);
     if (it == slots.end()) {
         // A missing slot is a device-level failure the guest can see,
@@ -41,6 +44,21 @@ SwapDevice::swapIn(u64 slot_id, Frame &frame, const Capability &root)
     if (injector && injector->shouldFail(FaultPoint::SwapIn)) {
         // Modeled I/O error: the slot survives so the fault can be
         // retried once the condition clears.
+        ++swapInFailures;
+        return false;
+    }
+    if (!it->second.tagMeta.empty() && injector &&
+        injector->shouldFail(FaultPoint::TagBitFlip)) {
+        // Corrupted tag metadata detected while reading it back: drop
+        // the hit entry (the tag is gone, the pattern must never be
+        // rederived into a live capability) and machine-check the
+        // access.  The frame and the slot's references are untouched,
+        // so the retried fault completes with that granule untagged.
+        it->second.tagMeta.erase(it->second.tagMeta.begin());
+        if (corruption)
+            corruption(FaultPoint::TagBitFlip, slot_id);
+        if (fault)
+            *fault = CapFault::MachineCheck;
         ++swapInFailures;
         return false;
     }

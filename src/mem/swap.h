@@ -80,8 +80,15 @@ class SwapDevice
      * true is returned; an injected failure leaves the slot (and
      * @p frame's prior contents) untouched so the access can be
      * retried.  An unknown slot is a failure, never a host abort.
+     *
+     * @p fault (nullable) receives the precise cause on failure:
+     * CapFault::MachineCheck when the TagBitFlip injector corrupted
+     * the slot's tag metadata (the corrupted entry is dropped, so the
+     * retry succeeds with that granule untagged), SwapInFailure for
+     * every other refusal.
      */
-    bool swapIn(u64 slot, Frame &frame, const Capability &root);
+    bool swapIn(u64 slot, Frame &frame, const Capability &root,
+                CapFault *fault = nullptr);
 
     /**
      * Drop one reference to @p slot without reading it back — the page
@@ -103,6 +110,13 @@ class SwapDevice
 
     /** Nullable; checked on every swap-out and swap-in. */
     void setFaultInjector(FaultInjector *inj) { injector = inj; }
+
+    /** Notified of injected corruption of swapped tag metadata as
+     *  (point, slot id); mirrors PhysMem::setCorruptionHook. */
+    void setCorruptionHook(std::function<void(FaultPoint, u64)> hook)
+    {
+        corruption = std::move(hook);
+    }
 
     /**
      * Revocation support: drop recorded tag metadata in @p slot for
@@ -191,6 +205,19 @@ class SwapDevice
     /** Slots released unread via discard(). */
     u64 totalDiscards() const { return discards; }
 
+    /** Zero the operation counters (kernel panic reset re-mirrors an
+     *  empty kernel); occupied slots are untouched. */
+    void
+    resetAccounting()
+    {
+        swapOuts = 0;
+        tagsPreserved = 0;
+        swapOutFailures = 0;
+        swapInFailures = 0;
+        sweepScanFailures = 0;
+        discards = 0;
+    }
+
   private:
     /** Checkpoint/restore serializes the slot table bit-exactly. */
     friend struct snap::Access;
@@ -215,6 +242,7 @@ class SwapDevice
     u64 sweepScanFailures = 0;
     u64 discards = 0;
     FaultInjector *injector = nullptr;
+    std::function<void(FaultPoint, u64)> corruption;
 };
 
 } // namespace cheri

@@ -1,9 +1,9 @@
 #include "mem/vm.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "mem/access.h"
+#include "os/panic.h"
 
 namespace cheri
 {
@@ -21,10 +21,10 @@ AddressSpace::AddressSpace(PhysMem &phys, SwapDevice &swap, u64 principal,
     // capability from which all of this process's pointers descend.
     Capability r = Capability::root(fmt).setAddress(userBase);
     Result<Capability> bounded = r.setBounds(userTop - userBase);
-    assert(bounded.ok());
+    CHERI_KASSERT(bounded.ok(), "user root bounds representable");
     Result<Capability> no_sysregs =
         bounded.value().andPerms(permsAll & ~PERM_ACCESS_SYS_REGS);
-    assert(no_sysregs.ok());
+    CHERI_KASSERT(no_sysregs.ok(), "user root perms monotone");
     root = no_sysregs.value();
 }
 
@@ -308,9 +308,9 @@ AddressSpace::capForRange(u64 start, u64 len, u32 prot,
         perms |= PERM_SW_VMMAP;
     Result<Capability> r =
         root.setAddress(start).setBounds(pageRound(len));
-    assert(r.ok() && "kernel minted capability outside user root");
+    CHERI_KASSERT(r.ok(), "kernel minted capability outside user root");
     Result<Capability> p = r.value().andPerms(perms);
-    assert(p.ok());
+    CHERI_KASSERT(p.ok(), "kernel-minted perms monotone");
     return p.value();
 }
 
@@ -342,9 +342,12 @@ AddressSpace::walk(u64 va, bool for_write)
             walkFault = CapFault::MemoryExhausted;
             return nullptr;
         }
-        if (!swap.swapIn(pte.swapSlot, *fresh, root)) {
-            // The slot is retained; the access can be retried.
-            walkFault = CapFault::SwapInFailure;
+        CapFault swapFault = CapFault::SwapInFailure;
+        if (!swap.swapIn(pte.swapSlot, *fresh, root, &swapFault)) {
+            // The slot is retained; the access can be retried (after
+            // an injected metadata corruption, minus the granule the
+            // machine check consumed).
+            walkFault = swapFault;
             return nullptr;
         }
         pte.frame = std::move(fresh);
@@ -432,7 +435,11 @@ AddressSpace::readCap(u64 va)
     Pte *pte = walk(va, false);
     if (!pte)
         return walkFault;
-    return pte->frame->readCap(va & pageMask);
+    u64 off = va & pageMask;
+    if (pte->frame->tagAt(off) &&
+        phys.injectCapLoadCorruption(*pte->frame, off, va))
+        return CapFault::MachineCheck;
+    return pte->frame->readCap(off);
 }
 
 CapCheck

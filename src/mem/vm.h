@@ -147,6 +147,10 @@ class AddressSpace
      */
     const Capability &rederivationRoot() const { return root; }
 
+    /** The backing physical memory — the TLB fast path consults its
+     *  corruption-injection probes without a page walk. */
+    PhysMem &physMem() { return phys; }
+
     /** @name Mapping management */
     /// @{
     /**

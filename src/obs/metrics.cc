@@ -141,6 +141,7 @@ Metrics::reset()
     _threadSteps.clear();
     chk = {};
     snp = {};
+    hard = {};
     costs.clear();
     deriveCounts = {};
     provenance.clear();
@@ -181,7 +182,7 @@ Metrics::toJson() const
 {
     JsonWriter w;
     w.beginObject();
-    w.key("schema").value(std::string_view("cheri.metrics.v8"));
+    w.key("schema").value(std::string_view("cheri.metrics.v9"));
 
     w.key("syscalls").beginArray();
     for (Abi abi : allAbis) {
@@ -366,6 +367,15 @@ Metrics::toJson() const
     w.key("replays").value(snp.replays);
     w.key("replay_divergences").value(snp.replayDivergences);
     w.key("log_entries").value(snp.logEntries);
+    w.endObject();
+
+    // Kernel-hardening counters (v9 schema addition): structured
+    // panics, deadlock-watchdog verdicts, machine-check degradations.
+    w.key("hardening").beginObject();
+    w.key("panics").value(hard.panics);
+    w.key("deadlocks_detected").value(hard.deadlocksDetected);
+    w.key("deadlocks_killed").value(hard.deadlocksKilled);
+    w.key("machine_checks").value(hard.machineChecks);
     w.endObject();
 
     w.key("derives").beginObject();

@@ -184,6 +184,19 @@ struct SnapshotCounters
     u64 logEntries = 0;        ///< replay-log entries written or read
 };
 
+/** Kernel-hardening telemetry (structured panic, deadlock watchdog,
+ *  machine-check degradation): field-for-field mirror of
+ *  cheri::Kernel::HardeningStats, cross-checked by the oracle's
+ *  metrics-hardening-mirror rule, exported in the "hardening" section
+ *  of the v9 schema. */
+struct HardeningCounters
+{
+    u64 panics = 0;            ///< structured kernel panics captured
+    u64 deadlocksDetected = 0; ///< watchdog scans with a stuck set
+    u64 deadlocksKilled = 0;   ///< victims killed to break deadlocks
+    u64 machineChecks = 0;     ///< corruption degraded to MachineCheck
+};
+
 /** Checking-layer telemetry (src/check): oracle runs and fuzzer
  *  progress, exported in the "check" section of the v4 schema. */
 struct CheckCounters
@@ -376,6 +389,27 @@ class Metrics : public TraceSink
     }
     /// @}
 
+    /** @name Kernel-hardening telemetry (fed by the kernel's panic,
+     *  watchdog, and machine-check paths) */
+    /// @{
+    void recordKernelPanic() { ++hard.panics; }
+    void recordDeadlockDetected() { ++hard.deadlocksDetected; }
+    void recordDeadlockKill() { ++hard.deadlocksKilled; }
+    void recordMachineCheck() { ++hard.machineChecks; }
+    const HardeningCounters &hardening() const { return hard; }
+    /** Panic reset: reset() zeroed the registry to mirror the rebuilt
+     *  (empty) kernel, but the hardening counters deliberately survive
+     *  the kernel's transactional reset — re-seed them to match. */
+    void
+    seedHardening(u64 panics, u64 detected, u64 killed, u64 mchecks)
+    {
+        hard.panics = panics;
+        hard.deadlocksDetected = detected;
+        hard.deadlocksKilled = killed;
+        hard.machineChecks = mchecks;
+    }
+    /// @}
+
     /** @name Checking-layer telemetry (fed by src/check) */
     /// @{
     void
@@ -486,6 +520,7 @@ class Metrics : public TraceSink
     std::map<std::pair<u64, u64>, u64> _threadSteps;
     CheckCounters chk;
     SnapshotCounters snp;
+    HardeningCounters hard;
     std::vector<CostSnapshot> costs;
     std::array<u64, numDeriveSources> deriveCounts{};
     /** (base, length) of tagged capabilities seen at derive sites. */

@@ -49,11 +49,38 @@ argPtr(const Process &proc, unsigned i)
 SysResult
 Kernel::dispatch(Process &proc, u64 code)
 {
+    try {
+        return dispatchInner(proc, code);
+    } catch (const panic::Unwind &) {
+        // Under an active scheduler drain the panic belongs to the
+        // scheduler's catch site (it owns the slice on the stack);
+        // host-driven dispatches absorb it here.  Either way the reset
+        // destroys @p proc, so nothing below may touch it.
+        if (schedIface && schedIface->active())
+            throw;
+        panicReset();
+        return SysResult::fail(E_FAULT);
+    }
+}
+
+SysResult
+Kernel::dispatchInner(Process &proc, u64 code)
+{
     const SyscallInfo *info = syscallInfo(code);
     const u64 cycles0 = proc.cost().cycles();
     // Quiescent-point clock: RevocationEpoch::closeSeq records the
     // tick at which an epoch closed, and the oracle keys on it.
     ++quiescentSeq;
+    // Panic attribution + the flight recorder's syscall trail.
+    lastDispatchPid = proc.pid();
+    lastDispatchCode = code;
+    recorder.record(panic::EventKind::Syscall, proc.pid(), code,
+                    quiescentSeq);
+    if (panicPlant && --panicPlant == 0) {
+        // Test seam: fail a kassert with otherwise-consistent state.
+        CHERI_KASSERT(panicPlant != 0,
+                      "planted dispatch panic (test seam)");
+    }
     if (mx)
         mx->setCurrentSyscall(info ? code : 0);
 

@@ -23,6 +23,9 @@ enum Errno : int
     E_INTR = 4,
     E_BADF = 9,
     E_CHILD = 10,
+    /** Deadlock detected: the watchdog killed a victim whose waiter
+     *  chain could never be woken; surfaced through wait4. */
+    E_DEADLK = 11,
     E_NOMEM = 12,
     E_ACCES = 13,
     E_FAULT = 14,

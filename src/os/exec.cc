@@ -12,7 +12,6 @@
 
 #include "os/kernel.h"
 
-#include <cassert>
 #include <cstring>
 
 #include "os/auxv.h"
@@ -100,7 +99,8 @@ Kernel::setupStack(Process &proc, const std::vector<std::string> &argv,
                                  PROT_READ | PROT_WRITE,
                                  MappingKind::Stack, false, false,
                                  "stack");
-    assert(stack_va != 0);
+    CHERI_KASSERT(stack_va != 0,
+                  "exec stack mapping failed in a fresh address space");
     proc.as().map(stack_va - pageSize, pageSize, PROT_NONE,
                   MappingKind::Guard, true, false, "stack-guard");
     u64 stack_top = stack_va + stack_len;
@@ -126,7 +126,8 @@ Kernel::setupStack(Process &proc, const std::vector<std::string> &argv,
     auto string_cap = [&](u64 addr, u64 size) {
         Capability c = stack_region.setAddress(addr);
         auto b = c.setBounds(size);
-        assert(b.ok());
+        CHERI_KASSERT(b.ok(),
+                      "exec argv/envv string cap narrowing failed");
         if (traceSink)
             traceSink->derive(DeriveSource::Exec, b.value());
         return b.value();
@@ -256,7 +257,8 @@ Kernel::execve(Process &proc, const SelfObject &program,
     if (proc.abi() == Abi::CheriAbi) {
         Capability pcc = main_obj.textCap;
         auto code = pcc.andPerms(permsCode);
-        assert(code.ok());
+        CHERI_KASSERT(code.ok(),
+                      "PCC perms mask must be derivable from textCap");
         proc._regs.pcc = code.value();
     } else {
         proc._regs.pcc = Capability::fromAddress(main_obj.textBase);
@@ -266,7 +268,8 @@ Kernel::execve(Process &proc, const SelfObject &program,
     u64 tramp_va = proc.as().map(0, pageSize, PROT_READ | PROT_EXEC,
                                  MappingKind::Trampoline, false, false,
                                  "sigtramp");
-    assert(tramp_va != 0);
+    CHERI_KASSERT(tramp_va != 0,
+                  "sigtramp mapping failed in a fresh address space");
     if (proc.abi() == Abi::CheriAbi) {
         Capability t = proc.as().capForRange(tramp_va, pageSize,
                                              PROT_READ | PROT_EXEC,

@@ -1,10 +1,10 @@
 #include "os/kernel.h"
 
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "os/coredump.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 
 namespace cheri
@@ -35,7 +35,39 @@ Kernel::Kernel(KernelConfig cfg)
     phys.setReclaimHook([this](u64 wanted, const void *requester) {
         return reclaimFrames(wanted, requester);
     });
+    recorder.setDepth(cfg.flightRecorderDepth);
+    // Injector decisions that fire land in the flight recorder;
+    // declined probes are one-per-access and carry no diagnostic
+    // weight, so they are not retained.
+    injector.setObserver([this](FaultPoint point, bool fired) {
+        if (fired)
+            recorder.record(panic::EventKind::FaultDecision,
+                            static_cast<u64>(point), 1);
+    });
+    // Injected memory corruption is *detected* at these hooks and
+    // degraded to a counted machine check — never a forged capability,
+    // never a host abort.
+    phys.setCorruptionHook([this](FaultPoint point, u64 va) {
+        noteMachineCheck(point, va);
+    });
+    swap.setCorruptionHook([this](FaultPoint point, u64 slot) {
+        noteMachineCheck(point, slot);
+    });
     registerDefaultRevocationScans(*this);
+    initVfs();
+    // Registered last, after every subsystem is whole: this kernel now
+    // owns CHERI_KASSERT failures for its lifetime (innermost wins).
+    panic::pushSink(this);
+}
+
+Kernel::~Kernel()
+{
+    panic::popSink(this);
+}
+
+void
+Kernel::initVfs()
+{
     fs.mkdir("/tmp");
     fs.mkdir("/etc");
     fs.mkdir("/home");
@@ -43,8 +75,6 @@ Kernel::Kernel(KernelConfig cfg)
     const char msg[] = "MiniBSD (CheriABI reproduction kernel)\n";
     motd->data.assign(msg, msg + sizeof(msg) - 1);
 }
-
-Kernel::~Kernel() = default;
 
 u64
 Kernel::reclaimFrames(u64 wanted, const void *requester)
@@ -239,10 +269,15 @@ Kernel::wait4(Process &parent, u64 pid)
             continue;
         }
         u64 dead = p.pid();
+        // A watchdog-killed child still gets reaped (the zombie is
+        // gone), but the reap reports E_DEADLK so the parent learns the
+        // wait-for cycle was broken on its behalf.
+        bool deadlocked = p.death() && p.death()->deadlock;
         if (schedIface)
             schedIface->onProcessReaped(dead);
         procs.erase(it);
-        return SysResult::ok(dead);
+        return deadlocked ? SysResult::fail(E_DEADLK)
+                          : SysResult::ok(dead);
     }
     // No zombie yet, but the wait could still succeed: when the caller
     // is an interpreted context under the scheduler, truly block until
@@ -601,6 +636,7 @@ Kernel::fireFdEdge(u64 chan)
     u64 woken = schedIface->onFdWake(chan);
     if (!woken)
         return;
+    recorder.record(panic::EventKind::WakeEdge, chan, woken);
     fdStats.wakes += woken;
     if (mx)
         mx->recordFdWake(woken);
@@ -670,6 +706,218 @@ Kernel::sysSleep(Process &proc, u64 ticks)
         return SysResult::ok();
     // No virtual clock to wait on: sleep degenerates to a no-op.
     return SysResult::ok();
+}
+
+void
+Kernel::runUntilIdle()
+{
+    if (!schedIface)
+        return;
+    try {
+        schedIface->runUntilIdle();
+    } catch (const panic::Unwind &) {
+        // The concrete scheduler absorbs panics at its own drain loop;
+        // this catch covers iface implementations that let one escape.
+        // Either way the host never sees the exception.
+        panicReset();
+    }
+}
+
+void
+Kernel::onKassert(const panic::KassertInfo &info)
+{
+    if (panicInProgress) {
+        // The capture walk itself tripped another invariant (the state
+        // is corrupt, after all): skip re-capture, just unwind.
+        throw panic::Unwind{std::string("re-entrant panic: ") +
+                            (info.expr ? info.expr : "?")};
+    }
+    panicInProgress = true;
+    ++hardStats.panics;
+    if (mx)
+        mx->recordKernelPanic();
+    recorder.record(panic::EventKind::Panic,
+                    static_cast<u64>(info.line), lastDispatchCode,
+                    quiescentSeq);
+    lastPanicReport = buildPanicReport(info);
+    lastPanicImage.clear();
+    if (panicSnapHook) {
+        // The snapshot walks the very state that just failed an
+        // invariant; a capture failure degrades to an empty image, it
+        // never replaces the panic with a host abort.
+        try {
+            lastPanicImage = panicSnapHook(*this);
+        } catch (...) {
+            lastPanicImage.clear();
+        }
+    }
+    lastPanicValid = true;
+    std::string reason = info.expr ? info.expr : "?";
+    if (info.why && *info.why) {
+        reason += ": ";
+        reason += info.why;
+    }
+    throw panic::Unwind{std::move(reason)};
+}
+
+std::string
+Kernel::buildPanicReport(const panic::KassertInfo &info) const
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("schema").value(std::string_view("cheri.panic.v1"));
+    w.key("expr").value(std::string_view(info.expr ? info.expr : ""));
+    w.key("why").value(std::string_view(info.why ? info.why : ""));
+    w.key("file").value(std::string_view(info.file ? info.file : ""));
+    w.key("line").value(static_cast<u64>(info.line));
+    w.key("pid").value(lastDispatchPid);
+    w.key("syscall").value(lastDispatchCode);
+    w.key("quiescent_seq").value(quiescentSeq);
+    w.key("panics").value(hardStats.panics);
+    w.key("events_recorded").value(recorder.eventsRecorded());
+    w.key("ring");
+    w.beginArray();
+    for (const panic::Event &e : recorder.entries()) {
+        w.beginObject();
+        w.key("seq").value(e.seq);
+        w.key("kind").value(panic::eventKindName(e.kind));
+        w.key("a").value(e.a);
+        w.key("b").value(e.b);
+        w.key("c").value(e.c);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+void
+Kernel::panicReset()
+{
+    // Teardown must be immune to further kasserts: anything that fails
+    // below has no second capture to corrupt.
+    panicInProgress = true;
+    const HardeningStats kept = hardStats;
+    // Scheduler contexts reference Process objects; retire them before
+    // the process table goes.
+    if (schedIface)
+        schedIface->resetForPanic();
+    // Wake edges fired by dying channels must not reach the scheduler
+    // while the tables are in flux.
+    kernelReady = false;
+    // Destroying an AddressSpace detaches its MemAccess listeners and
+    // discards its swap slots, so clearing the table returns every
+    // frame and slot to the pools.
+    procs.clear();
+    shmSegments.clear();
+    kqueues.clear();
+    attached.clear();
+    revEpochs.clear();
+    eventCounts.clear();
+    pressure = {};
+    fdStats = {};
+    revStats = {};
+    nextEpochId = 0;
+    quiescentSeq = 0;
+    nextPid = 1;
+    nextPrincipal = 1;
+    nextOtype = 1;
+    nextShmId = 1;
+    switches = 0;
+    lastDispatchPid = 0;
+    lastDispatchCode = ~u64{0};
+    panicPlant = 0;
+    injector.resetArms();
+    phys.resetAccounting();
+    swap.resetAccounting();
+    fs = Vfs();
+    initVfs();
+    if (mx) {
+        // The registry now mirrors an empty kernel — except for the
+        // hardening counters, which deliberately survive the reset.
+        mx->reset();
+        mx->seedHardening(kept.panics, kept.deadlocksDetected,
+                          kept.deadlocksKilled, kept.machineChecks);
+    }
+    hardStats = kept;
+    // The flight recorder keeps rolling across the reset: its ring is
+    // the postmortem trail of what led here.
+    kernelReady = true;
+    panicInProgress = false;
+}
+
+void
+Kernel::noteMachineCheck(FaultPoint point, u64 addr)
+{
+    ++hardStats.machineChecks;
+    if (mx)
+        mx->recordMachineCheck();
+    recorder.record(panic::EventKind::MachineCheck, addr,
+                    static_cast<u64>(point));
+}
+
+std::vector<u64>
+Kernel::fdWakerPids(u64 chan) const
+{
+    // The peer end of a pipe/pty edge: a context parked on a channel's
+    // readWait token is woken by writes (or close) through the node
+    // whose writeCh is that channel; one parked on writeWait by reads
+    // through the node whose readCh is it.  Mere possession counts —
+    // closing the descriptor fires the same edge.
+    std::vector<u64> out;
+    if (chan == 0)
+        return out;
+    for (const auto &[pid, p] : procs) {
+        if (p->exited())
+            continue;
+        bool waker = false;
+        for (const OpenFileRef &of : p->fds) {
+            if (!of || !of->node)
+                continue;
+            if (of->node->writeCh &&
+                of->node->writeCh->readWait == chan && of->writable())
+                waker = true;
+            if (of->node->readCh &&
+                of->node->readCh->writeWait == chan && of->readable())
+                waker = true;
+        }
+        if (waker)
+            out.push_back(pid);
+    }
+    return out;
+}
+
+void
+Kernel::noteDeadlockDetected(u64 stuck_contexts)
+{
+    ++hardStats.deadlocksDetected;
+    if (mx)
+        mx->recordDeadlockDetected();
+    recorder.record(panic::EventKind::Watchdog, stuck_contexts, 0);
+}
+
+void
+Kernel::deadlockKill(Process &victim, const std::string &why)
+{
+    ++hardStats.deadlocksKilled;
+    if (mx)
+        mx->recordDeadlockKill();
+    recorder.record(panic::EventKind::Watchdog, 0, victim.pid());
+    DeathInfo di;
+    di.signal = SIG_KILL;
+    di.deadlock = true;
+    di.detail = why;
+    victim.die(di);
+    // Same teardown as an OOM kill: the epoch dies unsound, the file
+    // table closes (firing the wake edges that unblock the rest of the
+    // cycle), and memory goes back to the pools before the reap.
+    abortRevocationEpoch(victim);
+    victim.closeAllFds();
+    victim.as().releaseAll();
+    if (Process *parent = findProcess(victim.ppid()))
+        parent->raiseSignal(SIG_CHLD);
+    if (schedIface)
+        schedIface->onProcessDead(victim);
 }
 
 SysResult

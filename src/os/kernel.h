@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "os/panic.h"
 #include "os/process.h"
 #include "os/revocation.h"
 #include "os/sched_iface.h"
@@ -113,6 +114,25 @@ struct FiodgnameArg
     UserPtr buf;
 };
 
+/**
+ * What the scheduler's deadlock watchdog does when an idle pass finds
+ * blocked contexts whose wait-for analysis proves no guest or host
+ * waker can ever reach them (a true cycle or an orphaned wait).
+ */
+enum class DeadlockPolicy
+{
+    /** No idle-time scans at all. */
+    Off,
+    /** Count and flight-record the stuck set; leave it parked (a host
+     *  driver may still intervene).  The default. */
+    Report,
+    /** OOM-killer style: kill a deterministically chosen victim with
+     *  SIG_KILL; its parent's wait4 reports E_DEADLK.  The decision is
+     *  routed through the fault-injection tap so record/replay
+     *  substitutes it bit-for-bit. */
+    Kill,
+};
+
 /** Kernel-wide configuration. */
 struct KernelConfig
 {
@@ -140,9 +160,14 @@ struct KernelConfig
      *  step-budget expiry, so it lands only at instruction
      *  boundaries — never mid-instruction. */
     u64 timeSliceSteps = 512;
+    /** Deadlock watchdog policy for the scheduler's idle scan. */
+    DeadlockPolicy deadlockPolicy = DeadlockPolicy::Report;
+    /** Flight-recorder ring depth: kernel events retained for the
+     *  panic report (0 keeps counting but retains nothing). */
+    u64 flightRecorderDepth = 64;
 };
 
-class Kernel
+class Kernel : private panic::Sink
 {
   public:
     explicit Kernel(KernelConfig cfg = {});
@@ -198,6 +223,24 @@ class Kernel
         u64 cyclesInEpochs = 0;
     };
 
+    /** Kernel-hardening accounting (mirrored into Metrics when one is
+     *  attached; schema v9 "hardening" section). */
+    struct HardeningStats
+    {
+        /** CHERI_KASSERT failures captured by the structured panic
+         *  path (snapshot + report + transactional reset, never a
+         *  host abort). */
+        u64 panics = 0;
+        /** Scheduler idle passes whose watchdog scan found a
+         *  non-empty stuck set (wait-for cycle or orphaned wait). */
+        u64 deadlocksDetected = 0;
+        /** Victims killed under DeadlockPolicy::Kill. */
+        u64 deadlocksKilled = 0;
+        /** Injected memory corruption events detected and degraded to
+         *  a guest-visible CapFault::MachineCheck. */
+        u64 machineChecks = 0;
+    };
+
     /** @name Subsystems */
     /// @{
     PhysMem &physMem() { return phys; }
@@ -208,6 +251,12 @@ class Kernel
     const MemPressureStats &memPressure() const { return pressure; }
     const FdIoStats &fdIoStats() const { return fdStats; }
     const RevocationStats &revocationStats() const { return revStats; }
+    const HardeningStats &hardeningStats() const { return hardStats; }
+    /** The kernel-event flight recorder (syscalls, sched edges, fault
+     *  decisions, watchdog verdicts, machine checks); its ring is
+     *  dumped into every panic report. */
+    panic::FlightRecorder &flightRecorder() { return recorder; }
+    const panic::FlightRecorder &flightRecorder() const { return recorder; }
     Vfs &vfs() { return fs; }
     Rtld &rtld() { return linker; }
     const KernelConfig &config() const { return cfg; }
@@ -328,13 +377,9 @@ class Kernel
     }
     /** Run the scheduler until the run queue is empty and no sleeper
      *  can be woken by advancing the virtual clock.  No-op without a
-     *  scheduler installed. */
-    void
-    runUntilIdle()
-    {
-        if (schedIface)
-            schedIface->runUntilIdle();
-    }
+     *  scheduler installed.  A kernel panic unwinding out of the drain
+     *  is absorbed here (panicReset), never propagated to the host. */
+    void runUntilIdle();
     /**
      * Slice-boundary background work: pump any open revocation epoch
      * and, when the frame budget is exhausted, run a one-frame reclaim
@@ -350,6 +395,65 @@ class Kernel
      * explicit sysClose and the implicit close-all at process exit).
      */
     void fireFdEdge(u64 chan);
+    /// @}
+
+    /** @name Structured panic (src/os/panic.h)
+     * The kernel registers itself as the innermost panic sink for its
+     * lifetime: a CHERI_KASSERT failure anywhere in kernel or memory
+     * code lands in onKassert, which captures the flight-recorder ring
+     * into a JSON panic report, emits a CHRIIMG1 snapshot through the
+     * installed hook, and unwinds to the nearest catch site — the
+     * scheduler drain or dispatch() — where panicReset() rebuilds the
+     * kernel empty.  The host process never aborts; the snapshot is a
+     * postmortem artifact for `cheri_replay restore`.
+     */
+    /// @{
+    /**
+     * Transactionally reset the kernel to its just-constructed state:
+     * scheduler contexts retired, processes destroyed (frames and swap
+     * slots returned), VFS/shm/kqueue/epoch tables rebuilt empty, and
+     * injector arms cleared.  Hardening counters and the captured
+     * panic report survive; an attached Metrics registry is reset and
+     * re-mirrored.
+     */
+    void panicReset();
+    /** True when a panic has been captured (report + image valid). */
+    bool panicked() const { return lastPanicValid; }
+    const std::string &panicReportJson() const { return lastPanicReport; }
+    /** The CHRIIMG1 snapshot captured at panic time (empty when no
+     *  snapshot hook was installed or the capture itself failed). */
+    const std::vector<u8> &panicImage() const { return lastPanicImage; }
+    /** Install the panic-time snapshot capturer (snapshot layering: the
+     *  core kernel library cannot link the snapshot writer, so
+     *  snap::installPanicSnapshotHook injects it from above). */
+    void setPanicSnapshotHook(std::function<std::vector<u8>(Kernel &)> fn)
+    {
+        panicSnapHook = std::move(fn);
+    }
+    /** Test seam: the @p nth upcoming dispatch() (1 = the very next)
+     *  fails a planted kassert with otherwise-consistent state. */
+    void plantPanicAtDispatch(u64 nth) { panicPlant = nth; }
+    /// @}
+
+    /** @name Deadlock-watchdog support (called by the scheduler)
+     * The watchdog itself lives in the scheduler's idle branch — only
+     * it can see the blocked-context census — but victim kill and the
+     * wait-for graph's FD edges need kernel state.
+     */
+    /// @{
+    /** Live processes able to fire wait-channel @p chan: holders of
+     *  the peer end of the pipe/pty whose read (for writeWait tokens)
+     *  or write (for readWait tokens) would wake the parked context.
+     *  Closing the peer end fires the same edge, so mere possession
+     *  counts. */
+    std::vector<u64> fdWakerPids(u64 chan) const;
+    /** Record one watchdog detection of @p stuck_contexts stuck
+     *  contexts (metrics + flight recorder). */
+    void noteDeadlockDetected(u64 stuck_contexts);
+    /** Break a deadlock by killing @p victim (SIG_KILL, OOM-kill
+     *  teardown); its parent's wait4 reports E_DEADLK.  @p why is the
+     *  wait-for attribution recorded in the DeathInfo. */
+    void deadlockKill(Process &victim, const std::string &why);
     /// @}
 
     /** @name User-memory access (Figure 3 semantics)
@@ -613,6 +717,23 @@ class Kernel
     /** Charge @p n_ptr_args syscall overhead to the process. */
     void chargeSyscall(Process &proc, u64 n_ptr_args);
 
+    /** @name Structured-panic machinery (os/panic.cc call sites)
+     * onKassert is the panic::Sink entry: capture, then unwind.
+     * dispatchInner is the whole historical dispatch body; dispatch()
+     * wraps it in the catch-site that absorbs panics on host-driven
+     * (scheduler-idle) paths.
+     */
+    /// @{
+    [[noreturn]] void onKassert(const panic::KassertInfo &info) override;
+    SysResult dispatchInner(Process &proc, u64 code);
+    std::string buildPanicReport(const panic::KassertInfo &info) const;
+    /** PhysMem/SwapDevice corruption-hook target: count the machine
+     *  check and feed the flight recorder. */
+    void noteMachineCheck(FaultPoint point, u64 addr);
+    /** (Re)build the default VFS tree (constructor and panicReset). */
+    void initVfs();
+    /// @}
+
     /** @name Revocation epoch machinery (os/revocation.cc)
      * openEpoch validates the range set and builds the worklist;
      * runRevocationSlice scans up to @p max_pages from it (absorbing
@@ -653,6 +774,23 @@ class Kernel
     FaultInjector injector;
     MemPressureStats pressure;
     FdIoStats fdStats;
+    HardeningStats hardStats;
+    panic::FlightRecorder recorder;
+    /** Attribution for panic reports: the (pid, code) of the dispatch
+     *  in flight (code ~0 = none). */
+    u64 lastDispatchPid = 0;
+    u64 lastDispatchCode = ~u64{0};
+    /** Nonzero: dispatchInner fails a planted kassert when the counter
+     *  reaches zero (test seam; see plantPanicAtDispatch). */
+    u64 panicPlant = 0;
+    /** A panic capture is running: re-entrant kasserts (a corrupted
+     *  kernel failing again under the snapshot walk) skip capture and
+     *  unwind immediately. */
+    bool panicInProgress = false;
+    bool lastPanicValid = false;
+    std::string lastPanicReport;
+    std::vector<u8> lastPanicImage;
+    std::function<std::vector<u8>(Kernel &)> panicSnapHook;
     Vfs fs;
     Rtld linker;
     TraceSink *traceSink = nullptr;

@@ -1,0 +1,42 @@
+#include "os/panic.h"
+
+#include "obs/json.h"
+
+namespace cheri::panic
+{
+
+std::string_view
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::Syscall: return "syscall";
+      case EventKind::SchedBlock: return "sched-block";
+      case EventKind::SchedWake: return "sched-wake";
+      case EventKind::WakeEdge: return "wake-edge";
+      case EventKind::FaultDecision: return "fault-decision";
+      case EventKind::Watchdog: return "watchdog";
+      case EventKind::MachineCheck: return "machine-check";
+      case EventKind::Panic: return "panic";
+    }
+    return "unknown";
+}
+
+std::string
+ringToJson(const FlightRecorder &fr)
+{
+    obs::JsonWriter w;
+    w.beginArray();
+    for (const Event &e : fr.entries()) {
+        w.beginObject();
+        w.key("seq").value(e.seq);
+        w.key("kind").value(eventKindName(e.kind));
+        w.key("a").value(e.a);
+        w.key("b").value(e.b);
+        w.key("c").value(e.c);
+        w.endObject();
+    }
+    w.endArray();
+    return w.str();
+}
+
+} // namespace cheri::panic

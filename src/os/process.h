@@ -49,6 +49,9 @@ struct DeathInfo
      *  observability layer attribute the fault to its DeriveSource. */
     Capability faultCap;
     bool faultCapKnown = false;
+    /** The deadlock watchdog killed this process to break a wait-for
+     *  cycle; wait4 surfaces the reap as E_DEADLK. */
+    bool deadlock = false;
 };
 
 /** One kernel-scheduled thread context within a process. */

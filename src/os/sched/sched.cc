@@ -155,6 +155,8 @@ Scheduler::blockCurrent(Process &proc, BlockKind kind, u64 arg,
     }
     if (mx)
         mx->recordSchedBlock(kind);
+    kern.flightRecorder().record(panic::EventKind::SchedBlock, cur->pid,
+                                 cur->tid, static_cast<u64>(kind));
     return true;
 }
 
@@ -181,6 +183,9 @@ Scheduler::blockCurrentFd(Process &proc, const FdWait &wait)
     ++st.blocksFd;
     if (obs::Metrics *mx = kern.metrics())
         mx->recordSchedBlock(BlockKind::Fd);
+    kern.flightRecorder().record(panic::EventKind::SchedBlock, cur->pid,
+                                 cur->tid,
+                                 static_cast<u64>(BlockKind::Fd));
     return true;
 }
 
@@ -226,6 +231,9 @@ Scheduler::wake(ExecContext &ctx)
 {
     if (ctx.state != ExecContext::State::Blocked)
         return;
+    kern.flightRecorder().record(panic::EventKind::SchedWake, ctx.pid,
+                                 ctx.tid,
+                                 static_cast<u64>(ctx.blockKind));
     erasePtr(blocked, &ctx);
     ctx.state = ExecContext::State::Runnable;
     ctx.blockKind = BlockKind::None;
@@ -502,6 +510,34 @@ Scheduler::runUntilIdle()
     if (running)
         return;
     running = true;
+    try {
+        drainLoop();
+    } catch (const panic::Unwind &) {
+        // A kernel panic unwound out of a slice: every frame below
+        // (interpreter, dispatch) is already gone, so the transactional
+        // reset — which retires our contexts via resetForPanic() — is
+        // safe to run here.  The host never sees the exception.
+        kern.panicReset();
+        running = false;
+        return;
+    }
+    running = false;
+    // Hosted contexts are one-shot: drop the finished ones.
+    hosted.erase(std::remove_if(hosted.begin(), hosted.end(),
+                                [&](const auto &h) {
+                                    if (h->state !=
+                                        ExecContext::State::Done)
+                                        return false;
+                                    if (lastRan == h.get())
+                                        lastRan = nullptr;
+                                    return true;
+                                }),
+                 hosted.end());
+}
+
+void
+Scheduler::drainLoop()
+{
     obs::Metrics *mx = nullptr;
     while (true) {
         // Wake sleepers whose virtual-clock deadline has passed, and
@@ -534,8 +570,15 @@ Scheduler::runUntilIdle()
                          b->fdDeadlineArmed)
                     earliest = std::min(earliest, b->fdDeadline);
             }
-            if (earliest == ~u64{0})
+            if (earliest == ~u64{0}) {
+                // Nothing deadline-driven remains.  Give the deadlock
+                // watchdog a look at the deadline-less parks: a kill
+                // frees the cycle and the drain continues; otherwise
+                // the survivors stay parked for a host wake.
+                if (watchdogScan())
+                    continue;
                 break;
+            }
             vclock = std::max(vclock, earliest);
             ++st.idleAdvances;
             if ((mx = kern.metrics()))
@@ -557,18 +600,180 @@ Scheduler::runUntilIdle()
         }
         runOneSlice(*ctx, *proc);
     }
-    running = false;
-    // Hosted contexts are one-shot: drop the finished ones.
-    hosted.erase(std::remove_if(hosted.begin(), hosted.end(),
-                                [&](const auto &h) {
-                                    if (h->state !=
-                                        ExecContext::State::Done)
-                                        return false;
-                                    if (lastRan == h.get())
-                                        lastRan = nullptr;
-                                    return true;
-                                }),
-                 hosted.end());
+}
+
+void
+Scheduler::resetForPanic()
+{
+    // Kernel-panic teardown: the object survives (panicReset runs
+    // underneath our own drain), but every context goes.  The slice
+    // hook survives too — the fuzzer's oracle stays attached across
+    // the reset.
+    ctxs.clear();
+    hosted.clear();
+    runq.clear();
+    blocked.clear();
+    current = nullptr;
+    lastRan = nullptr;
+    st = {};
+    vclock = 0;
+}
+
+bool
+Scheduler::watchdogScan()
+{
+    DeadlockPolicy policy = kern.config().deadlockPolicy;
+    if (policy == DeadlockPolicy::Off || blocked.empty())
+        return false;
+    // Candidate stuck set: every deadline-less blocked context (the
+    // caller established there are no deadlines left).  A fixpoint
+    // pass removes any context a *capable* peer could still wake; what
+    // survives is a true wait-for cycle or an orphaned wait.
+    std::vector<ExecContext *> stuck(blocked.begin(), blocked.end());
+    auto isStuck = [&](const ExecContext *c) {
+        return std::find(stuck.begin(), stuck.end(), c) != stuck.end();
+    };
+    // A process can still act if it is live and either has no
+    // scheduler contexts at all (host-driven: the host can run it at
+    // any time) or has at least one non-done context outside the stuck
+    // set.
+    auto capable = [&](u64 pid) {
+        Process *p = kern.findProcess(pid);
+        if (!p || p->exited())
+            return false;
+        bool has_ctx = false, has_free = false;
+        for (const auto &[key, c] : ctxs) {
+            if (key.first != pid ||
+                c->state == ExecContext::State::Done)
+                continue;
+            has_ctx = true;
+            if (!isStuck(c.get()))
+                has_free = true;
+        }
+        return !has_ctx || has_free;
+    };
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto it = stuck.begin(); it != stuck.end();) {
+            ExecContext *c = *it;
+            bool wakeable = false;
+            switch (c->blockKind) {
+              case BlockKind::Wait4:
+                // Wakeable iff a matching live child can still exit.
+                kern.forEachProcess([&](const Process &ch) {
+                    if (ch.ppid() != c->pid || ch.exited())
+                        return;
+                    if (c->blockArg != 0 && ch.pid() != c->blockArg)
+                        return;
+                    if (capable(ch.pid()))
+                        wakeable = true;
+                });
+                break;
+              case BlockKind::EventWait:
+                // Any capable live process can ev_post to the waiter.
+                kern.forEachProcess([&](const Process &p) {
+                    if (!p.exited() && capable(p.pid()))
+                        wakeable = true;
+                });
+                break;
+              case BlockKind::Fd:
+                for (u64 chan : c->fdChans) {
+                    for (u64 pid : kern.fdWakerPids(chan)) {
+                        if (capable(pid)) {
+                            wakeable = true;
+                            break;
+                        }
+                    }
+                    if (wakeable)
+                        break;
+                }
+                break;
+              case BlockKind::Sleep:
+              case BlockKind::None:
+                // Deadline-driven or malformed: never watchdog fodder.
+                wakeable = true;
+                break;
+            }
+            if (wakeable) {
+                it = stuck.erase(it);
+                changed = true;
+            } else {
+                ++it;
+            }
+        }
+    }
+    if (stuck.empty())
+        return false;
+    kern.noteDeadlockDetected(stuck.size());
+    // The kill decision goes through the fault-injection tap: record
+    // mode logs it, replay substitutes it, so a victim dies at exactly
+    // the same point bit-for-bit.
+    bool kill = policy == DeadlockPolicy::Kill;
+    kill = kern.faultInjector().confirm(FaultPoint::DeadlockKill, kill);
+    if (!kill)
+        return false;
+    // Deterministic victim: prefer a stuck process none of whose stuck
+    // contexts is a Wait4 (a leaf of the wait-for graph — killing it
+    // lets a waiting parent reap), then the largest memory footprint,
+    // then the highest pid.
+    struct Cand
+    {
+        u64 pid = 0;
+        bool waits = false;
+        u64 size = 0;
+    };
+    std::map<u64, Cand> cands;
+    for (ExecContext *c : stuck) {
+        Cand &cd = cands[c->pid];
+        cd.pid = c->pid;
+        if (c->blockKind == BlockKind::Wait4)
+            cd.waits = true;
+    }
+    for (auto &[pid, cd] : cands) {
+        if (Process *p = kern.findProcess(pid))
+            cd.size = p->as().residentPages() + p->as().swappedPages();
+    }
+    const Cand *best = nullptr;
+    for (const auto &[pid, cd] : cands) {
+        if (!best) {
+            best = &cd;
+            continue;
+        }
+        if (cd.waits != best->waits) {
+            if (!cd.waits)
+                best = &cd;
+            continue;
+        }
+        if (cd.size != best->size) {
+            if (cd.size > best->size)
+                best = &cd;
+            continue;
+        }
+        if (cd.pid > best->pid)
+            best = &cd;
+    }
+    Process *victim = best ? kern.findProcess(best->pid) : nullptr;
+    if (!victim)
+        return false;
+    const char *kind = "?";
+    for (ExecContext *c : stuck) {
+        if (c->pid != victim->pid())
+            continue;
+        switch (c->blockKind) {
+          case BlockKind::Wait4: kind = "wait4"; break;
+          case BlockKind::EventWait: kind = "ev_wait"; break;
+          case BlockKind::Fd: kind = "fd"; break;
+          default: break;
+        }
+        break;
+    }
+    kern.deadlockKill(*victim,
+                      "deadlock: " + std::to_string(stuck.size()) +
+                          " stuck context(s); victim pid " +
+                          std::to_string(victim->pid()) +
+                          " blocked on " + kind);
+    return true;
 }
 
 Scheduler &

@@ -160,6 +160,8 @@ class Scheduler final : public SchedulerIface
     bool consumeFdTimeout(Process &proc) override;
     void clearFdDeadline(Process &proc) override;
     void runUntilIdle() override;
+    bool active() const override { return running; }
+    void resetForPanic() override;
     const SchedStats &stats() const override { return st; }
     /// @}
 
@@ -174,6 +176,21 @@ class Scheduler final : public SchedulerIface
     void retireContextsOf(u64 pid);
     u64 sliceBudget(const ExecContext &ctx) const;
     void runOneSlice(ExecContext &ctx, Process &proc);
+    /** The drain loop proper; runUntilIdle wraps it in the kernel-panic
+     *  catch site. */
+    void drainLoop();
+    /**
+     * Deadlock watchdog, run when the drain goes idle with only
+     * deadline-less blocked contexts left.  Builds the wait-for
+     * relation (pipe/pty FD edges via Kernel::fdWakerPids, wait4
+     * parent->child, ev_wait posters), removes every context a capable
+     * peer could still wake, and classifies what survives as a true
+     * cycle or orphaned wait.  Under DeadlockPolicy::Kill a
+     * deterministically chosen victim dies (decision routed through
+     * the FaultPoint::DeadlockKill replay tap); returns true iff a
+     * kill freed the drain to continue.
+     */
+    bool watchdogScan();
 
     Kernel &kern;
     std::map<std::pair<u64, u64>, std::unique_ptr<ExecContext>> ctxs;

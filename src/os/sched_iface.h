@@ -165,6 +165,20 @@ class SchedulerIface
     /** Drain the run queue (see Kernel::runUntilIdle). */
     virtual void runUntilIdle() = 0;
 
+    /** True while a drain is in progress (a slice is on the stack).
+     *  dispatch() consults this to decide whether a kernel panic must
+     *  propagate up to the scheduler's catch site or can be absorbed
+     *  locally. */
+    virtual bool active() const { return false; }
+
+    /**
+     * Kernel-panic teardown: retire every context and clear the queues
+     * WITHOUT destroying the scheduler object itself — panicReset()
+     * runs underneath the scheduler's own drain loop, so the object
+     * must survive the call and come back empty.
+     */
+    virtual void resetForPanic() {}
+
     virtual const SchedStats &stats() const = 0;
 };
 

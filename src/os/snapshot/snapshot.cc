@@ -666,6 +666,7 @@ struct Access
                 w.putStr(d.detail);
                 putCap(w, d.faultCap);
                 w.putBool(d.faultCapKnown);
+                w.putBool(d.deadlock);
             }
         }
 
@@ -693,6 +694,10 @@ struct Access
         w.put64(kern.revStats.cyclesInEpochs);
         w.put64(kern.switches);
         w.put64(kern.quiescentSeq);
+        w.put64(kern.hardStats.panics);
+        w.put64(kern.hardStats.deadlocksDetected);
+        w.put64(kern.hardStats.deadlocksKilled);
+        w.put64(kern.hardStats.machineChecks);
         w.put64(kern.nextEpochId);
         w.put64(kern.nextPid);
         w.put64(kern.nextPrincipal);
@@ -849,6 +854,10 @@ struct Access
         w.put64(m.snp.replays);
         w.put64(m.snp.replayDivergences);
         w.put64(m.snp.logEntries);
+        w.put64(m.hard.panics);
+        w.put64(m.hard.deadlocksDetected);
+        w.put64(m.hard.deadlocksKilled);
+        w.put64(m.hard.machineChecks);
         w.put64(m.costs.size());
         for (const obs::CostSnapshot &c : m.costs) {
             w.putStr(c.label);
@@ -1055,6 +1064,10 @@ struct Access
         m.snp.replays = r.get64();
         m.snp.replayDivergences = r.get64();
         m.snp.logEntries = r.get64();
+        m.hard.panics = r.get64();
+        m.hard.deadlocksDetected = r.get64();
+        m.hard.deadlocksKilled = r.get64();
+        m.hard.machineChecks = r.get64();
         m.costs.clear();
         u64 nCosts = r.getCount();
         for (u64 i = 0; i < nCosts; ++i) {
@@ -1474,6 +1487,7 @@ struct Access
                     d.detail = r.getStr();
                     d.faultCap = getCap(r);
                     d.faultCapKnown = r.getBool();
+                    d.deadlock = r.getBool();
                     proc->_death = std::move(d);
                 }
                 if (!kern.procs.emplace(pid, std::move(proc)).second)
@@ -1504,6 +1518,10 @@ struct Access
             kern.revStats.cyclesInEpochs = r.get64();
             kern.switches = r.get64();
             kern.quiescentSeq = r.get64();
+            kern.hardStats.panics = r.get64();
+            kern.hardStats.deadlocksDetected = r.get64();
+            kern.hardStats.deadlocksKilled = r.get64();
+            kern.hardStats.machineChecks = r.get64();
             kern.nextEpochId = r.get64();
             kern.nextPid = r.get64();
             kern.nextPrincipal = r.get64();
@@ -1722,6 +1740,11 @@ struct Access
         kern.pressure = {};
         kern.fdStats = {};
         kern.revStats = {};
+        kern.hardStats = {};
+        kern.lastDispatchPid = 0;
+        kern.lastDispatchCode = ~u64{0};
+        kern.panicPlant = 0;
+        kern.panicInProgress = false;
         kern.nextEpochId = 0;
         kern.quiescentSeq = 0;
         kern.nextPid = 1;
@@ -1777,6 +1800,18 @@ void
 setKernelReadyForTest(Kernel &kern, bool ready)
 {
     Access::setReady(kern, ready);
+}
+
+void
+installPanicSnapshotHook(Kernel &kern)
+{
+    kern.setPanicSnapshotHook([](Kernel &k) {
+        // save() refuses unsnapshottable state by returning an empty
+        // image with an error string — exactly the degraded-capture
+        // behavior the panic path wants, so the error is dropped.
+        std::string err;
+        return save(k, &err);
+    });
 }
 
 } // namespace cheri::snap

@@ -58,8 +58,11 @@ namespace snap
 /** The friend-access seam: defined in snapshot.cc only. */
 struct Access;
 
-/** Image format version (bumped on any layout change). */
-constexpr u32 imageVersion = 1;
+/** Image format version (bumped on any layout change).
+ *  v2: DeathInfo::deadlock, Kernel::HardeningStats, and the metrics
+ *  hardening mirror (the watchdog / structured-panic / machine-check
+ *  counters). */
+constexpr u32 imageVersion = 2;
 
 /**
  * Serialize @p kern's complete state.  Returns the image, or an empty
@@ -84,6 +87,16 @@ bool restore(Kernel &kern, const std::vector<u8> &image,
 /** Test hook: flip the kernel-ready guard that suppresses FD wake
  *  edges during restore (see Kernel::fireFdEdge). */
 void setKernelReadyForTest(Kernel &kern, bool ready);
+
+/**
+ * Wire snap::save into @p kern's structured-panic path, so a
+ * CHERI_KASSERT failure emits a CHRIIMG1 image (Kernel::panicImage)
+ * alongside the JSON panic report.  Layering: the core kernel library
+ * cannot link the snapshot writer, so the capturer is injected from
+ * above.  A capture that fails (unsnapshottable state, or a second
+ * fault inside the walk) degrades to an empty image — never an abort.
+ */
+void installPanicSnapshotHook(Kernel &kern);
 
 } // namespace snap
 } // namespace cheri

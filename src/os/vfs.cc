@@ -17,6 +17,7 @@ errnoName(int err)
       case E_INTR: return "E_INTR";
       case E_BADF: return "E_BADF";
       case E_CHILD: return "E_CHILD";
+      case E_DEADLK: return "E_DEADLK";
       case E_NOMEM: return "E_NOMEM";
       case E_ACCES: return "E_ACCES";
       case E_FAULT: return "E_FAULT";

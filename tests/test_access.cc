@@ -453,7 +453,7 @@ TEST_P(AccessKernelBothAbis, MetricsAccumulatePerAbiTlbCounters)
     EXPECT_GT(mx.tlbCounter(abi, TlbDataHit), 0u);
 
     std::string json = mx.toJson();
-    EXPECT_NE(json.find("cheri.metrics.v8"), std::string::npos);
+    EXPECT_NE(json.find("cheri.metrics.v9"), std::string::npos);
     EXPECT_NE(json.find("\"tlb\""), std::string::npos);
     EXPECT_NE(json.find("data_hits"), std::string::npos);
     kern().setMetrics(nullptr);

@@ -109,7 +109,7 @@ TEST(DiffFuzzOracle, CleanBootedSystemPassesAndRecordsTelemetry)
     EXPECT_EQ(m.check().oracleRuns, 1u);
     EXPECT_EQ(m.check().oracleViolations, 0u);
     std::string json = m.toJson();
-    EXPECT_NE(json.find("cheri.metrics.v8"), std::string::npos);
+    EXPECT_NE(json.find("cheri.metrics.v9"), std::string::npos);
     EXPECT_NE(json.find("\"oracle_runs\":1"), std::string::npos);
     sys.kern.setMetrics(nullptr);
 }

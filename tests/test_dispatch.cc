@@ -139,7 +139,7 @@ TEST_P(Dispatch, EmittersProduceStructuredOutput)
     sys.ctx->getpid();
 
     std::string json = m.toJson();
-    EXPECT_NE(json.find("cheri.metrics.v8"), std::string::npos);
+    EXPECT_NE(json.find("cheri.metrics.v9"), std::string::npos);
     EXPECT_NE(json.find("\"name\":\"getpid\""), std::string::npos);
     EXPECT_NE(json.find(obs::abiName(GetParam())), std::string::npos);
 

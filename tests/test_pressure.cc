@@ -463,7 +463,7 @@ TEST_F(PressureTest, MetricsExportMemoryPressureSection)
               E_NOMEM);
     EXPECT_EQ(m.pressure().enomemErrors, 1u);
     std::string json = m.toJson();
-    EXPECT_NE(json.find("cheri.metrics.v8"), std::string::npos);
+    EXPECT_NE(json.find("cheri.metrics.v9"), std::string::npos);
     EXPECT_NE(json.find("\"memory\""), std::string::npos);
     EXPECT_NE(json.find("\"enomem\":1"), std::string::npos);
     m.reset();

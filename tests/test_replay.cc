@@ -114,7 +114,7 @@ TEST(ReplayTest, MetricsJsonIdenticalAcrossReplay)
     check::CaseReport cr1 = recorder.runCase(0);
     EXPECT_FALSE(cr1.failed());
     ASSERT_FALSE(cr1.metricsJson.empty());
-    EXPECT_NE(cr1.metricsJson.find("cheri.metrics.v8"),
+    EXPECT_NE(cr1.metricsJson.find("cheri.metrics.v9"),
               std::string::npos);
     std::vector<u8> log = rec.serialize(opts);
 

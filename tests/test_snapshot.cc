@@ -442,7 +442,7 @@ TEST(SnapshotSchedTest, SelectDeadlineAcrossRestoreFiresExactlyOnce)
     expectOracleClean(kern2);
 }
 
-TEST(SnapshotTest, MetricsSnapshotSectionInV8Schema)
+TEST(SnapshotTest, MetricsSnapshotSectionInV9Schema)
 {
     obs::Metrics mx;
     GuestSystem sys{Abi::CheriAbi};
@@ -464,7 +464,7 @@ TEST(SnapshotTest, MetricsSnapshotSectionInV8Schema)
     EXPECT_EQ(mx2.snapshot().restoreFailures, 1u);
 
     std::string json = mx2.toJson();
-    EXPECT_NE(json.find("cheri.metrics.v8"), std::string::npos);
+    EXPECT_NE(json.find("cheri.metrics.v9"), std::string::npos);
     EXPECT_NE(json.find("\"snapshot\""), std::string::npos);
     EXPECT_NE(json.find("\"restores\""), std::string::npos);
 }

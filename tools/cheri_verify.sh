@@ -8,6 +8,21 @@ set -euo pipefail
 src_dir="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${CHERI_VERIFY_BUILD_DIR:-$src_dir/build-verify}"
 
+# Raw-assert lint: kernel and memory code must fail through the
+# structured panic path (CHERI_KASSERT -> flight-recorder capture +
+# snapshot + transactional reset), never through a host abort.  The
+# panic sink's own abort() fallback (src/os/panic.h) and compile-time
+# static_asserts are the only legitimate exceptions.
+if grep -rnE '(^|[^_[:alnum:]])(assert|abort)\(' \
+        "$src_dir/src/os" "$src_dir/src/mem" \
+        --include='*.cc' --include='*.h' \
+    | grep -v 'CHERI_KASSERT' | grep -v 'static_assert' \
+    | grep -v 'src/os/panic\.h'; then
+    echo "cheri_verify: raw assert()/abort() in src/os or src/mem" \
+         "(use CHERI_KASSERT)" >&2
+    exit 1
+fi
+
 cmake -S "$src_dir" -B "$build_dir" \
     -DCHERI_WERROR=ON -DCHERI_SANITIZE=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -19,6 +34,12 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 CHERI_TEST_FRAME_BUDGET=48 CHERI_TEST_SLOT_BUDGET=128 \
     ctest --test-dir "$build_dir" --output-on-failure \
         -R 'Pressure|Stress' -j "$(nproc)"
+# Hardening gates under constrained memory too: the deadlock watchdog
+# and panic/machine-check paths must behave identically when reclaim
+# and OOM pressure interleave with parked contexts.
+CHERI_TEST_FRAME_BUDGET=48 CHERI_TEST_SLOT_BUDGET=128 \
+    ctest --test-dir "$build_dir" --output-on-failure \
+        -R 'Hardening' -j "$(nproc)"
 # Smoke the unified-access-path bench: --check fails unless the TLB
 # fast path beats the walk path on sequential access AND the
 # constrained-memory phase completes with live frames and used slots
@@ -59,6 +80,11 @@ CHERI_TEST_FRAME_BUDGET=48 CHERI_TEST_SLOT_BUDGET=128 \
 "$build_dir/bench/pipe_bench" --json --check
 CHERI_TEST_FRAME_BUDGET=48 CHERI_TEST_SLOT_BUDGET=128 \
     "$build_dir/bench/pipe_bench" --json --check
+# Hardening bench: --check fails unless flight-recorder ring recording
+# stays within its dispatch-throughput overhead bound and the deadlock
+# watchdog's idle-drain scan over 32 blocked (wakeable) contexts stays
+# under 1ms without ever tripping on a host-wakeable park.
+"$build_dir/bench/hardening_bench" --json --check
 # Replay-determinism gate: record a seeded fuzz run (fault injection +
 # multi-process scheduling in the mix) and replay it from the log
 # alone; cheri_replay exits non-zero on any quiescent-point
